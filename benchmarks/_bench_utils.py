@@ -1,0 +1,9 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def run_experiment(benchmark, run, scale):
+    """Time one experiment sweep and print its reproduced table."""
+    table = benchmark.pedantic(run, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(table)
+    return table

@@ -1,0 +1,54 @@
+"""Ablation: how well the theoretical cost model predicts measured cost.
+
+DESIGN.md §6.3 / paper Fig. 10's foundation: the search is only as good
+as its cost model.  This bench sweeps structures of very different
+densities and compares model-predicted operations per point against a
+measured detection run, reporting the worst relative error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.chunked import ChunkedDetector
+from repro.core.sbt import shifted_binary_tree
+from repro.core.search import EmpiricalProbabilityModel, TheoreticalCostModel
+from repro.core.structure import SATStructure, single_level_structure
+from repro.core.thresholds import NormalThresholds, all_sizes
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(111)
+    train = rng.exponential(50.0, 10_000)
+    data = rng.exponential(50.0, 80_000)
+    thresholds = NormalThresholds.from_data(train, 1e-5, all_sizes(100))
+    model = TheoreticalCostModel(
+        thresholds, EmpiricalProbabilityModel(train)
+    )
+    return thresholds, model, data
+
+
+def test_cost_model_accuracy(benchmark, setup):
+    thresholds, model, data = setup
+    structures = [
+        shifted_binary_tree(100),
+        single_level_structure(100),
+        SATStructure.from_pairs([(8, 2), (24, 4), (48, 8), (124, 16)]),
+        SATStructure.from_pairs([(4, 1), (104, 2)]),
+    ]
+
+    def run_all():
+        errors = []
+        for structure in structures:
+            predicted = model.cost_per_point(structure)
+            detector = ChunkedDetector(structure, thresholds)
+            detector.detect(data)
+            actual = detector.counters.total_operations / data.size
+            errors.append(abs(predicted - actual) / actual)
+        return errors
+
+    errors = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print("\nper-structure relative errors:", [f"{e:.3f}" for e in errors])
+    # The model should track measured cost within ~30% even across a 30x
+    # density spread (the paper's Fig. 10 shows similar fidelity).
+    assert max(errors) < 0.3

@@ -1,0 +1,35 @@
+"""Bench: the registered extension experiments (spatial/adaptive/max).
+
+These reproduce no paper figure — they carry out the paper's §7 future
+work and §6.1 related-work extensions, with exactness asserted inside
+each experiment run.  The deeper spatial/adaptive workload studies live
+in ``test_extension_spatial.py`` / ``test_extension_adaptive.py``.
+"""
+
+from repro.experiments.ext_adaptive import run as run_adaptive
+from repro.experiments.ext_max_aggregate import run as run_max
+from repro.experiments.ext_spatial import run as run_spatial
+
+from _bench_utils import run_experiment
+
+
+def test_ext_spatial_experiment(benchmark, scale):
+    table = run_experiment(benchmark, run_spatial, scale)
+    assert all(row[6] == "yes" for row in table.rows)  # outbreak found
+    assert all(row[1] < row[2] for row in table.rows)  # adapted < grid
+
+
+def test_ext_adaptive_experiment(benchmark, scale):
+    table = run_experiment(benchmark, run_adaptive, scale)
+    control, *drifted = table.rows
+    assert control[4] == 0  # no retrain without drift
+    assert control[3] == 1.0
+    for row in drifted:
+        assert row[4] >= 1  # drift triggers retraining
+        assert row[3] > 1.0  # and adaptation pays
+
+
+def test_ext_max_aggregate_experiment(benchmark, scale):
+    table = run_experiment(benchmark, run_max, scale)
+    for row in table.rows:
+        assert row[1] < row[2] < row[3]  # SAT < SBT < naive

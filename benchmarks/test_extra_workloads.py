@@ -1,0 +1,86 @@
+"""Bench: SAT vs SBT on the related-work workload models.
+
+The paper's exponential synthetic class stands in for self-similar
+traffic (Wang et al.'s b-model) and its burst definition complements
+Kleinberg's automaton model; this bench runs the detector on both
+*actual* models — b-model traffic and a two-state automaton stream — and
+checks the SAT's advantage carries over from the i.i.d. surrogates to the
+genuinely bursty processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.chunked import ChunkedDetector
+from repro.core.sbt import shifted_binary_tree
+from repro.core.search import train_structure
+from repro.core.thresholds import EmpiricalThresholds, all_sizes
+from repro.streams.bmodel import b_model_series
+from repro.streams.kleinberg import kleinberg_stream
+
+MAX_WINDOW = 128
+
+
+def _measure(structure, thresholds, data):
+    detector = ChunkedDetector(structure, thresholds)
+    bursts = detector.detect(data)
+    return detector.counters.total_operations, bursts
+
+
+def test_bmodel_traffic(benchmark):
+    # 2^17 = 131k points of strongly self-similar traffic.
+    train = b_model_series(2e6, 16, bias=0.75, seed=10)
+    data = b_model_series(4e6, 17, bias=0.75, seed=11)
+    # Heavy-tailed data: empirical-quantile thresholds respect the tail.
+    thresholds = EmpiricalThresholds(train, 1e-5, all_sizes(MAX_WINDOW))
+    structure = train_structure(train, thresholds)
+
+    def run():
+        return _measure(structure, thresholds, data)
+
+    sat_ops, bursts = benchmark.pedantic(run, rounds=1, iterations=1)
+    sbt_ops, sbt_bursts = _measure(
+        shifted_binary_tree(MAX_WINDOW), thresholds, data
+    )
+    print(
+        f"\nb-model: SAT {sat_ops:,d} ops, SBT {sbt_ops:,d} ops "
+        f"({sbt_ops / sat_ops:.2f}x), {len(bursts)} bursts"
+    )
+    assert bursts == sbt_bursts
+    assert sat_ops < sbt_ops
+
+
+def test_kleinberg_automaton_stream(benchmark):
+    stream, intervals = kleinberg_stream(
+        3.0,
+        60.0,
+        120_000,
+        burst_start_probability=5e-5,
+        burst_stop_probability=1e-2,
+        seed=12,
+    )
+    train = np.random.default_rng(13).poisson(3.0, 12_000).astype(float)
+    thresholds = EmpiricalThresholds(train, 1e-6, all_sizes(MAX_WINDOW))
+    structure = train_structure(train, thresholds)
+
+    def run():
+        return _measure(structure, thresholds, stream)
+
+    sat_ops, bursts = benchmark.pedantic(run, rounds=1, iterations=1)
+    sbt_ops, sbt_bursts = _measure(
+        shifted_binary_tree(MAX_WINDOW), thresholds, stream
+    )
+    print(
+        f"\nautomaton: SAT {sat_ops:,d} ops, SBT {sbt_ops:,d} ops "
+        f"({sbt_ops / sat_ops:.2f}x), {len(bursts)} bursts over "
+        f"{len(intervals)} true episodes"
+    )
+    assert bursts == sbt_bursts
+    assert sat_ops < sbt_ops
+    # Recall: every true episode of meaningful length overlaps a burst.
+    ends = np.array(sorted({b.end for b in bursts}), dtype=np.int64)
+    for start, end in intervals:
+        if end - start + 1 < 3:
+            continue
+        hit = np.searchsorted(ends, start - MAX_WINDOW)
+        assert hit < ends.size and ends[hit] <= end + MAX_WINDOW, (start, end)

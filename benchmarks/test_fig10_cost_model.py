@@ -1,0 +1,20 @@
+"""Bench: Fig. 10 — theoretical vs empirical cost model."""
+
+from repro.experiments.fig10_cost_model import run
+
+from _bench_utils import run_experiment
+
+
+def test_fig10_cost_model(benchmark, scale):
+    table = run_experiment(benchmark, run, scale)
+    theo = table.column("measured(theo)")
+    emp = table.column("measured(emp)")
+    ratios = table.column("pred/meas")
+    search_theo = table.column("search_s(theo)")
+    search_emp = table.column("search_s(emp)")
+    # Paper point 1: the theoretical model tracks the actual cost.
+    assert all(0.6 <= r <= 1.5 for r in ratios), ratios
+    # Paper point 2: theoretical-model structures perform at least as
+    # well overall, at a fraction of the search cost.
+    assert sum(theo) <= sum(emp) * 1.2
+    assert sum(search_theo) < sum(search_emp)

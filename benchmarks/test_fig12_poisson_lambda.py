@@ -1,0 +1,20 @@
+"""Bench: Fig. 12 — Poisson lambda sweep (SAT vs SBT vs naive)."""
+
+from repro.experiments.fig12_poisson_lambda import run
+
+from _bench_utils import run_experiment
+
+
+def test_fig12_poisson_lambda(benchmark, scale):
+    table = run_experiment(benchmark, run, scale)
+    sat = table.column("ops(SAT)")
+    sbt = table.column("ops(SBT)")
+    naive = table.column("ops(naive)")
+    # Paper shape: SAT <= SBT (within noise) and both far below naive.
+    assert all(s <= b * 1.05 for s, b in zip(sat, sbt))
+    assert all(b < n for b, n in zip(sbt, naive))
+    # Mid-lambda is where adaptation pays: at lambda = 0.1 the SAT must
+    # clearly beat the fixed SBT.
+    lambdas = table.column("lambda")
+    i = lambdas.index(0.1)
+    assert sat[i] * 3 < sbt[i]

@@ -1,0 +1,17 @@
+"""Bench: Fig. 13 — exponential beta sweep (no effect of beta)."""
+
+from repro.experiments.fig13_exponential_beta import run
+
+from _bench_utils import run_experiment
+
+
+def test_fig13_exponential_beta(benchmark, scale):
+    table = run_experiment(benchmark, run, scale)
+    sat = table.column("ops(SAT)")
+    sbt = table.column("ops(SBT)")
+    # Paper shape: beta has no noticeable effect — the cost spread across
+    # the whole sweep stays within a small band.
+    assert max(sat) <= min(sat) * 1.3
+    assert max(sbt) <= min(sbt) * 1.3
+    # And the SAT beats the SBT throughout.
+    assert all(s < b for s, b in zip(sat, sbt))

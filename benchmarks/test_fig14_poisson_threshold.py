@@ -1,0 +1,21 @@
+"""Bench: Fig. 14 — burst-probability sweep on Poisson data."""
+
+from repro.experiments.fig14_poisson_threshold import run
+
+from _bench_utils import run_experiment
+
+
+def test_fig14_poisson_threshold(benchmark, scale):
+    table = run_experiment(benchmark, run, scale)
+    sat = table.column("ops(SAT)")
+    sbt = table.column("ops(SBT)")
+    speedup = table.column("speedup")
+    assert all(s <= b * 1.05 for s, b in zip(sat, sbt))
+    # Paper shape: the SAT advantage grows as p shrinks (rows are ordered
+    # from large p to small p).
+    assert speedup[-1] > speedup[0]
+    # SAT alarm probability stays below the SBT's saturated filter.
+    assert all(
+        a <= b + 1e-9
+        for a, b in zip(table.column("alarm(SAT)"), table.column("alarm(SBT)"))
+    )

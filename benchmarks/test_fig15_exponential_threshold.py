@@ -1,0 +1,23 @@
+"""Bench: Fig. 15 — burst-probability sweep on exponential data.
+
+The paper's headline: the adapted SAT beats the SBT by up to ~35x in this
+regime.  The bench asserts the shape (monotone-ish growth of the speedup
+as p shrinks, double digits at the rare end) rather than the paper's
+exact peak, which depends on stream length and machine."""
+
+from repro.experiments.fig15_exponential_threshold import run
+
+from _bench_utils import run_experiment
+
+
+def test_fig15_exponential_threshold(benchmark, scale):
+    table = run_experiment(benchmark, run, scale)
+    speedup = table.column("speedup")
+    # SAT never loses, and the advantage grows toward rare bursts.
+    assert min(speedup) >= 1.0
+    assert speedup[-1] > 2 * speedup[0]
+    # The headline regime: a double-digit factor at the rarest setting.
+    assert speedup[-1] >= 10.0
+    # Density: the SAT thins out as bursts get rarer (paper Fig. 15c).
+    density = table.column("density(SAT)")
+    assert density[-1] <= density[0]

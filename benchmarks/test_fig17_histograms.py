@@ -1,0 +1,21 @@
+"""Bench: Fig. 17 — histogram distributions of the data sets."""
+
+from repro.experiments.fig17_histograms import ascii_histograms, run
+
+from _bench_utils import run_experiment
+
+
+def test_fig17_histograms(benchmark, scale):
+    table = run_experiment(benchmark, run, scale)
+    print()
+    print(ascii_histograms(scale))
+    sdss_fracs = [
+        row[4] for row in table.rows if row[0] == "SDSS"
+    ]
+    ibm_fracs = [row[4] for row in table.rows if row[0] == "IBM"]
+    # Paper Fig. 17a: SDSS is unimodal with an interior mode.
+    mode = sdss_fracs.index(max(sdss_fracs))
+    assert 0 < mode < len(sdss_fracs) - 1
+    # Paper Fig. 17b: IBM concentrates nearly everything in bucket 1.
+    assert ibm_fracs[0] > 0.9
+    assert ibm_fracs[0] > 10 * max(ibm_fracs[1:])

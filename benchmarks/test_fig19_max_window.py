@@ -1,0 +1,20 @@
+"""Bench: Fig. 19 — maximum-window-size sweep on the surrogates."""
+
+from repro.experiments.fig19_max_window import run
+
+from _bench_utils import run_experiment
+
+
+def test_fig19_max_window(benchmark, scale):
+    table = run_experiment(benchmark, run, scale)
+    for dataset in ("SDSS", "IBM"):
+        rows = [r for r in table.rows if r[0] == dataset]
+        sat = [r[2] for r in rows]
+        sbt = [r[3] for r in rows]
+        speedup = [r[4] for r in rows]
+        # Costs grow with the window range for both structures...
+        assert sbt[-1] > sbt[0], dataset
+        assert sat[-1] > sat[0], dataset
+        # ...but the SAT grows more slowly: the speedup at the largest
+        # window beats the speedup at the smallest (paper's Fig. 19).
+        assert speedup[-1] > speedup[0], dataset

@@ -1,0 +1,19 @@
+"""Bench: Fig. 20 — window-size-step sweep on the surrogates."""
+
+from repro.experiments.fig20_window_step import run
+
+from _bench_utils import run_experiment
+
+
+def test_fig20_window_step(benchmark, scale):
+    table = run_experiment(benchmark, run, scale)
+    for dataset in ("SDSS", "IBM"):
+        rows = [r for r in table.rows if r[0] == dataset]
+        sat = [r[3] for r in rows]
+        sbt = [r[4] for r in rows]
+        # Paper: sparser size sets (rows ordered step 1 -> 120) make both
+        # structures cheaper...
+        assert sat[-1] < sat[0], dataset
+        assert sbt[-1] < sbt[0], dataset
+        # ...and the SAT stays ahead everywhere.
+        assert all(s < b for s, b in zip(sat, sbt)), dataset

@@ -1,0 +1,23 @@
+"""Bench: Fig. 21 (Tables 3-4) — robustness to the training set."""
+
+from repro.experiments.fig21_robustness import run
+
+from _bench_utils import run_experiment
+
+
+def test_fig21_robustness(benchmark, scale):
+    table = run_experiment(benchmark, run, scale)
+    for row in table.rows:
+        _dataset, _setting, _maxw, _p, _step, is_ops, os_ops, ot_ops, _ = row
+        # Paper: out-of-sample training performs about like in-sample
+        # (the paper saw up to ~20% where statistics drifted; allow 60%
+        # for the much shorter surrogate segments).
+        assert os_ops <= is_ops * 1.6, row
+        # Out-of-type training is allowed to be much worse — but the
+        # structure must still be *correct*, just slower; it should not
+        # be orders of magnitude off.
+        assert ot_ops <= is_ops * 30, row
+    # And OT should hurt on at least half the settings (it does in the
+    # paper by factors of 2-3).
+    worse = sum(1 for r in table.rows if r[7] > r[5] * 1.5)
+    assert worse >= len(table.rows) // 2

@@ -1,0 +1,18 @@
+"""Bench: Fig. 22 (Table 5) — search-parameter sensitivity."""
+
+from repro.experiments.fig22_search_params import run
+
+from _bench_utils import run_experiment
+
+
+def test_fig22_search_params(benchmark, scale):
+    table = run_experiment(benchmark, run, scale)
+    cap_cols = [h for h in table.headers if h.startswith("ops(cap=")]
+    for row in table.rows:
+        by_header = dict(zip(table.headers, row))
+        costs = [by_header[h] for h in cap_cols]
+        # Paper: diminishing returns — the largest-cap structure is never
+        # dramatically better than the smallest-cap one.
+        assert min(costs) * 4 >= costs[0] * 0.9 or costs[-1] <= costs[0]
+        # The found structures never lose to the SBT at the largest cap.
+        assert costs[-1] <= by_header["ops(SBT)"] * 1.05, row

@@ -1,0 +1,21 @@
+"""Bench: Table 2 — data set statistics (surrogate calibration)."""
+
+from repro.experiments.table2_data_stats import PAPER_STATS, run
+
+from _bench_utils import run_experiment
+
+
+def test_table2_data_stats(benchmark, scale):
+    table = run_experiment(benchmark, run, scale)
+    rows = {
+        (row[0], row[1]): row for row in table.rows
+    }  # (dataset, which) -> row
+    sdss = rows[("SDSS", "simulated")]
+    # SDSS surrogate: mean and std near Table 2 (moderate bands — the
+    # segment is far shorter than the original year).
+    assert abs(sdss[3] - PAPER_STATS["SDSS"]["mean"]) < 15
+    assert abs(sdss[4] - PAPER_STATS["SDSS"]["std"]) < 15
+    ibm = rows[("IBM", "simulated")]
+    # IBM surrogate: the regime is extreme skew — std several times mean.
+    assert ibm[4] > 4 * ibm[3]
+    assert ibm[5] == 0.0  # zero floor (nights/weekends)

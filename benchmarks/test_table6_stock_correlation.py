@@ -1,0 +1,22 @@
+"""Bench: Table 6 — correlated stock bursts at multiple resolutions."""
+
+import math
+
+from repro.experiments.table6_stock_correlation import run
+
+from _bench_utils import run_experiment
+
+
+def test_table6_stock_correlation(benchmark, scale):
+    table = run_experiment(benchmark, run, scale)
+    purities = [
+        row[3] for row in table.rows if not math.isnan(row[3])
+    ]
+    pair_counts = [row[2] for row in table.rows]
+    # The pipeline must recover correlated pairs at some resolution...
+    assert sum(pair_counts) > 0
+    # ...and recovered pairs should be overwhelmingly same-sector (the
+    # planted ground truth; market-wide events can add cross-sector
+    # pairs, so demand a strong majority rather than purity 1.0).
+    assert purities and min(purities) >= 0.5
+    assert max(purities) >= 0.9

@@ -1,0 +1,76 @@
+"""A tour of how the adapted structure changes with the input.
+
+The paper's central observation (§1.1): "we want a structure that adapts
+to the input" — denser when bursts are rare-but-not-very-rare (filtering
+pays), sparser when they are exceedingly rare (updating dominates).  This
+example trains Shifted Aggregation Trees across burst probabilities and
+data distributions and prints how density, bounding ratios and predicted
+alarm probability respond, next to the fixed Shifted Binary Tree.
+
+Run:  python examples/adaptive_structure_tour.py
+"""
+
+import numpy as np
+
+from repro import (
+    ChunkedDetector,
+    NormalThresholds,
+    all_sizes,
+    level_alarm_probabilities,
+    shifted_binary_tree,
+    train_structure,
+)
+from repro.streams.generators import exponential_stream, poisson_stream
+
+MAX_WINDOW = 250
+
+
+def describe_structure(name, structure, thresholds, mu, sigma, data):
+    detector = ChunkedDetector(structure, thresholds)
+    detector.detect(data)
+    ratios = structure.bounding_ratios()
+    predicted = level_alarm_probabilities(structure, thresholds, mu, sigma)
+    print(
+        f"  {name:<22s} levels {structure.num_levels:>2d}  "
+        f"density {structure.density(MAX_WINDOW):.5f}  "
+        f"top bounding ratio {ratios[-1]:.2f}  "
+        f"max predicted alarm {predicted.max():.3f}  "
+        f"measured ops/pt {detector.counters.total_operations / data.size:6.1f}"
+    )
+
+
+def main() -> None:
+    sizes = all_sizes(MAX_WINDOW)
+    sbt = shifted_binary_tree(MAX_WINDOW)
+
+    print("Exponential data, burst probability sweep (paper Fig. 15/16):")
+    train = exponential_stream(100.0, 20_000, seed=1)
+    data = exponential_stream(100.0, 60_000, seed=2)
+    mu, sigma = float(train.mean()), float(train.std())
+    for p in (1e-2, 1e-4, 1e-6, 1e-8):
+        thresholds = NormalThresholds.from_data(train, p, sizes)
+        sat = train_structure(train, thresholds)
+        describe_structure(f"SAT p={p:g}", sat, thresholds, mu, sigma, data)
+    thresholds = NormalThresholds.from_data(train, 1e-6, sizes)
+    describe_structure("SBT (fixed)", sbt, thresholds, mu, sigma, data)
+
+    print("\nPoisson data, lambda sweep (paper Fig. 12):")
+    for lam in (0.01, 1.0, 100.0):
+        train = poisson_stream(lam, 20_000, seed=3)
+        data = poisson_stream(lam, 60_000, seed=4)
+        thresholds = NormalThresholds.from_data(train, 1e-6, sizes)
+        sat = train_structure(train, thresholds)
+        mu, sigma = float(train.mean()), float(train.std())
+        describe_structure(
+            f"SAT lambda={lam:g}", sat, thresholds, mu, sigma, data
+        )
+
+    print(
+        "\nReading: the SAT densifies exactly where alarms would be "
+        "common (mid lambda, moderate p) and thins out when bursts are "
+        "so rare that update cost dominates — the SBT cannot do either."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Deployment round trip: train once, persist, detect anywhere.
+
+The operational workflow behind `python -m repro train/detect`: fit
+thresholds and adapt a structure on a training stream, save the whole
+configuration as one JSON spec, reload it in a "different process", and
+run detection — verifying that the reloaded detector is burst-for-burst
+identical to the original.
+
+Run:  python examples/deploy_roundtrip.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import all_sizes
+from repro.io import DetectorSpec, load_spec, save_spec
+from repro.streams.generators import planted_burst_stream, poisson_stream
+
+MAX_WINDOW = 128
+BURST_PROBABILITY = 1e-6
+
+
+def main() -> None:
+    rng = np.random.default_rng(2006)  # the ICDE year
+    train = poisson_stream(12.0, 20_000, seed=rng)
+
+    print("Training a detector spec...")
+    spec = DetectorSpec.train(
+        train, BURST_PROBABILITY, all_sizes(MAX_WINDOW)
+    )
+    print(spec.describe())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "burst-detector.json"
+        save_spec(spec, path)
+        print(f"\nsaved spec: {path.stat().st_size:,d} bytes of JSON")
+
+        # ... ship the file; later, in production ...
+        deployed = load_spec(path)
+
+        live, _ = planted_burst_stream(
+            poisson_stream(12.0, 80_000, seed=rng),
+            [(30_000, 40, 9.0), (60_000, 6, 40.0)],
+        )
+        original = spec.build_detector().detect(live)
+        reloaded = deployed.build_detector().detect(live)
+        assert original == reloaded, "round trip must be exact"
+        print(
+            f"detection after reload: {len(reloaded)} bursts "
+            f"(identical to the pre-save detector)"
+        )
+        for episode_start in (30_000, 60_000):
+            hit = any(
+                abs(b.end - episode_start) < 200 for b in reloaded
+            )
+            print(
+                f"  injected event near t={episode_start:,d}: "
+                f"{'detected' if hit else 'missed'}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Elastic burst detection for gamma-ray-like photon counts.
+
+The paper's astrophysics motivation: "interesting gamma ray bursts could
+last several seconds, several minutes or even several days.  The size
+itself may be an interesting subject to be discovered."  This example
+plants events of *very different durations* (and intensities scaled so
+that each is only detectable near its own time scale) into a photon-count
+stream, then shows that one elastic detector pass finds each event at
+approximately its true duration — the core capability single-window
+detectors lack.
+
+Run:  python examples/gamma_ray_scan.py
+"""
+
+import numpy as np
+
+from repro import ChunkedDetector, NormalThresholds, all_sizes, train_structure
+from repro.streams.generators import planted_burst_stream, poisson_stream
+
+MAX_WINDOW = 1_024
+BURST_PROBABILITY = 1e-8
+BACKGROUND_RATE = 4.0
+
+#: (start, duration, extra photons per tick).  Intensities chosen so each
+#: event is a few sigma over threshold at its own duration but invisible
+#: at durations far from it: long faint events need long windows.
+EVENTS = [
+    (20_000, 8, 14.0),  # a short, bright flash
+    (60_000, 128, 1.9),  # a minutes-scale transient
+    (120_000, 700, 0.75),  # a long, faint afterglow
+]
+
+
+def main() -> None:
+    rng = np.random.default_rng(1054)  # the Crab supernova's year
+    background = poisson_stream(BACKGROUND_RATE, 200_000, seed=rng)
+    data, applied = planted_burst_stream(background, EVENTS)
+
+    train = poisson_stream(BACKGROUND_RATE, 20_000, seed=rng)
+    thresholds = NormalThresholds.from_data(
+        train, BURST_PROBABILITY, all_sizes(MAX_WINDOW)
+    )
+    structure = train_structure(train, thresholds)
+    print(
+        f"Scanning {data.size:,d} ticks across window sizes 1..{MAX_WINDOW} "
+        f"({structure.num_levels}-level adapted SAT)\n"
+    )
+
+    detector = ChunkedDetector(structure, thresholds)
+    bursts = detector.detect(data)
+
+    for start, duration, extra in applied:
+        # Bursts overlapping the injected event.
+        hits = [
+            b
+            for b in bursts
+            if b.start <= start + duration - 1 and b.end >= start
+        ]
+        if not hits:
+            print(
+                f"event @{start} (duration {duration}): MISSED — "
+                "intensity below the detection threshold"
+            )
+            continue
+        best = max(hits, key=lambda b: b.value - thresholds.threshold(b.size))
+        sizes = sorted({b.size for b in hits})
+        print(
+            f"event @{start:>7,d} duration {duration:>5d} "
+            f"(+{extra:g}/tick): detected at {len(hits)} window(s), "
+            f"sizes {sizes[0]}..{sizes[-1]}; strongest at size "
+            f"{best.size} — duration recovered within a factor of "
+            f"{max(best.size / duration, duration / best.size):.1f}"
+        )
+
+    false_alarms = [
+        b
+        for b in bursts
+        if not any(
+            b.start <= s + d - 1 and b.end >= s for s, d, _ in applied
+        )
+    ]
+    print(
+        f"\n{len(bursts)} burst windows total, "
+        f"{len(false_alarms)} outside any injected event "
+        f"(target rate {BURST_PROBABILITY:g})"
+    )
+
+    # Collapse the overlapping window reports into events.
+    from repro.mining import burst_episodes
+
+    episodes = burst_episodes(bursts, thresholds, gap=MAX_WINDOW // 4)
+    print(f"collapsed into {len(episodes)} episodes:")
+    for episode in episodes:
+        print(f"  {episode}")
+    print(
+        f"cost: {detector.counters.total_operations:,d} ops "
+        f"({detector.counters.total_operations / data.size:.1f}/point vs "
+        f"{2 * MAX_WINDOW} naive)"
+    )
+
+
+if __name__ == "__main__":
+    main()

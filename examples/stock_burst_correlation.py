@@ -1,0 +1,57 @@
+"""Stock burst-correlation mining — the paper's §5.4 application.
+
+Generates a simulated stock universe with planted sector co-bursts,
+detects per-stock trading-volume bursts at multiple time resolutions with
+adapted Shifted Aggregation Trees, correlates the burst indicator strings,
+and prints the Table 6-style report of highly-correlated groups — then
+scores the recovered pairs against the planted ground truth.
+
+Run:  python examples/stock_burst_correlation.py
+"""
+
+from repro.mining import mine_burst_correlations
+from repro.streams.correlated import StockUniverse
+
+STREAM_SECONDS = 100_000
+WINDOW_SIZES = (10, 30, 60, 300)
+BURST_PROBABILITY = 1e-7
+
+
+def main() -> None:
+    universe = StockUniverse(seed=2003)
+    print(
+        f"Universe: {len(universe.tickers)} tickers in "
+        f"{len(universe.sectors)} sectors; {STREAM_SECONDS:,d} seconds"
+    )
+    data, events = universe.generate(STREAM_SECONDS)
+    by_kind = {}
+    for event in events:
+        by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+    print(f"Planted events: {by_kind}")
+
+    reports = mine_burst_correlations(
+        data,
+        window_sizes=WINDOW_SIZES,
+        burst_probability=BURST_PROBABILITY,
+    )
+
+    print("\nHighly-correlated stocks at different resolutions (Table 6):")
+    for report in reports:
+        print(f"  {report}")
+
+    print("\nRecovered pairs vs planted sector structure:")
+    for report in reports:
+        pairs = list(report.pair_correlations)
+        if not pairs:
+            continue
+        same = sum(
+            universe.sector_of(a) == universe.sector_of(b) for a, b in pairs
+        )
+        print(
+            f"  {report.window_size:>4d}s: {len(pairs):>3d} pairs, "
+            f"{same}/{len(pairs)} same-sector"
+        )
+
+
+if __name__ == "__main__":
+    main()

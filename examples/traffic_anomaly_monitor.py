@@ -1,0 +1,107 @@
+"""Streaming web-traffic anomaly monitor (DDoS-style burst watch).
+
+The paper's telecommunication motivation: "a large number of access
+requests within a short period of time might indicate a Distributed
+Denial of Service attack, worth closely monitoring."  This example runs
+the detector the way a production monitor would: chunk by chunk over a
+lazily generated request-rate stream (the SkyServer-traffic surrogate
+with an injected attack), printing alerts as chunks arrive and reporting
+the detection latency at the end.
+
+Thresholds come from :class:`EmpiricalThresholds` rather than the normal
+approximation: real request counts are overdispersed, and quantiles read
+off training data respect the actual tail, which keeps quiet-period false
+alerts rare.
+
+Run:  python examples/traffic_anomaly_monitor.py
+"""
+
+import numpy as np
+
+from repro import ChunkedDetector, EmpiricalThresholds, all_sizes, train_structure
+from repro.streams.sdss import SDSSTrafficSimulator
+from repro.streams.source import FunctionSource
+
+MAX_WINDOW = 300  # watch every window from 1 s to 5 min
+BURST_PROBABILITY = 1e-8
+STREAM_SECONDS = 80_000
+ATTACK_START = 50_000
+ATTACK_SECONDS = 90
+ATTACK_EXTRA_RPS = 160.0
+CHUNK = 1_000  # the monitor wakes up once per ~17 simulated minutes
+
+
+def main() -> None:
+    simulator = SDSSTrafficSimulator(seed=9)
+
+    def generate(start: int, count: int) -> np.ndarray:
+        chunk = simulator.generate(count, start_second=start)
+        lo = max(start, ATTACK_START)
+        hi = min(start + count, ATTACK_START + ATTACK_SECONDS)
+        if lo < hi:
+            chunk[lo - start : hi - start] += ATTACK_EXTRA_RPS
+        return chunk
+
+    print("Training on one clean stretch of traffic...")
+    train = simulator.generate(20_000, start_second=7 * 86_400)
+    thresholds = EmpiricalThresholds(
+        train, BURST_PROBABILITY, all_sizes(MAX_WINDOW)
+    )
+    structure = train_structure(train, thresholds)
+    print(
+        f"Adapted SAT: {structure.num_levels} levels, "
+        f"density {structure.density():.5f}; "
+        f"alert cadence (top shift) {structure.top.shift} s"
+    )
+
+    detector = ChunkedDetector(structure, thresholds)
+    source = FunctionSource(generate, total=STREAM_SECONDS)
+    attack_seen_at = None
+    attack_burst = None
+    for chunk in source.chunks(CHUNK):
+        alerts = detector.process(chunk)
+        if not alerts:
+            continue
+        earliest = min(alerts)
+        print(
+            f"  [after t={detector.length:>6d}] ALERT: {len(alerts):>6d} "
+            f"burst window(s); earliest ends t={earliest.end} size "
+            f"{earliest.size} ({earliest.value:,.0f} requests)"
+        )
+        if attack_seen_at is None:
+            in_attack = [
+                b
+                for b in alerts
+                if b.end >= ATTACK_START
+                and b.start < ATTACK_START + ATTACK_SECONDS
+            ]
+            if in_attack:
+                attack_seen_at = detector.length
+                attack_burst = min(in_attack)
+    detector.finish()
+
+    print()
+    if attack_seen_at is None:
+        print("Attack not detected — raise ATTACK_EXTRA_RPS?")
+        return
+    print(
+        f"Attack injected at t={ATTACK_START}..{ATTACK_START + ATTACK_SECONDS}; "
+        f"first overlapping alert (window ending t={attack_burst.end}, size "
+        f"{attack_burst.size}) raised after processing t={attack_seen_at}."
+    )
+    lag = attack_seen_at - attack_burst.end
+    print(
+        f"Report lag beyond the burst's own end: {lag} s of stream time — "
+        f"bounded by the chunk size ({CHUNK}) plus the structure's top "
+        f"shift ({structure.top.shift})."
+    )
+    ops = detector.counters.total_operations
+    print(
+        f"Total cost: {ops:,d} operations for {STREAM_SECONDS:,d} points "
+        f"x {MAX_WINDOW} window sizes ({ops / STREAM_SECONDS:.1f} ops/point "
+        f"vs {2 * MAX_WINDOW} for the naive monitor)."
+    )
+
+
+if __name__ == "__main__":
+    main()

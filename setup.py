@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that legacy
+(non-PEP-660) editable installs work in offline environments whose
+setuptools predates bundled wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,127 @@
+"""Command-line interface: train, detect, inspect.
+
+Usage::
+
+    # Fit thresholds and adapt a structure from a training stream (CSV,
+    # one non-negative value per line), saving a detector spec.
+    python -m repro train train.csv --max-window 250 -p 1e-6 -o spec.json
+
+    # Detect bursts in a stream with a saved spec (CSV out: end,size,value).
+    python -m repro detect spec.json stream.csv -o bursts.csv
+
+    # Show what a spec contains.
+    python -m repro inspect spec.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core.thresholds import all_sizes, stepped_sizes
+from .io import DetectorSpec, load_spec, save_spec
+from .streams.source import CSVSource
+
+
+def _read_csv(path: str) -> np.ndarray:
+    chunks = list(CSVSource(path).chunks(1 << 16))
+    if not chunks:
+        raise SystemExit(f"error: {path} contains no values")
+    return np.concatenate(chunks)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    data = _read_csv(args.training)
+    sizes = (
+        stepped_sizes(args.step, args.max_window)
+        if args.step > 1
+        else all_sizes(args.max_window)
+    )
+    spec = DetectorSpec.train(
+        data,
+        burst_probability=args.probability,
+        window_sizes=sizes,
+        threshold_kind=args.thresholds,
+    )
+    save_spec(spec, args.output)
+    print(f"wrote {args.output}")
+    print(spec.describe())
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec)
+    detector = spec.build_detector()
+    bursts = []
+    for chunk in CSVSource(args.stream).chunks(1 << 16):
+        bursts.extend(detector.process(chunk))
+    bursts.extend(detector.finish())
+    bursts.sort()
+    lines = ["end,size,value"]
+    lines += [f"{b.end},{b.size},{b.value:g}" for b in bursts]
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"{len(bursts)} bursts -> {args.output}")
+    else:
+        sys.stdout.write(text)
+    counters = detector.counters
+    print(
+        f"# {detector.length} points, {counters.total_operations} "
+        f"operations ({counters.total_operations / max(1, detector.length):.1f}"
+        f"/point)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    print(load_spec(args.spec).describe())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Elastic burst detection with Shifted Aggregation Trees.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="fit thresholds + adapt a structure")
+    p_train.add_argument("training", help="training stream CSV (one value/line)")
+    p_train.add_argument("--max-window", type=int, required=True)
+    p_train.add_argument(
+        "-p", "--probability", type=float, default=1e-6,
+        help="target burst probability (default 1e-6)",
+    )
+    p_train.add_argument(
+        "--step", type=int, default=1,
+        help="window size step (detect sizes step, 2*step, ...; default 1)",
+    )
+    p_train.add_argument(
+        "--thresholds", choices=("normal", "empirical"), default="normal"
+    )
+    p_train.add_argument("-o", "--output", default="detector-spec.json")
+    p_train.set_defaults(func=_cmd_train)
+
+    p_detect = sub.add_parser("detect", help="detect bursts in a stream")
+    p_detect.add_argument("spec", help="detector spec JSON from `train`")
+    p_detect.add_argument("stream", help="stream CSV (one value/line)")
+    p_detect.add_argument(
+        "-o", "--output", default=None, help="bursts CSV (default: stdout)"
+    )
+    p_detect.set_defaults(func=_cmd_detect)
+
+    p_inspect = sub.add_parser("inspect", help="describe a detector spec")
+    p_inspect.add_argument("spec")
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Core elastic burst detection: structures, detectors, search, analysis.
+
+The typical pipeline::
+
+    thresholds = NormalThresholds.from_data(train, p, all_sizes(250))
+    structure = train_structure(train, thresholds)
+    detector = ChunkedDetector(structure, thresholds)
+    bursts = detector.detect(stream)
+"""
+
+from .aggregates import (
+    COUNT,
+    MAX,
+    SUM,
+    AggregateFunction,
+    MaxWindowEngine,
+    SumWindowEngine,
+    WindowEngine,
+    aggregate_by_name,
+    sliding_aggregate,
+    sliding_max,
+    sliding_sum,
+)
+from .adaptive import AdaptiveConfig, AdaptiveDetector, DriftMonitor, Era
+from .analysis import (
+    RunMetrics,
+    alarm_probability,
+    diagnose,
+    exceed_probability_normal,
+    level_alarm_probabilities,
+    run_metrics,
+    structure_alarm_probability,
+)
+from .chunked import ChunkedDetector
+from .detector import StreamingDetector
+from .dsr import LevelPlan, build_plans
+from .events import Burst, BurstSet
+from .multi import MultiStreamDetector
+from .naive import NaiveDetector, naive_detect, naive_operation_count
+from .opcount import OpCounters
+from .pyramid import (
+    AggregationPyramid,
+    Cell,
+    embedded_cells,
+    embedding_diagram,
+    overlap,
+    pyramid_detect,
+    shades,
+    shadow,
+)
+from .sbt import sbt_levels_needed, shifted_binary_tree
+from .search import (
+    BestFirstSearch,
+    EmpiricalCostModel,
+    EmpiricalProbabilityModel,
+    NormalProbabilityModel,
+    SearchParams,
+    SearchResult,
+    TheoreticalCostModel,
+    exhaustive_search,
+    greedy_search,
+    train_structure,
+)
+from .structure import Level, SATStructure, StructureError, single_level_structure
+from .thresholds import (
+    EmpiricalThresholds,
+    PoissonThresholds,
+    FixedThresholds,
+    NormalThresholds,
+    ThresholdModel,
+    all_sizes,
+    stepped_sizes,
+)
+
+__all__ = [
+    # aggregates
+    "AggregateFunction",
+    "SUM",
+    "MAX",
+    "COUNT",
+    "WindowEngine",
+    "SumWindowEngine",
+    "MaxWindowEngine",
+    "aggregate_by_name",
+    "sliding_sum",
+    "sliding_max",
+    "sliding_aggregate",
+    # events
+    "Burst",
+    "BurstSet",
+    # thresholds
+    "ThresholdModel",
+    "FixedThresholds",
+    "NormalThresholds",
+    "EmpiricalThresholds",
+    "PoissonThresholds",
+    "all_sizes",
+    "stepped_sizes",
+    # structures
+    "Level",
+    "SATStructure",
+    "StructureError",
+    "single_level_structure",
+    "shifted_binary_tree",
+    "sbt_levels_needed",
+    # pyramid
+    "AggregationPyramid",
+    "Cell",
+    "shadow",
+    "shades",
+    "overlap",
+    "embedded_cells",
+    "embedding_diagram",
+    "pyramid_detect",
+    # detection
+    "StreamingDetector",
+    "ChunkedDetector",
+    "NaiveDetector",
+    "MultiStreamDetector",
+    "naive_detect",
+    "naive_operation_count",
+    "LevelPlan",
+    "build_plans",
+    "OpCounters",
+    # search
+    "BestFirstSearch",
+    "SearchParams",
+    "SearchResult",
+    "train_structure",
+    "TheoreticalCostModel",
+    "EmpiricalCostModel",
+    "NormalProbabilityModel",
+    "EmpiricalProbabilityModel",
+    "exhaustive_search",
+    "greedy_search",
+    # adaptive
+    "AdaptiveDetector",
+    "AdaptiveConfig",
+    "DriftMonitor",
+    "Era",
+    # analysis
+    "alarm_probability",
+    "exceed_probability_normal",
+    "level_alarm_probabilities",
+    "structure_alarm_probability",
+    "RunMetrics",
+    "run_metrics",
+    "diagnose",
+]

@@ -1,0 +1,223 @@
+"""Alarm-probability analysis — the closed forms of paper §5.1.
+
+Under the normal approximation (each point i.i.d. with mean ``mu`` and
+standard deviation ``sigma``; windows of size ``w`` then have mean ``w*mu``
+and deviation ``sqrt(w)*sigma``), the probability that a filter node of
+size ``W`` exceeds the threshold of a smaller size ``w`` is
+
+    P_a = Phi( (sqrt(T) - 1/sqrt(T)) * sqrt(w) * mu / sigma
+               + Phi^{-1}(p) / sqrt(T) ),      T = W / w,
+
+which yields the paper's qualitative laws: ``P_a`` grows with ``mu/sigma``
+(Poisson data gets harder as ``lambda`` grows; exponential data is
+invariant in ``beta``), shrinks as the burst probability ``p`` shrinks,
+shrinks with the bounding ratio ``T``, and grows with the absolute size
+``w``.  These functions power the Fig. 11/16 reproductions and the
+fast analytic probability model used by the structure search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import norm
+
+from .opcount import OpCounters
+from .structure import SATStructure
+from .thresholds import ThresholdModel
+
+__all__ = [
+    "alarm_probability",
+    "exceed_probability_normal",
+    "level_alarm_probabilities",
+    "structure_alarm_probability",
+    "RunMetrics",
+    "run_metrics",
+    "diagnose",
+]
+
+
+def exceed_probability_normal(
+    size: int, threshold: float, mu: float, sigma: float
+) -> float:
+    """P[aggregate of a size-``size`` window >= ``threshold``], normal approx."""
+    if sigma <= 0:
+        return 1.0 if size * mu >= threshold else 0.0
+    z = (threshold - size * mu) / (np.sqrt(size) * sigma)
+    return float(norm.sf(z))
+
+
+def alarm_probability(
+    node_size: float,
+    trigger_size: float,
+    mu: float,
+    sigma: float,
+    burst_probability: float,
+) -> float:
+    """The paper's closed-form ``P_a`` (§5.1) for a node of ``node_size``
+    filtered against the threshold of ``trigger_size``.
+
+    Equivalent to :func:`exceed_probability_normal` with the normal
+    threshold ``f(w) = w*mu + sqrt(w)*sigma*Phi^{-1}(1-p)`` plugged in, but
+    written in the paper's ``(T, w, mu/sigma, p)`` parametrization so the
+    qualitative laws are directly inspectable.
+    """
+    if trigger_size <= 0 or node_size < trigger_size:
+        raise ValueError("need node_size >= trigger_size >= 1")
+    if sigma <= 0:
+        return 1.0 if burst_probability >= 0.5 else 0.0
+    t_ratio = node_size / trigger_size
+    sqrt_t = np.sqrt(t_ratio)
+    arg = (sqrt_t - 1.0 / sqrt_t) * np.sqrt(trigger_size) * mu / sigma
+    arg += norm.ppf(burst_probability) / sqrt_t
+    return float(norm.cdf(arg))
+
+
+def level_alarm_probabilities(
+    structure: SATStructure,
+    thresholds: ThresholdModel,
+    mu: float,
+    sigma: float,
+) -> np.ndarray:
+    """Predicted alarm probability per level (1..L), normal approximation.
+
+    A level alarms when its node exceeds the *minimum* threshold over the
+    sizes of interest in its responsibility range; levels responsible for
+    no size of interest never alarm.
+    """
+    out = np.zeros(structure.num_levels, dtype=np.float64)
+    for i in range(1, len(structure.levels)):
+        lo, hi = structure.responsibility_range(i)
+        trigger = thresholds.min_threshold_in(lo, hi) if lo <= hi else np.inf
+        if np.isinf(trigger):
+            out[i - 1] = 0.0
+        else:
+            out[i - 1] = exceed_probability_normal(
+                structure.levels[i].size, trigger, mu, sigma
+            )
+    return out
+
+
+def structure_alarm_probability(
+    structure: SATStructure,
+    per_level: np.ndarray,
+    thresholds: ThresholdModel,
+) -> float:
+    """Aggregate per-level alarm probabilities into one number (§5.1).
+
+    Weighted mean with each level weighted by the size of its detailed
+    search region (``shift * |sizes of interest in range|``), so a level
+    whose alarms trigger expensive searches dominates.
+    """
+    per_level = np.asarray(per_level, dtype=np.float64)
+    weights = []
+    for i in range(1, len(structure.levels)):
+        lo, hi = structure.responsibility_range(i)
+        n_sizes = thresholds.sizes_in(lo, hi).size if lo <= hi else 0
+        weights.append(structure.levels[i].shift * n_sizes)
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    if total == 0:
+        return 0.0
+    return float((per_level * weights).sum() / total)
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Summary of one detection run, in the paper's §5.1 vocabulary."""
+
+    operations: int
+    updates: int
+    filter_comparisons: int
+    search_cells: int
+    alarms: int
+    bursts: int
+    density: float
+    alarm_probability: float
+
+    def as_dict(self) -> dict:
+        return {
+            "operations": self.operations,
+            "updates": self.updates,
+            "filter_comparisons": self.filter_comparisons,
+            "search_cells": self.search_cells,
+            "alarms": self.alarms,
+            "bursts": self.bursts,
+            "density": self.density,
+            "alarm_probability": self.alarm_probability,
+        }
+
+
+def diagnose(
+    structure: SATStructure,
+    thresholds: ThresholdModel,
+    counters: OpCounters,
+    mu: float | None = None,
+    sigma: float | None = None,
+) -> str:
+    """Per-level post-mortem of a detection run.
+
+    One line per level: geometry (size/shift/responsible range), bounding
+    ratio, measured alarm probability, operation shares — and, when
+    ``mu``/``sigma`` are supplied, the normal-approximation *predicted*
+    alarm probability next to the measured one, which is the first thing
+    to look at when a structure costs more than expected (a measured rate
+    far above prediction means the data violates the training
+    assumptions; see the adaptive detector).
+    """
+    predicted = (
+        level_alarm_probabilities(structure, thresholds, mu, sigma)
+        if mu is not None and sigma is not None
+        else None
+    )
+    total_ops = max(1, counters.total_operations)
+    lines = [
+        f"{'lvl':>3}  {'size':>6}  {'shift':>6}  {'sizes':>11}  "
+        f"{'T':>6}  {'alarm':>7}"
+        + ("  " + "pred".rjust(7) if predicted is not None else "")
+        + f"  {'ops%':>6}"
+    ]
+    for i in range(1, len(structure.levels)):
+        lv = structure.levels[i]
+        lo, hi = structure.responsibility_range(i)
+        rng = f"[{lo},{hi}]" if lo <= hi else "-"
+        ops = int(
+            counters.updates[i]
+            + counters.filter_comparisons[i]
+            + counters.search_cells[i]
+        )
+        line = (
+            f"{i:>3}  {lv.size:>6}  {lv.shift:>6}  {rng:>11}  "
+            f"{structure.bounding_ratio(i):>6.2f}  "
+            f"{counters.alarm_probability(i):>7.4f}"
+        )
+        if predicted is not None:
+            line += f"  {predicted[i - 1]:>7.4f}"
+        line += f"  {100.0 * ops / total_ops:>5.1f}%"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def run_metrics(
+    structure: SATStructure,
+    thresholds: ThresholdModel,
+    counters: OpCounters,
+) -> RunMetrics:
+    """Derive the §5.1 diagnostics (density, alarm probability) from a run."""
+    dsr_cells = []
+    for i in range(1, len(structure.levels)):
+        lo, hi = structure.responsibility_range(i)
+        n_sizes = thresholds.sizes_in(lo, hi).size if lo <= hi else 0
+        dsr_cells.append(structure.levels[i].shift * n_sizes)
+    dsr_cells = np.asarray(dsr_cells, dtype=np.float64)
+    return RunMetrics(
+        operations=counters.total_operations,
+        updates=counters.total_updates,
+        filter_comparisons=counters.total_filter_comparisons,
+        search_cells=counters.total_search_cells,
+        alarms=counters.total_alarms,
+        bursts=counters.bursts,
+        density=structure.density(thresholds.max_window),
+        alarm_probability=counters.weighted_alarm_probability(dsr_cells),
+    )

@@ -1,0 +1,254 @@
+"""Vectorized chunked detector — the high-throughput SAT implementation.
+
+Semantically identical to :class:`repro.core.detector.StreamingDetector`
+(same bursts, same operation counts), but node updates and trigger
+comparisons for a whole chunk of the stream are performed as NumPy batch
+operations; Python-level work happens only for nodes that actually alarm.
+Since the whole point of a good SAT is to make alarms rare, the common path
+is pure NumPy and the detector comfortably sustains hundreds of thousands
+of points per second even for dense structures.
+
+This is the detector the benchmark harness times: operation counts are the
+hardware-independent cost metric (the paper's RAM model), wall time of this
+detector is the hardware-dependent one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .aggregates import SUM, AggregateFunction
+from .dsr import build_plans, find_triggered, search_dsr
+from .events import Burst, BurstSet
+from .opcount import OpCounters
+from .structure import SATStructure
+from .thresholds import ThresholdModel
+
+__all__ = ["ChunkedDetector", "DEFAULT_CHUNK"]
+
+#: Default chunk length for :meth:`ChunkedDetector.detect`.
+DEFAULT_CHUNK = 1 << 16
+
+
+class ChunkedDetector:
+    """Elastic burst detector over a SAT, vectorized per chunk.
+
+    The public interface mirrors :class:`StreamingDetector`: feed chunks
+    with :meth:`process`, flush with :meth:`finish`, or use :meth:`detect`
+    for a complete array.  ``counters`` carries the per-level operation
+    counts of the run.
+    """
+
+    def __init__(
+        self,
+        structure: SATStructure,
+        thresholds: ThresholdModel,
+        aggregate: AggregateFunction = SUM,
+        refine_filter: bool = True,
+    ) -> None:
+        self.structure = structure
+        self.thresholds = thresholds
+        self.aggregate = aggregate
+        #: When False, an alarm searches the level's whole detailed search
+        #: region instead of binary-searching for the largest triggered
+        #: size first (paper §3.2) — kept as an ablation switch.
+        self.refine_filter = refine_filter
+        self.plans = build_plans(structure, thresholds)
+        self.counters = OpCounters(structure.num_levels)
+        history = structure.top.size + structure.top.shift
+        self._engine = aggregate.make_engine(history)
+        self._check_size_one = 1 in thresholds
+        self._f1 = thresholds.threshold(1) if self._check_size_one else None
+        self._finished = False
+
+    @property
+    def length(self) -> int:
+        """Stream points consumed so far."""
+        return self._engine.length
+
+    def preload(self, history: np.ndarray) -> None:
+        """Warm the detector with history that must NOT be re-detected.
+
+        Appends ``history`` to the aggregate engine without running any
+        detection over it: subsequent :meth:`process` calls can then
+        evaluate windows reaching back into the preloaded region.  Used
+        when handing a live stream over to a freshly (re)trained detector
+        — see :class:`repro.core.adaptive.AdaptiveDetector`.  Only legal
+        before the first :meth:`process`.
+        """
+        if self._engine.length:
+            raise RuntimeError("preload() must precede the first process()")
+        history = np.asarray(history, dtype=np.float64)
+        self._engine.append(history)
+
+    def process(self, chunk: np.ndarray) -> list[Burst]:
+        """Consume the next chunk of the stream; return bursts found in it."""
+        if self._finished:
+            raise RuntimeError("detector already finished; create a new one")
+        chunk = np.asarray(chunk, dtype=np.float64)
+        start = self._engine.length
+        self._engine.append(chunk)
+        end = start + chunk.size
+        counters = self.counters
+        out: list[Burst] = []
+
+        # Level 0: raw values against f(1).
+        counters.updates[0] += chunk.size
+        if self._check_size_one:
+            counters.filter_comparisons[0] += chunk.size
+            hits = np.nonzero(chunk >= self._f1)[0]
+            for idx in hits:
+                out.append(Burst(start + int(idx), 1, float(chunk[idx])))
+                counters.bursts += 1
+
+        # Levels 1..L: batch-update all nodes ending inside this chunk.
+        for plan in self.plans:
+            s = plan.shift
+            first = ((start + s) // s) * s - 1  # first node end >= start
+            ends = np.arange(first, end, s, dtype=np.int64)
+            if ends.size == 0:
+                continue
+            values = self._engine.values(ends, plan.size)
+            counters.updates[plan.level] += ends.size
+            if not plan.active:
+                continue
+            counters.filter_comparisons[plan.level] += ends.size
+            alarm_idx = np.nonzero(values >= plan.min_threshold)[0]
+            counters.alarms[plan.level] += alarm_idx.size
+            if alarm_idx.size == 0:
+                continue
+            if plan.monotone:
+                self._search_alarms_batched(
+                    plan, ends[alarm_idx], values[alarm_idx], out
+                )
+            else:
+                # Non-monotone thresholds: rare; per-alarm linear scan.
+                for k in alarm_idx:
+                    value = float(values[k])
+                    sizes, size_thresholds = (
+                        find_triggered(plan, value, counters)
+                        if self.refine_filter
+                        else (plan.sizes, plan.thresholds)
+                    )
+                    search_dsr(
+                        self._engine,
+                        plan,
+                        int(ends[k]),
+                        s,
+                        sizes,
+                        size_thresholds,
+                        counters,
+                        out,
+                    )
+        return out
+
+    # Alarms per vectorized DSR batch; bounds the grid working set to
+    # roughly BATCH * shift * |sizes| floats.
+    _ALARM_BATCH = 2048
+
+    def _search_alarms_batched(
+        self,
+        plan,
+        alarm_ends: np.ndarray,
+        alarm_values: np.ndarray,
+        out: list[Burst],
+    ) -> None:
+        """Detailed-search all alarmed nodes of one level in batch.
+
+        Semantically identical to calling :func:`find_triggered` +
+        :func:`search_dsr` per alarm (identical bursts and operation
+        counts — see the equivalence tests), but one set of NumPy calls
+        per level instead of per alarm.
+        """
+        counters = self.counters
+        s = plan.shift
+        level = plan.level
+        n_sizes = int(plan.sizes.size)
+        for lo in range(0, alarm_ends.size, self._ALARM_BATCH):
+            ends = alarm_ends[lo : lo + self._ALARM_BATCH]
+            values = alarm_values[lo : lo + self._ALARM_BATCH]
+            a = ends.size
+            if self.refine_filter:
+                # Largest triggered size per alarm (binary search).
+                cuts = np.searchsorted(
+                    plan.thresholds, values, side="right"
+                )
+                counters.filter_comparisons[level] += a * n_sizes.bit_length()
+            else:
+                cuts = np.full(a, n_sizes, dtype=np.int64)
+            max_cut = int(cuts.max())
+            sizes = plan.sizes[:max_cut]
+            fs = plan.thresholds[:max_cut]
+            # Every DSR cell of every alarmed node: (size, alarm, offset).
+            cell_ends = ends[:, None] + np.arange(1 - s, 1, dtype=np.int64)
+            grid = self._engine.values_grid(cell_ends.ravel(), sizes)
+            grid = grid.reshape(max_cut, a, s)
+            valid = cell_ends[None, :, :] >= (sizes[:, None, None] - 1)
+            allowed = np.arange(max_cut)[:, None] < cuts[None, :]
+            mask = valid & allowed[:, :, None]
+            counters.search_cells[level] += int(np.count_nonzero(mask))
+            hits = mask & (grid >= fs[:, None, None])
+            if not hits.any():
+                continue
+            for i, k, j in zip(*np.nonzero(hits)):
+                out.append(
+                    Burst(
+                        int(cell_ends[k, j]),
+                        int(sizes[i]),
+                        float(grid[i, k, j]),
+                    )
+                )
+                counters.bursts += 1
+
+    def finish(self) -> list[Burst]:
+        """Flush the stream tail (one final node per level, as needed)."""
+        if self._finished:
+            raise RuntimeError("finish() already called")
+        self._finished = True
+        n = self._engine.length
+        out: list[Burst] = []
+        if n == 0:
+            return out
+        last = n - 1
+        counters = self.counters
+        for plan in self.plans:
+            if n % plan.shift == 0:
+                continue
+            tail_span = n % plan.shift
+            value = self._engine.value(last, plan.size)
+            counters.updates[plan.level] += 1
+            if not plan.active:
+                continue
+            counters.filter_comparisons[plan.level] += 1
+            if value < plan.min_threshold:
+                continue
+            counters.alarms[plan.level] += 1
+            sizes, size_thresholds = (
+                find_triggered(plan, value, counters)
+                if self.refine_filter
+                else (plan.sizes, plan.thresholds)
+            )
+            search_dsr(
+                self._engine,
+                plan,
+                last,
+                tail_span,
+                sizes,
+                size_thresholds,
+                counters,
+                out,
+            )
+        return out
+
+    def detect(
+        self, data: np.ndarray, chunk_size: int = DEFAULT_CHUNK
+    ) -> BurstSet:
+        """Process ``data`` in chunks of ``chunk_size`` and return all bursts."""
+        data = np.asarray(data, dtype=np.float64)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        bursts: list[Burst] = []
+        for lo in range(0, data.size, chunk_size):
+            bursts.extend(self.process(data[lo : lo + chunk_size]))
+        bursts.extend(self.finish())
+        return BurstSet(bursts)

@@ -1,0 +1,154 @@
+"""Detection plans and detailed-search-region (DSR) search.
+
+This module holds the geometry shared by both detectors:
+
+* :class:`LevelPlan` — everything the detection loop needs per SAT level,
+  precomputed once per ``(structure, thresholds)`` pair: the responsibility
+  range, the window sizes of interest inside it, their thresholds, and the
+  minimum (trigger) threshold.
+
+* :func:`find_triggered` — the filter refinement of paper §3.2: given a
+  node's aggregate, find which responsible sizes could hold a burst.  For
+  monotone thresholds this is a binary search for the largest size ``h``
+  with ``f(h) <= value`` (all smaller responsible sizes are then searched);
+  for non-monotone thresholds it degrades to a linear scan.
+
+* :func:`search_dsr` — the detailed search itself: examine every candidate
+  cell ``(t', w)`` in the node's detailed search region, i.e. window end
+  times in ``(t - shift, t]`` and triggered sizes, reporting real bursts.
+
+Filter-comparison accounting follows the paper's cost model (§4.2): one
+comparison per node against the trigger threshold, plus ``log2(range) + 1``
+comparisons (we use ``len(range).bit_length()``) when the node alarms and
+the refinement binary search runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .aggregates import WindowEngine
+from .events import Burst
+from .opcount import OpCounters
+from .structure import SATStructure
+from .thresholds import ThresholdModel
+
+__all__ = ["LevelPlan", "build_plans", "find_triggered", "search_dsr"]
+
+
+@dataclass(frozen=True)
+class LevelPlan:
+    """Per-level detection plan (see module docstring)."""
+
+    level: int
+    size: int
+    shift: int
+    lo: int  # smallest responsible window size
+    hi: int  # largest responsible window size
+    sizes: np.ndarray  # window sizes of interest in [lo, hi]
+    thresholds: np.ndarray  # f(w) aligned with `sizes`
+    min_threshold: float  # trigger threshold (inf if `sizes` empty)
+    monotone: bool  # thresholds nondecreasing within this level
+
+    @property
+    def active(self) -> bool:
+        """Whether this level can ever trigger a detailed search."""
+        return self.sizes.size > 0
+
+    @property
+    def dsr_cells(self) -> int:
+        """Cells in one node's detailed search region: shift x |sizes|."""
+        return self.shift * int(self.sizes.size)
+
+
+def build_plans(
+    structure: SATStructure, thresholds: ThresholdModel
+) -> list[LevelPlan]:
+    """Precompute a :class:`LevelPlan` for every level above 0.
+
+    Raises ``ValueError`` if the structure cannot cover the largest window
+    size of interest (it would silently miss bursts otherwise).
+    """
+    if not structure.covers(thresholds.max_window):
+        raise ValueError(
+            f"structure coverage {structure.coverage} < max window of "
+            f"interest {thresholds.max_window}; bursts would be missed"
+        )
+    plans = []
+    for i in range(1, len(structure.levels)):
+        lv = structure.levels[i]
+        lo, hi = structure.responsibility_range(i)
+        ws = thresholds.sizes_in(lo, hi) if lo <= hi else np.empty(0, np.int64)
+        fs = np.array([thresholds.threshold(int(w)) for w in ws])
+        mono = bool(np.all(np.diff(fs) >= 0)) if fs.size else True
+        plans.append(
+            LevelPlan(
+                level=i,
+                size=lv.size,
+                shift=lv.shift,
+                lo=lo,
+                hi=hi,
+                sizes=np.asarray(ws, dtype=np.int64),
+                thresholds=fs,
+                min_threshold=float(fs.min()) if fs.size else float("inf"),
+                monotone=mono,
+            )
+        )
+    return plans
+
+
+def find_triggered(
+    plan: LevelPlan, value: float, counters: OpCounters
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sizes within the level's plan whose thresholds the node value meets.
+
+    Assumes the caller already spent (and counted) the one trigger
+    comparison ``value >= plan.min_threshold`` and found it true.  Returns
+    the window sizes to search with their thresholds, and charges the
+    refinement comparisons to ``counters``.
+    """
+    if plan.monotone:
+        counters.filter_comparisons[plan.level] += int(
+            plan.sizes.size
+        ).bit_length()
+        cut = int(np.searchsorted(plan.thresholds, value, side="right"))
+        return plan.sizes[:cut], plan.thresholds[:cut]
+    counters.filter_comparisons[plan.level] += int(plan.sizes.size)
+    mask = plan.thresholds <= value
+    return plan.sizes[mask], plan.thresholds[mask]
+
+
+def search_dsr(
+    engine: WindowEngine,
+    plan: LevelPlan,
+    node_end: int,
+    span: int,
+    sizes: np.ndarray,
+    size_thresholds: np.ndarray,
+    counters: OpCounters,
+    out: list[Burst],
+) -> None:
+    """Detailed search of one node's DSR.
+
+    Examines windows of each size in ``sizes`` ending in
+    ``(node_end - span, node_end]`` (restricted to full windows inside the
+    stream) and appends real bursts to ``out``.  ``span`` is the level
+    shift for regular nodes, or the shorter tail span for the flush node at
+    end of stream.  The whole (size x end) region is evaluated as one
+    engine grid query.
+    """
+    if sizes.size == 0:
+        return
+    ends = np.arange(node_end - span + 1, node_end + 1, dtype=np.int64)
+    grid = engine.values_grid(ends, sizes)
+    # Full windows only: a window of size w must end at w - 1 or later.
+    valid = ends[None, :] >= (sizes[:, None] - 1)
+    counters.search_cells[plan.level] += int(np.count_nonzero(valid))
+    hits = valid & (grid >= size_thresholds[:, None])
+    if not hits.any():
+        return
+    for i, j in zip(*np.nonzero(hits)):
+        out.append(Burst(int(ends[j]), int(sizes[i]), float(grid[i, j])))
+        counters.bursts += 1

@@ -1,0 +1,118 @@
+"""Burst events and burst-set utilities.
+
+A burst is a pair ``(t, w)``: the window of size ``w`` ending at time ``t``
+(covering ``x[t - w + 1 .. t]``) whose aggregate meets or exceeds the
+threshold ``f(w)``.  All detectors in this library report bursts as
+:class:`Burst` records; :class:`BurstSet` provides order-insensitive
+comparison, set algebra, and per-size grouping used heavily by tests and by
+the mining layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["Burst", "BurstSet"]
+
+
+@dataclass(frozen=True, order=True)
+class Burst:
+    """A detected burst: window of ``size`` ending at time ``end``.
+
+    ``value`` is the window's aggregate at detection time.  Ordering and
+    equality are by ``(end, size)`` first, so sorting a list of bursts
+    yields stream order; ``value`` participates in equality (two detectors
+    that agree must agree on the aggregate too).
+    """
+
+    end: int
+    size: int
+    value: float
+
+    @property
+    def start(self) -> int:
+        """First time index covered by the burst window."""
+        return self.end - self.size + 1
+
+    def key(self) -> tuple[int, int]:
+        """The ``(end, size)`` identity of the burst window."""
+        return (self.end, self.size)
+
+
+class BurstSet:
+    """An immutable, sorted collection of bursts.
+
+    Detectors may discover bursts in different orders (streaming vs chunked
+    vs naive); a ``BurstSet`` normalizes them for comparison.  Duplicate
+    ``(end, size)`` keys are collapsed (keeping the first value seen — all
+    correct detectors produce identical values anyway).
+    """
+
+    def __init__(self, bursts: Iterable[Burst] = ()) -> None:
+        seen: dict[tuple[int, int], Burst] = {}
+        for b in bursts:
+            seen.setdefault(b.key(), b)
+        self._bursts: tuple[Burst, ...] = tuple(sorted(seen.values()))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]]) -> "BurstSet":
+        """Build a set from bare ``(end, size)`` pairs (value NaN)."""
+        return cls(Burst(end, size, float("nan")) for end, size in pairs)
+
+    def __len__(self) -> int:
+        return len(self._bursts)
+
+    def __iter__(self) -> Iterator[Burst]:
+        return iter(self._bursts)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Burst):
+            return item.key() in self.keys()
+        if isinstance(item, tuple):
+            return item in self.keys()
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BurstSet):
+            return NotImplemented
+        return self.keys() == other.keys()
+
+    def __hash__(self) -> int:  # pragma: no cover - BurstSet is rarely hashed
+        return hash(tuple(self.keys()))
+
+    def __repr__(self) -> str:
+        return f"BurstSet({len(self._bursts)} bursts)"
+
+    def keys(self) -> set[tuple[int, int]]:
+        """The set of ``(end, size)`` burst identities."""
+        return {b.key() for b in self._bursts}
+
+    def by_size(self) -> Mapping[int, tuple[Burst, ...]]:
+        """Group bursts by window size."""
+        groups: dict[int, list[Burst]] = {}
+        for b in self._bursts:
+            groups.setdefault(b.size, []).append(b)
+        return {w: tuple(bs) for w, bs in groups.items()}
+
+    def sizes(self) -> tuple[int, ...]:
+        """Window sizes at which at least one burst occurred, sorted."""
+        return tuple(sorted({b.size for b in self._bursts}))
+
+    def ends(self) -> tuple[int, ...]:
+        """Burst window end times, sorted with duplicates removed."""
+        return tuple(sorted({b.end for b in self._bursts}))
+
+    def difference(self, other: "BurstSet") -> "BurstSet":
+        """Bursts present here but missing from ``other``."""
+        missing = other.keys()
+        return BurstSet(b for b in self._bursts if b.key() not in missing)
+
+    def union(self, other: "BurstSet") -> "BurstSet":
+        """All bursts from both sets."""
+        return BurstSet(list(self._bursts) + list(other._bursts))
+
+    def restrict_sizes(self, sizes: Iterable[int]) -> "BurstSet":
+        """Keep only bursts at the given window sizes."""
+        allowed = set(sizes)
+        return BurstSet(b for b in self._bursts if b.size in allowed)

@@ -1,0 +1,147 @@
+"""Detecting over many parallel streams.
+
+The paper's mining application (§5.4) runs one detector per stock; any
+deployment monitoring a portfolio, a server fleet, or a sensor grid has
+the same shape.  :class:`MultiStreamDetector` manages one
+:class:`~repro.core.chunked.ChunkedDetector` per named stream — either
+sharing a single (thresholds, structure) pair across streams, or fitting
+thresholds and adapting a structure per stream — and exposes chunked
+feeding and combined results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .chunked import ChunkedDetector
+from .events import Burst, BurstSet
+from .search import SearchParams, train_structure
+from .structure import SATStructure
+from .thresholds import NormalThresholds, ThresholdModel
+
+__all__ = ["MultiStreamDetector"]
+
+
+class MultiStreamDetector:
+    """One elastic burst detector per named stream.
+
+    Construct with :meth:`shared` (one structure and threshold table for
+    every stream — cheap, appropriate when streams are statistically
+    alike) or :meth:`per_stream` (thresholds fitted and a structure
+    adapted to each stream's own training data — the §5.4 setup).
+    """
+
+    def __init__(self, detectors: Mapping[str, ChunkedDetector]) -> None:
+        if not detectors:
+            raise ValueError("at least one stream is required")
+        self._detectors = dict(detectors)
+        self._finished = False
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def shared(
+        cls,
+        names: Iterable[str],
+        structure: SATStructure,
+        thresholds: ThresholdModel,
+    ) -> "MultiStreamDetector":
+        """Same structure and thresholds for every stream."""
+        return cls(
+            {
+                name: ChunkedDetector(structure, thresholds)
+                for name in names
+            }
+        )
+
+    @classmethod
+    def per_stream(
+        cls,
+        training: Mapping[str, np.ndarray],
+        burst_probability: float,
+        window_sizes,
+        search_params: SearchParams | None = None,
+    ) -> "MultiStreamDetector":
+        """Fit thresholds and adapt a structure to each stream."""
+        detectors = {}
+        for name, data in training.items():
+            data = np.asarray(data, dtype=np.float64)
+            thresholds = NormalThresholds.from_data(
+                data, burst_probability, window_sizes
+            )
+            structure = train_structure(
+                data, thresholds, params=search_params
+            )
+            detectors[name] = ChunkedDetector(structure, thresholds)
+        return cls(detectors)
+
+    # -- access -----------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Stream names, sorted."""
+        return tuple(sorted(self._detectors))
+
+    def detector(self, name: str) -> ChunkedDetector:
+        """The underlying detector of one stream."""
+        return self._detectors[name]
+
+    def total_operations(self) -> int:
+        """RAM-model operations summed over all streams."""
+        return sum(
+            d.counters.total_operations for d in self._detectors.values()
+        )
+
+    # -- feeding ------------------------------------------------------------
+    def process(
+        self, chunks: Mapping[str, np.ndarray]
+    ) -> dict[str, list[Burst]]:
+        """Feed one chunk per stream; returns new bursts per stream.
+
+        Streams absent from ``chunks`` simply receive nothing this round
+        (they may tick at different rates).
+        """
+        if self._finished:
+            raise RuntimeError("detector already finished; create a new one")
+        unknown = set(chunks) - set(self._detectors)
+        if unknown:
+            raise KeyError(f"unknown streams: {sorted(unknown)}")
+        return {
+            name: self._detectors[name].process(chunk)
+            for name, chunk in chunks.items()
+        }
+
+    def finish(self) -> dict[str, list[Burst]]:
+        """Flush every stream's detector."""
+        if self._finished:
+            raise RuntimeError("finish() already called")
+        self._finished = True
+        return {
+            name: detector.finish()
+            for name, detector in self._detectors.items()
+        }
+
+    def detect(
+        self,
+        data: Mapping[str, np.ndarray],
+        chunk_size: int = 1 << 16,
+    ) -> dict[str, BurstSet]:
+        """Run every stream to completion; returns a BurstSet per stream."""
+        data = {k: np.asarray(v, dtype=np.float64) for k, v in data.items()}
+        unknown = set(data) - set(self._detectors)
+        if unknown:
+            raise KeyError(f"unknown streams: {sorted(unknown)}")
+        collected: dict[str, list[Burst]] = {name: [] for name in data}
+        longest = max((v.size for v in data.values()), default=0)
+        for lo in range(0, longest, chunk_size):
+            round_chunks = {
+                name: series[lo : lo + chunk_size]
+                for name, series in data.items()
+                if lo < series.size
+            }
+            for name, bursts in self.process(round_chunks).items():
+                collected[name].extend(bursts)
+        for name, bursts in self.finish().items():
+            if name in collected:
+                collected[name].extend(bursts)
+        return {name: BurstSet(bursts) for name, bursts in collected.items()}

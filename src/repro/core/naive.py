@@ -1,0 +1,120 @@
+"""Naive O(kN) elastic burst detection — the paper's strawman baseline.
+
+Checks every window size of interest independently with a running
+aggregate; ``k`` sizes over ``N`` points cost ``k * N`` window evaluations.
+Two implementations:
+
+* :func:`naive_detect` — vectorized with NumPy sliding kernels; used as the
+  ground truth oracle in every correctness test and as the "Naive" series
+  in Fig. 12-style benchmarks.
+* :class:`NaiveDetector` — an incremental form with the same
+  ``process``/``finish``/``detect`` interface and operation accounting as
+  the SAT detectors, so harness code can treat all three uniformly.
+
+Operation accounting: one "update" per (size, time) running-aggregate step
+and one comparison per full window — exactly the ``O(kN)`` the paper
+ascribes to the naive method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .aggregates import SUM, AggregateFunction, sliding_aggregate
+from .events import Burst, BurstSet
+from .thresholds import ThresholdModel
+
+__all__ = ["naive_detect", "NaiveDetector", "naive_operation_count"]
+
+
+def naive_detect(
+    data: np.ndarray,
+    thresholds: ThresholdModel,
+    aggregate: AggregateFunction = SUM,
+) -> BurstSet:
+    """All bursts in ``data``, by checking each window size independently."""
+    data = np.asarray(data, dtype=np.float64)
+    bursts: list[Burst] = []
+    for w in thresholds.window_sizes:
+        w = int(w)
+        f_w = thresholds.threshold(w)
+        values = sliding_aggregate(aggregate, data, w)
+        hits = np.nonzero(values >= f_w)[0]
+        for i in hits:
+            # values[i] is the window starting at i, ending at i + w - 1.
+            bursts.append(Burst(int(i) + w - 1, w, float(values[i])))
+    return BurstSet(bursts)
+
+
+def naive_operation_count(n: int, num_sizes: int) -> int:
+    """RAM-model cost of the naive method: update + compare per (size, t)."""
+    return 2 * n * num_sizes
+
+
+class NaiveDetector:
+    """Incremental naive detector with the standard detector interface.
+
+    Keeps one running sum (or window deque for max) per window size of
+    interest.  Bursts and operation counts match :func:`naive_detect`; this
+    class exists so the benchmark harness can time the naive method in the
+    same streaming loop as the SAT detectors.
+    """
+
+    def __init__(
+        self,
+        thresholds: ThresholdModel,
+        aggregate: AggregateFunction = SUM,
+    ) -> None:
+        self.thresholds = thresholds
+        self.aggregate = aggregate
+        self.operations = 0
+        self._buffer = np.empty(0, dtype=np.float64)
+        self._length = 0
+        self._finished = False
+
+    def process(self, chunk: np.ndarray) -> list[Burst]:
+        """Consume the next chunk; return bursts whose windows end in it.
+
+        A window ending in this chunk may begin in earlier ones, so a
+        trailing buffer of ``max_window - 1`` values is retained.
+        """
+        if self._finished:
+            raise RuntimeError("detector already finished; create a new one")
+        chunk = np.asarray(chunk, dtype=np.float64)
+        maxw = self.thresholds.max_window
+        data = np.concatenate((self._buffer, chunk))
+        offset = self._length - self._buffer.size  # global index of data[0]
+        out: list[Burst] = []
+        for w in self.thresholds.window_sizes:
+            w = int(w)
+            f_w = self.thresholds.threshold(w)
+            values = sliding_aggregate(self.aggregate, data, w)
+            if values.size == 0:
+                continue
+            # Window ends (global): offset + w - 1 ... ; keep only ends
+            # inside this chunk (earlier ends were reported already).
+            first_end = offset + w - 1
+            skip = max(0, self._length - first_end)
+            values = values[skip:]
+            self.operations += 2 * values.size
+            hits = np.nonzero(values >= f_w)[0]
+            base_end = first_end + skip
+            for i in hits:
+                out.append(Burst(base_end + int(i), w, float(values[i])))
+        self._length += chunk.size
+        keep = min(maxw - 1, data.size)
+        self._buffer = data[data.size - keep :] if keep else data[:0]
+        return out
+
+    def finish(self) -> list[Burst]:
+        """No tail work is needed for the naive method; marks completion."""
+        if self._finished:
+            raise RuntimeError("finish() already called")
+        self._finished = True
+        return []
+
+    def detect(self, data: np.ndarray) -> BurstSet:
+        """Process ``data`` as one stream and return all bursts."""
+        bursts = self.process(data)
+        bursts.extend(self.finish())
+        return BurstSet(bursts)

@@ -1,0 +1,136 @@
+"""Operation counters — the paper's RAM cost model made observable.
+
+The paper's cost model (§4.2) counts three kinds of constant-time
+operations per update-search cycle: node *updates*, *filter* comparisons
+(deciding whether a node triggers a detailed search, by binary search over
+the level's responsible thresholds), and detailed-*search* cell accesses.
+Wall-clock milliseconds on the authors' 2 GHz Pentium 4 are not
+reproducible; operation counts are, and they are what both detectors here
+report.  :class:`OpCounters` accumulates them per level so the alarm
+probability and density diagnostics of §5.1 can be computed from a run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OpCounters"]
+
+
+class OpCounters:
+    """Per-level operation counters for one detection run.
+
+    Attributes (all NumPy ``int64`` arrays of length ``num_levels + 1``,
+    indexed by SAT level):
+
+    * ``updates`` — nodes updated;
+    * ``filter_comparisons`` — threshold comparisons spent deciding whether
+      and how far a node triggers;
+    * ``alarms`` — nodes that triggered a detailed search;
+    * ``search_cells`` — aggregation-pyramid cells examined during detailed
+      searches launched from this level.
+
+    ``bursts`` counts reported bursts (a scalar; bursts belong to window
+    sizes, not levels).
+    """
+
+    def __init__(self, num_levels: int) -> None:
+        n = num_levels + 1
+        self.updates = np.zeros(n, dtype=np.int64)
+        self.filter_comparisons = np.zeros(n, dtype=np.int64)
+        self.alarms = np.zeros(n, dtype=np.int64)
+        self.search_cells = np.zeros(n, dtype=np.int64)
+        self.bursts = 0
+
+    @property
+    def num_levels(self) -> int:
+        """Number of SAT levels above level 0."""
+        return self.updates.size - 1
+
+    @property
+    def total_updates(self) -> int:
+        return int(self.updates.sum())
+
+    @property
+    def total_filter_comparisons(self) -> int:
+        return int(self.filter_comparisons.sum())
+
+    @property
+    def total_alarms(self) -> int:
+        return int(self.alarms.sum())
+
+    @property
+    def total_search_cells(self) -> int:
+        return int(self.search_cells.sum())
+
+    @property
+    def total_operations(self) -> int:
+        """Grand total under the RAM model: updates + filter + search."""
+        return (
+            self.total_updates
+            + self.total_filter_comparisons
+            + self.total_search_cells
+        )
+
+    def alarm_probability(self, level: int) -> float:
+        """Measured per-level alarm probability ``P_a^i`` (paper §5.1)."""
+        updated = int(self.updates[level])
+        if updated == 0:
+            return 0.0
+        return float(self.alarms[level]) / updated
+
+    def alarm_probabilities(self) -> np.ndarray:
+        """Per-level alarm probabilities for levels 1..L."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            probs = np.where(
+                self.updates[1:] > 0, self.alarms[1:] / self.updates[1:], 0.0
+            )
+        return probs
+
+    def weighted_alarm_probability(self, dsr_cells: np.ndarray) -> float:
+        """The paper's structure-level alarm probability (§5.1).
+
+        A weighted mean of per-level alarm probabilities, weighting each
+        level by the number of cells in its detailed search region
+        (``dsr_cells[i]``, levels 1..L) — levels whose alarms cost more
+        count more.
+        """
+        dsr_cells = np.asarray(dsr_cells, dtype=np.float64)
+        probs = self.alarm_probabilities()
+        if dsr_cells.shape != probs.shape:
+            raise ValueError("dsr_cells must have one entry per level above 0")
+        total = dsr_cells.sum()
+        if total == 0:
+            return 0.0
+        return float((probs * dsr_cells).sum() / total)
+
+    def merge(self, other: "OpCounters") -> "OpCounters":
+        """Accumulate another run's counters into this one (returns self)."""
+        if other.num_levels != self.num_levels:
+            raise ValueError("cannot merge counters of different structures")
+        self.updates += other.updates
+        self.filter_comparisons += other.filter_comparisons
+        self.alarms += other.alarms
+        self.search_cells += other.search_cells
+        self.bursts += other.bursts
+        return self
+
+    def as_dict(self) -> dict:
+        """Totals as a plain dict (for experiment tables)."""
+        return {
+            "updates": self.total_updates,
+            "filter_comparisons": self.total_filter_comparisons,
+            "alarms": self.total_alarms,
+            "search_cells": self.total_search_cells,
+            "operations": self.total_operations,
+            "bursts": self.bursts,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OpCounters(updates={self.total_updates}, "
+            f"filter={self.total_filter_comparisons}, "
+            f"alarms={self.total_alarms}, "
+            f"search_cells={self.total_search_cells}, "
+            f"bursts={self.bursts})"
+        )

@@ -1,0 +1,40 @@
+"""The Shifted Binary Tree as a special-case Shifted Aggregation Tree.
+
+The Shifted Binary Tree (SBT) of Shasha & Zhu (2003) is the baseline
+structure this paper generalizes: level ``i`` holds windows of size ``2^i``
+shifted by ``2^{i-1}`` (each level half-overlaps itself and exactly doubles
+the level below).  Expressed as a SAT it is ``levels = [(2, 1), (4, 2),
+(8, 4), ...]``; its coverage at level ``i`` is ``2^{i-1} + 1``, and its
+bounding ratio is ~4 at every level — the fixed trade-off the adaptive
+search improves on.
+"""
+
+from __future__ import annotations
+
+from .structure import SATStructure
+
+__all__ = ["shifted_binary_tree", "sbt_levels_needed"]
+
+
+def sbt_levels_needed(max_window: int) -> int:
+    """Number of SBT levels (above level 0) needed to cover ``max_window``.
+
+    Level ``i`` covers sizes up to ``2^{i-1} + 1``, so we need the smallest
+    ``i`` with ``2^{i-1} + 1 >= max_window``.
+    """
+    if max_window < 1:
+        raise ValueError("max_window must be >= 1")
+    levels = 1
+    while (1 << (levels - 1)) + 1 < max_window:
+        levels += 1
+    return levels
+
+
+def shifted_binary_tree(max_window: int) -> SATStructure:
+    """Build the SBT covering every window size up to ``max_window``."""
+    if max_window < 2:
+        raise ValueError("max_window must be >= 2 (size 1 is level 0)")
+    n = sbt_levels_needed(max_window)
+    return SATStructure.from_pairs(
+        [(1 << i, 1 << (i - 1)) for i in range(1, n + 1)]
+    )

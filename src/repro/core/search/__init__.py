@@ -1,0 +1,48 @@
+"""Heuristic state-space search for an efficient Shifted Aggregation Tree.
+
+This package implements paper §4: Shifted Aggregation Trees are states, the
+transformation rule grows a state by stacking one more level on top, final
+states cover the maximum window size of interest, and a best-first search
+guided by a cost model — theoretical (expected RAM-model operations, §4.2)
+or empirical (measured on a training sample) — picks the structure.
+
+Typical use::
+
+    from repro.core.search import train_structure
+    structure = train_structure(training_data, thresholds)
+
+or, with full control::
+
+    from repro.core.search import (
+        EmpiricalProbabilityModel, TheoreticalCostModel,
+        BestFirstSearch, SearchParams,
+    )
+    prob = EmpiricalProbabilityModel(training_data)
+    model = TheoreticalCostModel(thresholds, prob)
+    result = BestFirstSearch(thresholds, model, SearchParams()).run()
+    structure = result.structure
+"""
+
+from .bestfirst import BestFirstSearch, SearchParams, SearchResult, train_structure
+from .cost import CostModel, EmpiricalCostModel, TheoreticalCostModel
+from .strategies import exhaustive_search, greedy_search
+from .training import (
+    EmpiricalProbabilityModel,
+    NormalProbabilityModel,
+    ProbabilityModel,
+)
+
+__all__ = [
+    "BestFirstSearch",
+    "SearchParams",
+    "SearchResult",
+    "train_structure",
+    "CostModel",
+    "TheoreticalCostModel",
+    "EmpiricalCostModel",
+    "ProbabilityModel",
+    "NormalProbabilityModel",
+    "EmpiricalProbabilityModel",
+    "exhaustive_search",
+    "greedy_search",
+]

@@ -1,0 +1,273 @@
+"""Best-first state-space search for an efficient SAT (paper §4.1).
+
+The search starts from the level-0-only state, repeatedly pops the state
+with the smallest normalized cost, and expands it through the
+transformation rule.  Growth control follows the paper: states are only
+generated with top window size up to ``2L``, where ``L`` is the largest
+top size among states *explored* so far; when ``L`` grows, previously
+explored states are revisited and their remaining children (in the newly
+allowed size range) are generated.  Two caps bound the exponential space,
+exactly as in the paper: the number of states sharing a top window size,
+and the number of final states collected before stopping (both swept in
+the paper's Fig. 22 / Table 5 experiment — even small caps find good
+structures).
+
+The best *final* state (coverage >= the maximum window size of interest)
+under the cost model wins.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..structure import SATStructure
+from ..thresholds import ThresholdModel
+from .cost import CostModel, EmpiricalCostModel, TheoreticalCostModel
+from .state import SearchState, generate_children, initial_state
+from .training import EmpiricalProbabilityModel, NormalProbabilityModel
+
+__all__ = ["SearchParams", "SearchResult", "BestFirstSearch", "train_structure"]
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """Knobs of the state-space search.
+
+    ``max_same_size_states`` and ``max_final_states`` are the paper's two
+    pruning caps (§4.1; swept in Fig. 22 — the paper suggests 500/500 in
+    practice, and shows that far smaller values already find structures of
+    nearly identical quality).  ``max_expansions`` is a safety valve for
+    pathological inputs, generous enough to never bind in normal use.
+    """
+
+    max_same_size_states: int = 100
+    max_final_states: int = 1_000
+    max_expansions: int = 50_000
+    #: Convergence stop: end the search once this many consecutive
+    #: expansions pass without improving the best final state (only once
+    #: at least one final exists).  Not in the paper, but its large caps
+    #: amount to the same thing: exploration stops when it goes stale.
+    patience: int = 300
+
+    def __post_init__(self) -> None:
+        if self.max_same_size_states < 1:
+            raise ValueError("max_same_size_states must be >= 1")
+        if self.max_final_states < 1:
+            raise ValueError("max_final_states must be >= 1")
+        if self.max_expansions < 1:
+            raise ValueError("max_expansions must be >= 1")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a structure search."""
+
+    structure: SATStructure
+    normalized_cost: float
+    cost_per_point: float
+    finals_seen: int
+    states_generated: int
+    states_expanded: int
+    elapsed_seconds: float
+    history: list[tuple[int, float]] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchResult(cost/pt={self.cost_per_point:.4f}, "
+            f"levels={self.structure.num_levels}, "
+            f"expanded={self.states_expanded}, finals={self.finals_seen})"
+        )
+
+
+class BestFirstSearch:
+    """Best-first search over SAT states under a cost model."""
+
+    def __init__(
+        self,
+        thresholds: ThresholdModel,
+        cost_model: CostModel,
+        params: SearchParams | None = None,
+    ) -> None:
+        self.thresholds = thresholds
+        self.cost_model = cost_model
+        self.params = params or SearchParams()
+        self.max_window = thresholds.max_window
+
+    # -- cost plumbing --------------------------------------------------
+    def _child_cost(
+        self, child: SATStructure, parent_cost_pt: float
+    ) -> tuple[float, float]:
+        """(cost_per_point, normalized_cost) of a child state."""
+        model = self.cost_model
+        if isinstance(model, EmpiricalCostModel):
+            cost_pt = model.cost_per_point_partial(child)
+        else:
+            cost_pt = parent_cost_pt + model.level_term(
+                child.levels[-2], child.top
+            )
+        return cost_pt, cost_pt / child.coverage
+
+    def run(self) -> SearchResult:
+        """Execute the search; returns the best final structure found."""
+        params = self.params
+        maxw = self.max_window
+        started = time.perf_counter()
+        counter = itertools.count()
+
+        root = initial_state()
+        if isinstance(self.cost_model, EmpiricalCostModel):
+            root_cost = self.cost_model.cost_per_point_partial(root)
+        else:
+            root_cost = self.cost_model.base_term()
+
+        if maxw <= 1:
+            # Level 0 alone covers size 1: the root is already final.
+            return SearchResult(
+                structure=root,
+                normalized_cost=root_cost / root.coverage,
+                cost_per_point=root_cost,
+                finals_seen=1,
+                states_generated=1,
+                states_expanded=0,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+
+        frontier: list[SearchState] = []
+        heapq.heappush(
+            frontier,
+            SearchState(root_cost / root.coverage, next(counter), root, root_cost),
+        )
+        seen: set[SATStructure] = {root}
+        partial: list[SearchState] = []  # explored, may grow more children
+        size_counts: dict[int, int] = {}
+        finals: list[tuple[float, float, SATStructure]] = []
+        best_final = float("inf")
+        counted_finals = 0
+        generated = 1
+        expanded = 0
+        last_improvement = 0
+        history: list[tuple[int, float]] = []
+        growth_limit = 2  # 2L with L = 1 initially (level 0 only)
+        # Admissible pruning: per-point cost only grows as levels are
+        # added, and coverage never exceeds 2*maxw - 1 (the growth cap),
+        # so cost_pt / (2*maxw) lower-bounds every descendant's
+        # normalized cost.  States that cannot beat the best final are
+        # dead; finals far above the best final do not consume the
+        # final-state budget (the search would otherwise stop on a flood
+        # of shallow, cheap-to-reach but expensive structures).
+        bound_divisor = 2.0 * maxw
+
+        def push_children(state: SearchState, up_to: int) -> None:
+            nonlocal generated, best_final, counted_finals, last_improvement
+            if up_to <= state.generated_up_to:
+                return
+            children = generate_children(
+                state.structure,
+                max_size=min(up_to, 2 * maxw),
+                min_size=state.generated_up_to,
+                max_window=maxw,
+            )
+            state.generated_up_to = up_to
+            for child in children:
+                if child in seen:
+                    continue
+                top_size = child.top.size
+                if size_counts.get(top_size, 0) >= params.max_same_size_states:
+                    continue
+                seen.add(child)
+                size_counts[top_size] = size_counts.get(top_size, 0) + 1
+                cost_pt, norm = self._child_cost(child, state.cost_per_point)
+                generated += 1
+                if child.covers(maxw):
+                    finals.append((norm, cost_pt, child))
+                    if norm <= 1.25 * best_final:
+                        counted_finals += 1
+                    if norm < best_final:
+                        best_final = norm
+                        last_improvement = expanded
+                elif cost_pt / bound_divisor < best_final:
+                    heapq.heappush(
+                        frontier,
+                        SearchState(norm, next(counter), child, cost_pt),
+                    )
+
+        while (
+            frontier
+            and counted_finals < params.max_final_states
+            and expanded < params.max_expansions
+        ):
+            if finals and expanded - last_improvement > params.patience:
+                break  # converged: exploration has gone stale
+            state = heapq.heappop(frontier)
+            if state.cost_per_point / bound_divisor >= best_final:
+                continue  # no descendant can beat the best final
+            expanded += 1
+            top_size = state.structure.top.size
+            if top_size > growth_limit // 2:
+                # L grew: revisit previously explored states with the new
+                # allowance (the paper's incremental growth protocol).
+                growth_limit = 2 * top_size
+                for old in partial:
+                    push_children(old, growth_limit)
+            push_children(state, growth_limit)
+            partial.append(state)
+            if finals:
+                history.append((expanded, best_final))
+
+        if not finals:
+            raise RuntimeError(
+                f"search exhausted without reaching a final state covering "
+                f"{maxw} (expanded {expanded} states); raise max_expansions "
+                f"or max_same_size_states"
+            )
+        best_norm, best_cost_pt, best = min(finals, key=lambda f: f[0])
+        return SearchResult(
+            structure=best,
+            normalized_cost=best_norm,
+            cost_per_point=best_cost_pt,
+            finals_seen=len(finals),
+            states_generated=generated,
+            states_expanded=expanded,
+            elapsed_seconds=time.perf_counter() - started,
+            history=history,
+        )
+
+
+def train_structure(
+    training_data: np.ndarray,
+    thresholds: ThresholdModel,
+    cost_model: str = "theoretical",
+    probability_model: str = "empirical",
+    params: SearchParams | None = None,
+) -> SATStructure:
+    """One-call structure training: sample data in, efficient SAT out.
+
+    ``cost_model`` is ``"theoretical"`` (expected operations — the paper's
+    recommendation) or ``"empirical"`` (measured on the sample).
+    ``probability_model`` selects how the theoretical model estimates
+    ``P(w|h)``: ``"empirical"`` (from the sample, the paper's method) or
+    ``"normal"`` (closed form from sample moments; much faster).
+    """
+    training_data = np.asarray(training_data, dtype=np.float64)
+    if cost_model == "theoretical":
+        if probability_model == "empirical":
+            prob = EmpiricalProbabilityModel(training_data)
+        elif probability_model == "normal":
+            prob = NormalProbabilityModel.from_data(training_data)
+        else:
+            raise ValueError(
+                "probability_model must be 'empirical' or 'normal'"
+            )
+        model: CostModel = TheoreticalCostModel(thresholds, prob)
+    elif cost_model == "empirical":
+        model = EmpiricalCostModel(training_data, thresholds)
+    else:
+        raise ValueError("cost_model must be 'theoretical' or 'empirical'")
+    return BestFirstSearch(thresholds, model, params).run().structure

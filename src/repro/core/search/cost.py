@@ -1,0 +1,213 @@
+"""Cost models for comparing candidate SAT structures (paper §4.2).
+
+A state's cost estimates the detection time the structure would incur per
+update-search cycle.  Because every term is attributable to a single level
+(given the level directly below it), costs decompose as a per-level sum,
+which the best-first search exploits: extending a state by one level adds
+one term instead of re-costing the whole structure.
+
+Per time point, a level with window ``h``, shift ``s``, below-level
+``(h', s')`` and responsible sizes ``W_i`` (with trigger threshold
+``f_min``) costs:
+
+* update: ``1 / s`` (one node every ``s`` points);
+* filter: ``(1 / s) * (1 + P[h >= f_min] * refine)`` where ``refine`` is
+  the ``log2(|W_i|) + 1`` binary-search comparisons charged on alarm;
+* detailed search: ``sum_{w in W_i} P[agg(h) >= f(w)]`` — each pyramid
+  cell ``(t, w)`` is examined exactly when its covering node exceeds
+  ``f(w)``, and there are ``s`` such cells per node per size (paper's
+  ``sum_w P(w|h) * s`` per node, i.e. per point the plain sum).
+
+Costs are normalized by the structure's coverage for cross-state
+comparability (the paper divides the per-cycle cost by ``s_top * max
+window``; per-point cost divided by coverage is the same quantity).
+
+:class:`TheoreticalCostModel` evaluates these expectations against a
+:class:`~repro.core.search.training.ProbabilityModel`;
+:class:`EmpiricalCostModel` instead *runs* the candidate on a training
+sample and measures (operation count by default, wall time optionally) —
+the paper's slower but assumption-free alternative, compared in Fig. 10.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..aggregates import SUM, AggregateFunction
+from ..chunked import ChunkedDetector
+from ..structure import Level, SATStructure
+from ..thresholds import ThresholdModel
+from .training import ProbabilityModel
+
+__all__ = ["CostModel", "TheoreticalCostModel", "EmpiricalCostModel"]
+
+
+class CostModel:
+    """Interface: per-time-point cost of a structure, and its per-level term."""
+
+    def level_term(self, below: Level, level: Level) -> float:
+        """Expected per-point cost contributed by ``level`` stacked on ``below``."""
+        raise NotImplementedError
+
+    def base_term(self) -> float:
+        """Per-point cost of level 0 (updates, plus the size-1 check)."""
+        raise NotImplementedError
+
+    def cost_per_point(self, structure: SATStructure) -> float:
+        """Expected operations per stream point for the whole structure."""
+        total = self.base_term()
+        levels = structure.levels
+        for i in range(1, len(levels)):
+            total += self.level_term(levels[i - 1], levels[i])
+        return total
+
+    def normalized_cost(self, structure: SATStructure) -> float:
+        """Per-point cost divided by coverage — the search's comparison key."""
+        return self.cost_per_point(structure) / structure.coverage
+
+
+class TheoreticalCostModel(CostModel):
+    """Expected RAM-model operations from a probability model (paper §4.2)."""
+
+    def __init__(
+        self,
+        thresholds: ThresholdModel,
+        probability_model: ProbabilityModel,
+    ) -> None:
+        self.thresholds = thresholds
+        self.probability_model = probability_model
+        self._term_cache: dict[tuple[int, int, int, int], float] = {}
+
+    def base_term(self) -> float:
+        term = 1.0  # the raw value arrives: one update per point
+        if 1 in self.thresholds:
+            term += 1.0  # one comparison against f(1) per point
+        return term
+
+    def level_term(self, below: Level, level: Level) -> float:
+        key = (below.size, below.shift, level.size, level.shift)
+        cached = self._term_cache.get(key)
+        if cached is not None:
+            return cached
+        lo = below.size - below.shift + 2
+        hi = level.size - level.shift + 1
+        update = 1.0 / level.shift
+        sizes = (
+            self.thresholds.sizes_in(lo, hi)
+            if lo <= hi
+            else np.empty(0, np.int64)
+        )
+        if sizes.size == 0:
+            term = update  # structural level: updates only, never filters
+        else:
+            fs = np.array(
+                [self.thresholds.threshold(int(w)) for w in sizes]
+            )
+            probs = self.probability_model.exceed_probabilities(
+                level.size, fs
+            )
+            p_alarm = float(probs.max())  # trigger threshold is min(f) —
+            # the exceed probability of the smallest threshold is the
+            # largest entry of `probs`.
+            refine = int(sizes.size).bit_length()
+            filter_cost = (1.0 + p_alarm * refine) / level.shift
+            search_cost = float(probs.sum())
+            term = update + filter_cost + search_cost
+        self._term_cache[key] = term
+        return term
+
+
+class EmpiricalCostModel(CostModel):
+    """Measure a candidate structure by running it on a training sample.
+
+    ``metric="operations"`` counts RAM-model operations (deterministic,
+    recommended); ``metric="time"`` measures wall-clock seconds (subject to
+    the CPU-noise pitfalls the paper describes in §4.2).  Results are
+    cached per structure — the search revisits cost values frequently.
+    """
+
+    def __init__(
+        self,
+        training_data: np.ndarray,
+        thresholds: ThresholdModel,
+        aggregate: AggregateFunction = SUM,
+        metric: str = "operations",
+    ) -> None:
+        if metric not in ("operations", "time"):
+            raise ValueError("metric must be 'operations' or 'time'")
+        self.training_data = np.asarray(training_data, dtype=np.float64)
+        self.thresholds = thresholds
+        self.aggregate = aggregate
+        self.metric = metric
+        self._cache: dict[SATStructure, float] = {}
+
+    def _measure(self, structure: SATStructure) -> float:
+        detector = ChunkedDetector(structure, self.thresholds, self.aggregate)
+        start = time.perf_counter()
+        detector.detect(self.training_data)
+        elapsed = time.perf_counter() - start
+        if self.metric == "time":
+            return elapsed / self.training_data.size
+        return detector.counters.total_operations / self.training_data.size
+
+    def cost_per_point(self, structure: SATStructure) -> float:
+        cached = self._cache.get(structure)
+        if cached is None:
+            cached = self._measure(structure)
+            self._cache[structure] = cached
+        return cached
+
+    # Empirical costs cannot run a structure that does not cover the max
+    # window of interest (build_plans refuses, as bursts would be missed).
+    # Intermediate search states are therefore costed on a *restricted*
+    # threshold grid: only the sizes the candidate can already cover.
+    def cost_per_point_partial(self, structure: SATStructure) -> float:
+        """Cost of a possibly non-final state, on the coverable size grid."""
+        cached = self._cache.get(structure)
+        if cached is not None:
+            return cached
+        coverage = structure.coverage
+        if coverage >= self.thresholds.max_window:
+            return self.cost_per_point(structure)
+        sizes = [
+            int(w)
+            for w in self.thresholds.window_sizes
+            if int(w) <= coverage
+        ]
+        if not sizes:
+            value = float(structure.nodes_per_cycle()) / structure.top.shift
+            self._cache[structure] = value
+            return value
+        from ..thresholds import FixedThresholds
+
+        restricted = FixedThresholds(
+            {w: self.thresholds.threshold(w) for w in sizes}
+        )
+        detector = ChunkedDetector(structure, restricted, self.aggregate)
+        start = time.perf_counter()
+        detector.detect(self.training_data)
+        elapsed = time.perf_counter() - start
+        if self.metric == "time":
+            value = elapsed / self.training_data.size
+        else:
+            value = (
+                detector.counters.total_operations / self.training_data.size
+            )
+        self._cache[structure] = value
+        return value
+
+    def normalized_cost(self, structure: SATStructure) -> float:
+        return self.cost_per_point_partial(structure) / structure.coverage
+
+    def level_term(self, below: Level, level: Level) -> float:
+        raise NotImplementedError(
+            "empirical costs are whole-structure measurements; "
+            "use cost_per_point / normalized_cost"
+        )
+
+    def base_term(self) -> float:
+        raise NotImplementedError(
+            "empirical costs are whole-structure measurements"
+        )

@@ -1,0 +1,116 @@
+"""Search-state bookkeeping and the transformation (child-generation) rule.
+
+A state is a (validated) :class:`SATStructure`; the transformation rule of
+paper §4.1 grows a state by adding one level on top.  The new level must
+
+* aggregate to a strictly larger window than the current top,
+* use a shift that is an integral multiple of the top's shift,
+* overlap itself enough to cover the current top
+  (``size - shift + 1 >= top.size``), and
+* respect the global growth control: no candidate may exceed twice the
+  largest window size explored so far (``2L``).
+
+Additionally we prune extensions whose coverage does not strictly grow: a
+level with zero coverage gain adds update cost, shrinks no detailed search
+region, and only tightens the constraints on later levels, so it can never
+appear in an optimal structure.
+
+Enumerating *every* legal ``(size, shift)`` pair is quadratic in ``2L`` and
+makes the Python search intractable for ``max_window`` in the hundreds, so
+candidate sizes and shift multipliers are drawn from a geometric grid
+(about 7 values per octave — ratio steps of ~10%), a resolution at which
+the achievable bounding ratios are dense enough that found structures match
+the paper's.  The grid always contains 1, 2, 4, ... so the entire Shifted
+Binary Tree remains reachable, and the exact values needed to *finish* a
+structure (reach ``max_window`` coverage precisely) are added explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..structure import Level, SATStructure
+
+__all__ = ["SearchState", "geometric_grid", "generate_children"]
+
+
+@dataclass(order=True)
+class SearchState:
+    """A frontier entry: normalized cost first, so heaps order by cost."""
+
+    normalized_cost: float
+    tiebreak: int
+    structure: SATStructure = field(compare=False)
+    cost_per_point: float = field(compare=False)
+    generated_up_to: int = field(compare=False, default=0)
+
+
+@lru_cache(maxsize=None)
+def geometric_grid(limit: int) -> tuple[int, ...]:
+    """Integers 1..limit, geometrically thinned above 16.
+
+    All of 1..16 are present; above that, each value is at least ~10%
+    larger than the previous, and every power of two is included.
+    """
+    if limit < 1:
+        return ()
+    values = set(range(1, min(16, limit) + 1))
+    v = 16
+    while v <= limit:
+        values.add(v)
+        v = max(v + 1, int(v * 1.1))
+    p = 1
+    while p <= limit:
+        values.add(p)
+        p <<= 1
+    return tuple(sorted(values))
+
+
+def generate_children(
+    structure: SATStructure,
+    max_size: int,
+    min_size: int,
+    max_window: int,
+) -> list[SATStructure]:
+    """All candidate one-level extensions with top size in (min_size, max_size].
+
+    ``min_size`` supports the incremental ``2L`` growth protocol: a state
+    already expanded up to ``min_size`` is later re-expanded with only the
+    new sizes.  ``max_window`` lets the generator add the exact sizes that
+    complete coverage (final states), even when they fall off the grid.
+    """
+    top = structure.top
+    coverage = structure.coverage
+    children: list[SATStructure] = []
+    base_sizes = [
+        top.size + j
+        for j in geometric_grid(max_size - top.size)
+        if min_size < top.size + j <= max_size
+    ]
+    candidate_sizes = set(base_sizes)
+    # Sizes that exactly complete coverage for some shift multiple: for a
+    # new level (h, s), coverage h - s + 1 = max_window means h =
+    # max_window + s - 1.  Add those for each grid shift so the search can
+    # finish without overshooting.
+    for m in geometric_grid(max(1, (max_size - top.size) // top.shift)):
+        s = m * top.shift
+        h = max_window + s - 1
+        if min_size < h <= max_size and h > top.size:
+            candidate_sizes.add(h)
+    for size in sorted(candidate_sizes):
+        max_shift = size - top.size + 1  # overlap/cover constraint
+        max_mult = max_shift // top.shift
+        if max_mult < 1:
+            continue
+        for m in geometric_grid(max_mult):
+            shift = m * top.shift
+            if size - shift + 1 <= coverage:
+                continue  # no coverage gain: prunable (see module docs)
+            children.append(structure.extended(size, shift))
+    return children
+
+
+def initial_state() -> SATStructure:
+    """The search's initial state: level 0 only (paper §4.1)."""
+    return SATStructure((Level(1, 1),))

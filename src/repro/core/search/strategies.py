@@ -1,0 +1,110 @@
+"""Alternative traversal strategies: exhaustive and greedy.
+
+The paper's framework (§4.1) notes that depth-first, breadth-first,
+best-first and A* are all applicable; it uses best-first.  Two additional
+strategies are provided here:
+
+* :func:`exhaustive_search` — enumerate *every* valid structure (no
+  candidate grid, no caps) up to a size bound and return the true optimum
+  under the cost model.  Exponential; only usable for very small maximum
+  window sizes, which is exactly what tests need to certify the best-first
+  heuristic's quality.
+
+* :func:`greedy_search` — depth-first descent that always commits to the
+  locally cheapest extension.  Orders of magnitude fewer evaluations than
+  best-first; used in ablations to quantify what the frontier buys.
+"""
+
+from __future__ import annotations
+
+from ..structure import SATStructure
+from ..thresholds import ThresholdModel
+from .cost import CostModel, EmpiricalCostModel
+from .state import generate_children, initial_state
+
+__all__ = ["exhaustive_search", "greedy_search"]
+
+
+def _cost(model: CostModel, structure: SATStructure) -> float:
+    if isinstance(model, EmpiricalCostModel):
+        return model.cost_per_point_partial(structure)
+    return model.cost_per_point(structure)
+
+
+def exhaustive_search(
+    thresholds: ThresholdModel,
+    cost_model: CostModel,
+    size_bound: int | None = None,
+) -> tuple[SATStructure, float]:
+    """True optimum over all valid structures with top size <= ``size_bound``.
+
+    Every integral ``(size, shift)`` pair satisfying the SAT constraints is
+    considered (no geometric grid).  Exponential in ``size_bound``; keep the
+    maximum window size of interest in the single digits.
+    """
+    maxw = thresholds.max_window
+    bound = 2 * maxw if size_bound is None else int(size_bound)
+    best: tuple[float, SATStructure] | None = None
+    stack = [initial_state()]
+    while stack:
+        structure = stack.pop()
+        if structure.covers(maxw):
+            cost = _cost(cost_model, structure) / structure.coverage
+            if best is None or cost < best[0]:
+                best = (cost, structure)
+            continue  # final states have no outgoing transformations
+        top = structure.top
+        coverage = structure.coverage
+        for size in range(top.size + 1, bound + 1):
+            max_shift = size - top.size + 1
+            for mult in range(1, max_shift // top.shift + 1):
+                shift = mult * top.shift
+                if size - shift + 1 <= coverage:
+                    continue
+                stack.append(structure.extended(size, shift))
+    if best is None:
+        raise RuntimeError(
+            f"no structure with top size <= {bound} covers {maxw}"
+        )
+    return best[1], best[0]
+
+
+def greedy_search(
+    thresholds: ThresholdModel,
+    cost_model: CostModel,
+) -> tuple[SATStructure, float]:
+    """Depth-first greedy descent: always take the cheapest extension.
+
+    At each step all children within the usual ``2L`` allowance are
+    generated and the one with the smallest normalized cost is committed
+    to, preferring final states when any child is final.  Fast, decent,
+    and occasionally noticeably worse than best-first — see the ablation
+    bench.
+    """
+    maxw = thresholds.max_window
+    structure = initial_state()
+    if structure.covers(maxw):
+        return structure, _cost(cost_model, structure) / structure.coverage
+    growth = 2
+    while True:
+        children = generate_children(
+            structure,
+            max_size=min(2 * growth, 2 * maxw),
+            min_size=0,
+            max_window=maxw,
+        )
+        if not children:
+            growth *= 2
+            if growth > 4 * maxw:
+                raise RuntimeError("greedy descent failed to progress")
+            continue
+        scored = [
+            (_cost(cost_model, c) / c.coverage, c.covers(maxw), c)
+            for c in children
+        ]
+        finals = [s for s in scored if s[1]]
+        pool = finals if finals else scored
+        cost, is_final, structure = min(pool, key=lambda s: s[0])
+        growth = max(growth, structure.top.size)
+        if is_final:
+            return structure, cost

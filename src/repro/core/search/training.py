@@ -1,0 +1,130 @@
+"""Probability models: estimating ``P(w | h)`` for the cost model.
+
+The theoretical cost model (paper §4.2) needs, for every candidate level
+size ``h`` and responsible window size ``w``, the probability that a node
+of size ``h`` exceeds the threshold ``f(w)`` — "estimated from the
+statistics in the sample data".  Two estimators are provided:
+
+* :class:`EmpiricalProbabilityModel` — the paper's: the fraction of
+  sliding windows of size ``h`` in a training sample whose aggregate meets
+  the threshold.  Sorted sliding-aggregate arrays are cached per size so a
+  search evaluating thousands of candidate levels stays fast.
+
+* :class:`NormalProbabilityModel` — the closed-form normal approximation
+  of §5.1; no training data needed beyond per-point moments.  Useful for
+  synthetic inputs and as a much faster drop-in during wide parameter
+  sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..aggregates import SUM, AggregateFunction, sliding_aggregate
+from ..analysis import exceed_probability_normal
+
+__all__ = [
+    "ProbabilityModel",
+    "NormalProbabilityModel",
+    "EmpiricalProbabilityModel",
+]
+
+
+class ProbabilityModel:
+    """Interface: tail probabilities of window aggregates."""
+
+    def exceed_probability(self, size: int, threshold: float) -> float:
+        """P[aggregate of a window of ``size`` >= ``threshold``]."""
+        raise NotImplementedError
+
+    def exceed_probabilities(
+        self, size: int, thresholds: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`exceed_probability` over many thresholds."""
+        return np.array(
+            [self.exceed_probability(size, float(f)) for f in thresholds]
+        )
+
+
+class NormalProbabilityModel(ProbabilityModel):
+    """Closed-form tail probabilities under the normal approximation."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    @classmethod
+    def from_data(cls, data: np.ndarray) -> "NormalProbabilityModel":
+        """Fit per-point moments from a training sample."""
+        data = np.asarray(data, dtype=np.float64)
+        return cls(float(data.mean()), float(data.std(ddof=0)))
+
+    def exceed_probability(self, size: int, threshold: float) -> float:
+        return exceed_probability_normal(size, threshold, self.mu, self.sigma)
+
+    def exceed_probabilities(
+        self, size: int, thresholds: np.ndarray
+    ) -> np.ndarray:
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if self.sigma <= 0:
+            return (size * self.mu >= thresholds).astype(np.float64)
+        from scipy.stats import norm
+
+        z = (thresholds - size * self.mu) / (np.sqrt(size) * self.sigma)
+        return norm.sf(z)
+
+
+class EmpiricalProbabilityModel(ProbabilityModel):
+    """Tail probabilities read off a training sample (paper §4.2).
+
+    For a queried window ``size``, the sliding aggregates of the training
+    data at that size are computed once, sorted, and cached (LRU, bounded);
+    each probability query is then a binary search.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        aggregate: AggregateFunction = SUM,
+        cache_size: int = 256,
+    ) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.size < 2:
+            raise ValueError("need at least two training points")
+        self.data = data
+        self.aggregate = aggregate
+        self.cache_size = int(cache_size)
+        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+
+    def _sorted_aggregates(self, size: int) -> np.ndarray:
+        cached = self._cache.get(size)
+        if cached is not None:
+            self._cache.move_to_end(size)
+            return cached
+        values = sliding_aggregate(self.aggregate, self.data, size)
+        if values.size == 0:
+            # Window exceeds the sample: the whole-sample aggregate is the
+            # only observation we have.
+            values = np.array([self.aggregate.reduce(self.data)])
+        values = np.sort(values)
+        self._cache[size] = values
+        if len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return values
+
+    def exceed_probability(self, size: int, threshold: float) -> float:
+        values = self._sorted_aggregates(int(size))
+        below = int(np.searchsorted(values, threshold, side="left"))
+        return (values.size - below) / values.size
+
+    def exceed_probabilities(
+        self, size: int, thresholds: np.ndarray
+    ) -> np.ndarray:
+        values = self._sorted_aggregates(int(size))
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        below = np.searchsorted(values, thresholds, side="left")
+        return (values.size - below) / values.size

@@ -1,0 +1,257 @@
+"""Shifted Aggregation Tree structures.
+
+A Shifted Aggregation Tree (SAT, paper §3) is described completely by its
+list of levels.  Level ``i`` places one node every ``shift`` time points,
+each node aggregating a window of ``size`` consecutive stream values; level
+0 is always ``(size=1, shift=1)`` — the raw stream.  The paper's Table 1
+constraints, enforced by :class:`SATStructure`:
+
+* sizes strictly increase level to level;
+* each shift is an integral multiple of the shift below (``s_i = k *
+  s_{i-1}``), which guarantees a detailed search can always find a "seed"
+  node (§3.2);
+* two neighbouring nodes at level ``i`` overlap enough to shade every node
+  of level ``i-1``: ``h_i - s_i + 1 >= h_{i-1}``.
+
+From the overlap constraint follows the *shadow property*: every window of
+size ``w <= h_i - s_i + 1`` is contained in (shaded by) some level-``i``
+node, which is what makes the filter sound.  Level ``i`` is therefore
+*responsible* for detecting window sizes in ``[h_{i-1} - s_{i-1} + 2,
+h_i - s_i + 1]`` — ranges that tile ``[2, coverage]`` exactly, with size 1
+handled directly at level 0.
+
+The Shifted Binary Tree (SBT) of the earlier work is the special case
+``h_i = 2^i, s_i = 2^{i-1}`` (see :func:`repro.core.sbt.shifted_binary_tree`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Level", "SATStructure", "StructureError", "single_level_structure"]
+
+
+class StructureError(ValueError):
+    """Raised when a level list violates the SAT constraints."""
+
+
+@dataclass(frozen=True, order=True)
+class Level:
+    """One SAT level: nodes of window ``size`` placed every ``shift`` points."""
+
+    size: int
+    shift: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise StructureError(f"level size must be >= 1, got {self.size}")
+        if not 1 <= self.shift <= self.size:
+            raise StructureError(
+                f"level shift must be in [1, size], got shift={self.shift} "
+                f"size={self.size}"
+            )
+
+    @property
+    def overlap(self) -> int:
+        """Time points shared by two neighbouring nodes at this level."""
+        return self.size - self.shift
+
+
+class SATStructure:
+    """An immutable, validated Shifted Aggregation Tree.
+
+    ``levels`` must start with the implicit level 0 ``(1, 1)``; pass
+    ``levels`` without it to :meth:`from_pairs`, which prepends it.
+    """
+
+    def __init__(self, levels: Sequence[Level]):
+        levels = tuple(levels)
+        if not levels:
+            raise StructureError("a SAT needs at least level 0")
+        if levels[0] != Level(1, 1):
+            raise StructureError("level 0 must be (size=1, shift=1)")
+        for i in range(1, len(levels)):
+            lo, hi = levels[i - 1], levels[i]
+            if hi.size <= lo.size:
+                raise StructureError(
+                    f"level {i} size {hi.size} must exceed level {i-1} "
+                    f"size {lo.size}"
+                )
+            if hi.shift % lo.shift != 0:
+                raise StructureError(
+                    f"level {i} shift {hi.shift} must be a multiple of "
+                    f"level {i-1} shift {lo.shift}"
+                )
+            if hi.size - hi.shift + 1 < lo.size:
+                raise StructureError(
+                    f"level {i} ({hi.size},{hi.shift}) does not cover level "
+                    f"{i-1} nodes of size {lo.size}: needs size - shift + 1 "
+                    f">= {lo.size}"
+                )
+        self._levels = levels
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]]) -> "SATStructure":
+        """Build from ``(size, shift)`` pairs for levels 1..L (level 0 added)."""
+        return cls((Level(1, 1),) + tuple(Level(h, s) for h, s in pairs))
+
+    def extended(self, size: int, shift: int) -> "SATStructure":
+        """A new structure with one more level on top (search transformation)."""
+        return SATStructure(self._levels + (Level(size, shift),))
+
+    # -- basic shape ------------------------------------------------------
+    @property
+    def levels(self) -> tuple[Level, ...]:
+        """All levels including level 0."""
+        return self._levels
+
+    @property
+    def num_levels(self) -> int:
+        """Number of levels *above* level 0."""
+        return len(self._levels) - 1
+
+    @property
+    def top(self) -> Level:
+        """The highest level."""
+        return self._levels[-1]
+
+    @property
+    def coverage(self) -> int:
+        """Largest window size this structure can detect bursts for.
+
+        Equals ``h_top - s_top + 1`` (paper §4.1 final-state condition);
+        every window of interest must be no larger than this.
+        """
+        return self.top.size - self.top.shift + 1
+
+    def covers(self, max_window: int) -> bool:
+        """Whether the structure is a *final state* for ``max_window``."""
+        return self.coverage >= max_window
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SATStructure):
+            return NotImplemented
+        return self._levels == other._levels
+
+    def __hash__(self) -> int:
+        return hash(self._levels)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"({lv.size},{lv.shift})" for lv in self._levels[1:])
+        return f"SATStructure([{body}], coverage={self.coverage})"
+
+    # -- detection geometry ----------------------------------------------
+    def responsibility_range(self, level: int) -> tuple[int, int]:
+        """Window sizes level ``level`` is responsible for, inclusive.
+
+        Level 0 is responsible for ``[1, 1]``; level ``i >= 1`` for
+        ``[h_{i-1} - s_{i-1} + 2, h_i - s_i + 1]`` (paper §3.2).  The range
+        may be empty (``lo > hi``) for a purely structural level.
+        """
+        if level == 0:
+            return (1, 1)
+        below = self._levels[level - 1]
+        here = self._levels[level]
+        lo = below.size - below.shift + 2
+        hi = here.size - here.shift + 1
+        return (lo, hi)
+
+    def level_for_size(self, size: int) -> int:
+        """Index of the level responsible for detecting window ``size``."""
+        if size == 1:
+            return 0
+        for i in range(1, len(self._levels)):
+            lo, hi = self.responsibility_range(i)
+            if lo <= size <= hi:
+                return i
+        raise ValueError(
+            f"window size {size} exceeds structure coverage {self.coverage}"
+        )
+
+    def bounding_ratio(self, level: int) -> float:
+        """The ratio ``T = h_i / w_min`` of paper §5.1 for level ``i``.
+
+        ``T`` compares the node window size against the smallest window
+        size whose threshold can trigger a detailed search at this level; a
+        small ``T`` means tight filtering (low alarm probability).  The SBT
+        has ``T ~= 4`` at every level; adapted SATs push ``T`` toward 1 at
+        the levels where alarms would otherwise be common.
+        """
+        if level == 0:
+            return 1.0
+        lo, _hi = self.responsibility_range(level)
+        return self._levels[level].size / lo
+
+    def bounding_ratios(self) -> list[float]:
+        """Bounding ratio for every level above 0."""
+        return [self.bounding_ratio(i) for i in range(1, len(self._levels))]
+
+    # -- structural statistics ---------------------------------------------
+    def nodes_per_cycle(self) -> int:
+        """Nodes updated in one top-level cycle of ``s_top`` time points."""
+        s_top = self.top.shift
+        return sum(s_top // lv.shift for lv in self._levels)
+
+    def density(self, max_window: int | None = None) -> float:
+        """The paper's density ``D`` (§5.1): updated nodes per pyramid cell.
+
+        The denominator is the number of aggregation-pyramid cells in one
+        cycle, ``s_top * N`` where ``N`` defaults to the structure's
+        coverage.  Dense structures (D large) pay more update time to earn
+        stronger filtering.
+        """
+        n = self.coverage if max_window is None else int(max_window)
+        s_top = self.top.shift
+        return self.nodes_per_cycle() / (s_top * n)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (levels above 0 only)."""
+        return {"levels": [[lv.size, lv.shift] for lv in self._levels[1:]]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SATStructure":
+        """Inverse of :meth:`to_dict`."""
+        return cls.from_pairs((h, s) for h, s in payload["levels"])
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "SATStructure":
+        """Deserialize from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the structure."""
+        lines = [
+            f"SAT with {self.num_levels} levels above level 0, "
+            f"coverage {self.coverage}, density {self.density():.5f}"
+        ]
+        for i, lv in enumerate(self._levels):
+            lo, hi = self.responsibility_range(i)
+            rng = f"sizes [{lo}, {hi}]" if lo <= hi else "no sizes"
+            lines.append(
+                f"  level {i:2d}: size {lv.size:6d} shift {lv.shift:6d}  "
+                f"responsible for {rng}"
+            )
+        return "\n".join(lines)
+
+
+def single_level_structure(max_window: int) -> SATStructure:
+    """The densest useful SAT: one level ``(max_window, 1)`` over level 0.
+
+    Covers every size up to ``max_window`` with a node at every time point.
+    Maximal update cost, maximal filtering power — a useful extreme point
+    for tests and ablations.
+    """
+    if max_window < 2:
+        raise ValueError("max_window must be >= 2")
+    return SATStructure.from_pairs([(max_window, 1)])

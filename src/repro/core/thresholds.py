@@ -1,0 +1,295 @@
+"""Threshold models: the per-window-size burst thresholds ``f(w)``.
+
+The problem statement (paper, Problem 1) takes the set of window sizes of
+interest ``W`` and a threshold ``f(w)`` for each.  The paper's experiments
+derive thresholds from a target *burst probability* ``p`` under a normal
+approximation (§5.2): a window of size ``w`` over i.i.d. data with per-point
+mean ``mu`` and standard deviation ``sigma`` has mean ``w*mu`` and standard
+deviation ``sqrt(w)*sigma``, so
+
+    f(w) = w*mu + sqrt(w)*sigma * Phi^{-1}(1 - p)
+
+makes ``Pr[S(w) >= f(w)] ~= p``.  :class:`NormalThresholds` implements
+exactly this; :class:`EmpiricalThresholds` instead reads the ``1 - p``
+quantile off training data (with a normal tail extension for probabilities
+finer than the sample resolution), and :class:`FixedThresholds` wraps an
+explicit table.
+
+All models expose the same read-only interface consumed by the detectors
+and the structure-search cost models: the sorted size grid, O(1) threshold
+lookup, range queries over the grid, and a monotonicity flag that enables
+the binary-search filter refinement of paper §3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+from scipy.stats import norm
+
+__all__ = [
+    "ThresholdModel",
+    "FixedThresholds",
+    "NormalThresholds",
+    "EmpiricalThresholds",
+    "PoissonThresholds",
+    "all_sizes",
+    "stepped_sizes",
+]
+
+
+def all_sizes(max_window: int, min_window: int = 1) -> tuple[int, ...]:
+    """Every window size from ``min_window`` to ``max_window`` inclusive."""
+    if max_window < min_window:
+        raise ValueError("max_window must be >= min_window")
+    return tuple(range(min_window, max_window + 1))
+
+
+def stepped_sizes(step: int, max_window: int) -> tuple[int, ...]:
+    """The grid ``step, 2*step, 3*step, ...`` up to ``max_window``.
+
+    This is the "different sets of window sizes of interest" setting of the
+    paper's Fig. 20 experiments.
+    """
+    if step < 1:
+        raise ValueError("step must be >= 1")
+    if max_window < step:
+        raise ValueError("max_window must be >= step")
+    return tuple(range(step, max_window + 1, step))
+
+
+class ThresholdModel:
+    """Base class: a sorted window-size grid with a threshold per size."""
+
+    def __init__(self, window_sizes: Sequence[int], thresholds: Sequence[float]):
+        ws = np.asarray(window_sizes, dtype=np.int64)
+        if ws.size == 0:
+            raise ValueError("at least one window size is required")
+        if np.any(np.diff(ws) <= 0):
+            raise ValueError("window sizes must be strictly increasing")
+        if ws[0] < 1:
+            raise ValueError("window sizes must be >= 1")
+        fs = np.asarray(thresholds, dtype=np.float64)
+        if fs.shape != ws.shape:
+            raise ValueError("one threshold per window size is required")
+        self._sizes = ws
+        self._values = fs
+        self._by_size = {int(w): float(f) for w, f in zip(ws, fs)}
+
+    # -- grid ----------------------------------------------------------
+    @property
+    def window_sizes(self) -> np.ndarray:
+        """Sorted array of the window sizes of interest ``W``."""
+        return self._sizes
+
+    @property
+    def values(self) -> np.ndarray:
+        """Thresholds aligned with :attr:`window_sizes`."""
+        return self._values
+
+    @property
+    def max_window(self) -> int:
+        """Largest window size of interest."""
+        return int(self._sizes[-1])
+
+    @property
+    def is_monotone(self) -> bool:
+        """True when ``f`` is nondecreasing over the grid.
+
+        Monotone thresholds allow the detector to binary-search for the
+        largest triggered size (paper §3.2).  All thresholds derived from a
+        burst probability over non-negative data are monotone.
+        """
+        return bool(np.all(np.diff(self._values) >= 0))
+
+    # -- lookups ---------------------------------------------------------
+    def threshold(self, size: int) -> float:
+        """``f(size)``; raises ``KeyError`` if ``size`` is not in the grid."""
+        return self._by_size[size]
+
+    def __contains__(self, size: int) -> bool:
+        return size in self._by_size
+
+    def sizes_in(self, lo: int, hi: int) -> np.ndarray:
+        """Window sizes of interest in the inclusive range ``[lo, hi]``."""
+        i = int(np.searchsorted(self._sizes, lo, side="left"))
+        j = int(np.searchsorted(self._sizes, hi, side="right"))
+        return self._sizes[i:j]
+
+    def index_range(self, lo: int, hi: int) -> tuple[int, int]:
+        """Grid index slice ``[i, j)`` covering sizes in ``[lo, hi]``."""
+        i = int(np.searchsorted(self._sizes, lo, side="left"))
+        j = int(np.searchsorted(self._sizes, hi, side="right"))
+        return i, j
+
+    def min_threshold_in(self, lo: int, hi: int) -> float:
+        """Smallest threshold among sizes of interest in ``[lo, hi]``.
+
+        Returns ``inf`` when the range contains no size of interest (a
+        structural level with an empty responsibility range never alarms).
+        """
+        i, j = self.index_range(lo, hi)
+        if i >= j:
+            return float("inf")
+        return float(self._values[i:j].min())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self._sizes.size} sizes, "
+            f"max_window={self.max_window})"
+        )
+
+
+class FixedThresholds(ThresholdModel):
+    """Thresholds given explicitly as a ``{size: threshold}`` mapping."""
+
+    def __init__(self, table: Mapping[int, float]):
+        if not table:
+            raise ValueError("threshold table must not be empty")
+        sizes = sorted(table)
+        super().__init__(sizes, [table[w] for w in sizes])
+
+
+class NormalThresholds(ThresholdModel):
+    """Normal-approximation thresholds ``f(w) = w*mu + sqrt(w)*sigma*z``.
+
+    ``z = Phi^{-1}(1 - burst_probability)`` (the paper writes the
+    equivalent ``-Phi^{-1}(p)``).  This is the threshold family used in all
+    of the paper's experiments; ``mu`` and ``sigma`` are per-point moments
+    of the data, either known (synthetic) or estimated from a training
+    prefix via :meth:`from_data`.
+    """
+
+    def __init__(
+        self,
+        mu: float,
+        sigma: float,
+        burst_probability: float,
+        window_sizes: Iterable[int],
+    ):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if not 0 < burst_probability < 1:
+            raise ValueError("burst probability must be in (0, 1)")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+        self.burst_probability = float(burst_probability)
+        self.z = float(norm.ppf(1.0 - burst_probability))
+        ws = np.asarray(sorted(set(int(w) for w in window_sizes)), dtype=np.int64)
+        fs = ws * self.mu + np.sqrt(ws) * self.sigma * self.z
+        super().__init__(ws, fs)
+
+    @classmethod
+    def from_data(
+        cls,
+        data: np.ndarray,
+        burst_probability: float,
+        window_sizes: Iterable[int],
+    ) -> "NormalThresholds":
+        """Fit ``mu``/``sigma`` from a training prefix of the stream."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.size < 2:
+            raise ValueError("need at least two training points")
+        return cls(
+            float(data.mean()),
+            float(data.std(ddof=0)),
+            burst_probability,
+            window_sizes,
+        )
+
+
+class PoissonThresholds(ThresholdModel):
+    """Exact Poisson-quantile thresholds for event-count streams.
+
+    For Poisson arrivals at rate ``lam`` per tick, a window of size ``w``
+    holds a Poisson(``w * lam``) count, so the exact threshold for burst
+    probability ``p`` is the smallest integer ``f`` with
+    ``P[Poisson(w*lam) >= f] <= p``.  For small rates the paper's normal
+    approximation is badly miscalibrated (a Poisson(0.1) window's
+    "1e-6 quantile" under the normal form sits below 1 event!); this
+    model is exact at every rate and converges to the normal one for
+    large ``w * lam``.
+    """
+
+    def __init__(
+        self,
+        lam: float,
+        burst_probability: float,
+        window_sizes: Iterable[int],
+    ):
+        if lam <= 0:
+            raise ValueError("lam must be positive")
+        if not 0 < burst_probability < 1:
+            raise ValueError("burst probability must be in (0, 1)")
+        from scipy.stats import poisson
+
+        self.lam = float(lam)
+        self.burst_probability = float(burst_probability)
+        ws = np.asarray(sorted(set(int(w) for w in window_sizes)), dtype=np.int64)
+        # isf gives the smallest k with sf(k) <= p; threshold at k + 1
+        # events (value >= f means strictly more than k events occurred).
+        fs = poisson.isf(burst_probability, ws * self.lam) + 1.0
+        super().__init__(ws, fs)
+
+    @classmethod
+    def from_data(
+        cls,
+        data: np.ndarray,
+        burst_probability: float,
+        window_sizes: Iterable[int],
+    ) -> "PoissonThresholds":
+        """Fit the rate from a training prefix (its mean)."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.size < 2:
+            raise ValueError("need at least two training points")
+        return cls(float(data.mean()), burst_probability, window_sizes)
+
+
+class EmpiricalThresholds(ThresholdModel):
+    """Quantile thresholds read off a training sample.
+
+    For each window size ``w``, the threshold is the ``1 - p`` quantile of
+    the sliding sums of size ``w`` over the training data.  When ``p`` is
+    finer than the sample can resolve (fewer than ``1/p`` windows), the
+    threshold extends the empirical tail with the normal approximation so
+    that extremely rare burst probabilities remain meaningful.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        burst_probability: float,
+        window_sizes: Iterable[int],
+    ):
+        from .aggregates import sliding_sum  # local import to avoid a cycle
+
+        data = np.asarray(data, dtype=np.float64)
+        if data.size < 2:
+            raise ValueError("need at least two training points")
+        if not 0 < burst_probability < 1:
+            raise ValueError("burst probability must be in (0, 1)")
+        self.burst_probability = float(burst_probability)
+        mu = float(data.mean())
+        sigma = float(data.std(ddof=0))
+        z = float(norm.ppf(1.0 - burst_probability))
+        ws = sorted(set(int(w) for w in window_sizes))
+        fs = []
+        for w in ws:
+            sums = sliding_sum(data, w)
+            if sums.size == 0:
+                # Window exceeds the sample; fall back to the normal form.
+                fs.append(w * mu + np.sqrt(w) * sigma * z)
+                continue
+            resolvable = burst_probability >= 1.0 / sums.size
+            if resolvable:
+                fs.append(float(np.quantile(sums, 1.0 - burst_probability)))
+            else:
+                normal_f = w * mu + np.sqrt(w) * sigma * z
+                fs.append(max(float(sums.max()), normal_f))
+        # Enforce monotonicity: a longer window of non-negative data cannot
+        # legitimately have a lower burst threshold, and sampling noise in
+        # the per-size quantiles would otherwise break the binary-search
+        # filter refinement.
+        fs = list(np.maximum.accumulate(fs))
+        super().__init__(ws, fs)

@@ -1,0 +1,51 @@
+"""Experiment harness: one module per reproduced table or figure.
+
+Every module exposes ``run(scale) -> ExperimentTable`` returning the
+series the corresponding paper table/figure reports, plus a ``main()``
+that prints it.  ``python -m repro.experiments <name>`` runs one from the
+command line; ``python -m repro.experiments --list`` enumerates them.
+
+The cost metric is RAM-model operation counts (the paper's own §4.2 unit)
+plus measured wall time of the vectorized detector; see EXPERIMENTS.md for
+the paper-versus-measured record.
+"""
+
+from .common import (
+    ExperimentScale,
+    ExperimentTable,
+    Measurement,
+    format_table,
+    get_scale,
+    measure_detector,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "ExperimentTable",
+    "Measurement",
+    "format_table",
+    "get_scale",
+    "measure_detector",
+    "EXPERIMENTS",
+]
+
+#: Registry: experiment name -> module path (relative to this package).
+EXPERIMENTS = {
+    "fig10": "fig10_cost_model",
+    "fig12": "fig12_poisson_lambda",
+    "fig13": "fig13_exponential_beta",
+    "fig14": "fig14_poisson_threshold",
+    "fig15": "fig15_exponential_threshold",
+    "fig16": "fig16_bounding_ratio",
+    "table2": "table2_data_stats",
+    "fig17": "fig17_histograms",
+    "fig18": "fig18_realworld_threshold",
+    "fig19": "fig19_max_window",
+    "fig20": "fig20_window_step",
+    "fig21": "fig21_robustness",
+    "fig22": "fig22_search_params",
+    "table6": "table6_stock_correlation",
+    "ext-spatial": "ext_spatial",
+    "ext-adaptive": "ext_adaptive",
+    "ext-max": "ext_max_aggregate",
+}

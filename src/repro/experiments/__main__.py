@@ -1,0 +1,76 @@
+"""CLI: run reproduced experiments by name.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig15
+    python -m repro.experiments fig12 fig14 --scale medium
+    python -m repro.experiments all --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from . import EXPERIMENTS
+from .common import SCALES, get_scale
+
+
+def _run_one(name: str, scale) -> None:
+    module = importlib.import_module(
+        f".{EXPERIMENTS[name]}", package=__package__
+    )
+    started = time.perf_counter()
+    print(f"=== {name} ({EXPERIMENTS[name]}) @ scale={scale.name} ===")
+    print(module.run(scale))
+    # Some modules carry companion sub-figures.
+    if hasattr(module, "run_alarm_by_level"):
+        print()
+        print(module.run_alarm_by_level(scale))
+    if hasattr(module, "ascii_histograms"):
+        print()
+        print(module.ascii_histograms(scale))
+    print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="experiment names (see --list), or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="sizing preset (default: REPRO_SCALE env var or 'small')",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment names and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.names:
+        for name, module in EXPERIMENTS.items():
+            print(f"{name:<8} {module}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.names == ["all"] else args.names
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+    scale = get_scale(args.scale)
+    for name in names:
+        _run_one(name, scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

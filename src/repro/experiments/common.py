@@ -1,0 +1,214 @@
+"""Shared experiment plumbing: scales, measurements, table formatting.
+
+The paper runs each configuration over millions of points on a dedicated
+machine; a reproduction must be runnable in minutes on anything.  All
+experiments therefore take an :class:`ExperimentScale`:
+
+* ``small``  — CI scale: every experiment in seconds (default in tests);
+* ``medium`` — minutes per experiment, tighter statistics (default CLI);
+* ``full``   — stream lengths within an order of magnitude of the paper's.
+
+Costs are linear in stream length once structures are fixed, so the
+SAT/SBT/naive *ratios* — the paper's actual claims — are stable across
+scales (a property the integration tests check).
+
+Set the ``REPRO_SCALE`` environment variable to override the default.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.analysis import run_metrics
+from ..core.chunked import ChunkedDetector
+from ..core.naive import NaiveDetector
+from ..core.search import SearchParams
+from ..core.structure import SATStructure
+from ..core.thresholds import ThresholdModel
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "Measurement",
+    "measure_detector",
+    "measure_naive",
+    "ExperimentTable",
+    "format_table",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizing knobs for one experiment run."""
+
+    name: str
+    stream_length: int
+    training_length: int
+    search_params: SearchParams
+    #: Cap on the largest max-window setting (Fig. 19/20 sweeps shrink at
+    #: small scale so streams stay much longer than the windows).
+    max_window_cap: int
+
+    def window_cap(self, requested: int) -> int:
+        """Clamp a paper window-size setting to this scale."""
+        return min(requested, self.max_window_cap)
+
+
+SCALES = {
+    "small": ExperimentScale(
+        name="small",
+        stream_length=60_000,
+        training_length=8_000,
+        search_params=SearchParams(
+            max_same_size_states=400,
+            max_final_states=8_000,
+            max_expansions=20_000,
+        ),
+        max_window_cap=300,
+    ),
+    "medium": ExperimentScale(
+        name="medium",
+        stream_length=400_000,
+        training_length=20_000,
+        search_params=SearchParams(
+            max_same_size_states=500,
+            max_final_states=10_000,
+            max_expansions=50_000,
+        ),
+        max_window_cap=1_800,
+    ),
+    "full": ExperimentScale(
+        name="full",
+        stream_length=2_000_000,
+        training_length=20_000,
+        search_params=SearchParams(
+            max_same_size_states=500,
+            max_final_states=10_000,
+            max_expansions=100_000,
+        ),
+        max_window_cap=3_600,
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve a scale by name, ``REPRO_SCALE``, or the ``small`` default."""
+    key = name or os.environ.get("REPRO_SCALE", "small")
+    try:
+        return SCALES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {key!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One detector run: the quantities the paper's figures plot."""
+
+    label: str
+    operations: int
+    wall_seconds: float
+    bursts: int
+    alarm_probability: float
+    density: float
+
+    def ops_per_point(self, n: int) -> float:
+        return self.operations / n
+
+
+def measure_detector(
+    structure: SATStructure,
+    thresholds: ThresholdModel,
+    data: np.ndarray,
+    label: str,
+) -> Measurement:
+    """Run the vectorized detector; collect ops, time, and §5.1 metrics."""
+    detector = ChunkedDetector(structure, thresholds)
+    start = time.perf_counter()
+    bursts = detector.detect(data)
+    wall = time.perf_counter() - start
+    metrics = run_metrics(structure, thresholds, detector.counters)
+    return Measurement(
+        label=label,
+        operations=metrics.operations,
+        wall_seconds=wall,
+        bursts=len(bursts),
+        alarm_probability=metrics.alarm_probability,
+        density=metrics.density,
+    )
+
+
+def measure_naive(
+    thresholds: ThresholdModel, data: np.ndarray, label: str = "naive"
+) -> Measurement:
+    """Run the naive baseline with the same bookkeeping."""
+    detector = NaiveDetector(thresholds)
+    start = time.perf_counter()
+    bursts = detector.detect(data)
+    wall = time.perf_counter() - start
+    return Measurement(
+        label=label,
+        operations=detector.operations,
+        wall_seconds=wall,
+        bursts=len(bursts),
+        alarm_probability=1.0,  # the naive method "searches" every cell
+        density=0.0,
+    )
+
+
+@dataclass
+class ExperimentTable:
+    """A reproduced table/figure: headers, rows, and context."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(list(row))
+
+    def column(self, header: str) -> list:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def __str__(self) -> str:
+        parts = [self.title, format_table(self.headers, self.rows)]
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) >= 1e6 or abs(cell) < 1e-3):
+            return f"{cell:.3g}"
+        return f"{cell:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(cell, (int, np.integer)):
+        return f"{int(cell):,d}"
+    return str(cell)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Plain-text aligned table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

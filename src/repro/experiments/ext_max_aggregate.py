@@ -1,0 +1,92 @@
+"""Extension experiment — elastic detection under the ``max`` aggregate.
+
+The paper defines the problem for any monotone associative aggregate and
+names ``maximum`` alongside ``sum``; its experiments use sums only.  This
+experiment runs the full machinery under ``max`` in the setting where
+elastic max-detection is meaningful: *decreasing* thresholds ("a spike of
+220 within 1s, or 180 within any 16s, or 150 within any 128s"), which
+exercises the detectors' non-monotone filter path and the sliding-max /
+sparse-table engine end to end.
+
+Reported series: operations for an adapted SAT, the SBT and the naive
+method, with burst sets asserted identical in-run.
+"""
+
+from __future__ import annotations
+
+from ..core.chunked import ChunkedDetector
+from ..core.naive import naive_detect, naive_operation_count
+from ..core.aggregates import MAX
+from ..core.sbt import shifted_binary_tree
+from ..core.search import (
+    BestFirstSearch,
+    EmpiricalProbabilityModel,
+    TheoreticalCostModel,
+)
+from ..core.thresholds import FixedThresholds
+from ..streams.generators import exponential_stream
+from .common import ExperimentScale, ExperimentTable, get_scale
+
+__all__ = ["run", "main"]
+
+_SEED = 7003
+#: Spike levels: rarer-but-lower spikes are allowed longer windows.
+SPIKE_LEVELS = {1: 220.0, 4: 200.0, 16: 180.0, 64: 165.0, 128: 155.0}
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentTable:
+    scale = scale or get_scale()
+    table = ExperimentTable(
+        title="Extension — max-aggregate spike detection "
+        "(decreasing thresholds over sizes 1..128)",
+        headers=[
+            "beta",
+            "ops(SAT)",
+            "ops(SBT)",
+            "ops(naive)",
+            "speedup",
+            "bursts",
+        ],
+    )
+    thresholds = FixedThresholds(SPIKE_LEVELS)
+    assert not thresholds.is_monotone  # the point of this experiment
+    sbt = shifted_binary_tree(128)
+    for beta in (15.0, 25.0):
+        train = exponential_stream(beta, scale.training_length, _SEED)
+        data = exponential_stream(beta, scale.stream_length, _SEED + 1)
+        model = TheoreticalCostModel(
+            thresholds, EmpiricalProbabilityModel(train, aggregate=MAX)
+        )
+        sat = BestFirstSearch(
+            thresholds, model, scale.search_params
+        ).run().structure
+        det_sat = ChunkedDetector(sat, thresholds, MAX)
+        bursts = det_sat.detect(data)
+        det_sbt = ChunkedDetector(sbt, thresholds, MAX)
+        assert det_sbt.detect(data) == bursts
+        assert naive_detect(data, thresholds, MAX) == bursts
+        table.add(
+            beta,
+            det_sat.counters.total_operations,
+            det_sbt.counters.total_operations,
+            naive_operation_count(data.size, len(SPIKE_LEVELS)),
+            round(
+                det_sbt.counters.total_operations
+                / max(1, det_sat.counters.total_operations),
+                2,
+            ),
+            len(bursts),
+        )
+    table.notes.append(
+        "burst sets asserted identical across SAT / SBT / naive in-run; "
+        "the decreasing thresholds force the linear-scan filter path"
+    )
+    return table
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

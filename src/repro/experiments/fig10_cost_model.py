@@ -1,0 +1,138 @@
+"""Fig. 10 — theoretical vs empirical cost model.
+
+The paper's Fig. 10 makes two points:
+
+1. the theoretical cost model (expected operations, §4.2) *models the
+   actual running time well* across burst probabilities, distributions
+   and window ranges; and
+2. searching with it beats searching with the empirical model (measured
+   runs per candidate state), because the empirical model is thousands of
+   times more expensive per state evaluation and its noise can mislead
+   the best-first order.
+
+Reproduced series, per (data set, p): the theoretical model's *predicted*
+cost of its chosen structure next to the *measured* cost (point 1: the
+prediction ratio should hover near 1), plus the measured cost of the
+structure found under the empirical model and both search times (point
+2).  The empirical search must run under severely reduced caps to stay
+tractable — exactly the paper's argument against it — so its structures
+here are noticeably worse than the paper's Fig. 10 empirical curves,
+where the authors spent the CPU time; the search-time columns show why.
+"""
+
+from __future__ import annotations
+
+from ..core.search import (
+    BestFirstSearch,
+    EmpiricalCostModel,
+    EmpiricalProbabilityModel,
+    SearchParams,
+    TheoreticalCostModel,
+)
+from ..core.thresholds import NormalThresholds, all_sizes
+from ..streams.generators import exponential_stream, poisson_stream
+from .common import ExperimentScale, ExperimentTable, get_scale, measure_detector
+
+__all__ = ["run", "main"]
+
+_SEED = 1010
+#: Points of training data the empirical model measures each state on.
+_EMP_SAMPLE = 2_500
+
+
+def _configs(scale: ExperimentScale):
+    maxw_a = scale.window_cap(250)
+    maxw_b = scale.window_cap(500)
+    return [
+        ("poisson l=1", lambda n, s: poisson_stream(1.0, n, s), maxw_a),
+        ("poisson l=10", lambda n, s: poisson_stream(10.0, n, s), maxw_a),
+        ("exp w250", lambda n, s: exponential_stream(100.0, n, s), maxw_a),
+        ("exp w500", lambda n, s: exponential_stream(100.0, n, s), maxw_b),
+    ]
+
+
+def _probabilities(scale: ExperimentScale) -> list[float]:
+    if scale.name == "small":
+        return [1e-2, 1e-4, 1e-6, 1e-8, 1e-10]
+    return [10.0**-k for k in range(2, 11)]
+
+
+def _shrunk(params: SearchParams) -> SearchParams:
+    """Heavily reduced caps for the empirical-model search.
+
+    Every state evaluation under the empirical model is a full detection
+    run over the measurement sample — three to four orders of magnitude
+    more expensive than a theoretical-model evaluation.
+    """
+    return SearchParams(
+        max_same_size_states=min(6, params.max_same_size_states),
+        max_final_states=min(8, params.max_final_states),
+        max_expansions=min(40, params.max_expansions),
+    )
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentTable:
+    scale = scale or get_scale()
+    table = ExperimentTable(
+        title="Fig. 10 — theoretical vs empirical cost model",
+        headers=[
+            "dataset",
+            "p",
+            "predicted(theo)",
+            "measured(theo)",
+            "pred/meas",
+            "measured(emp)",
+            "search_s(theo)",
+            "search_s(emp)",
+        ],
+    )
+    for name, gen, maxw in _configs(scale):
+        train = gen(scale.training_length, _SEED)
+        data = gen(scale.stream_length, _SEED + 1)
+        emp_train = train[:_EMP_SAMPLE]
+        for p in _probabilities(scale):
+            thresholds = NormalThresholds.from_data(train, p, all_sizes(maxw))
+            theo_model = TheoreticalCostModel(
+                thresholds, EmpiricalProbabilityModel(train)
+            )
+            theo = BestFirstSearch(
+                thresholds, theo_model, scale.search_params
+            ).run()
+            emp = BestFirstSearch(
+                thresholds,
+                EmpiricalCostModel(emp_train, thresholds),
+                _shrunk(scale.search_params),
+            ).run()
+            m_theo = measure_detector(theo.structure, thresholds, data, "theo")
+            m_emp = measure_detector(emp.structure, thresholds, data, "emp")
+            predicted = int(theo.cost_per_point * data.size)
+            table.add(
+                name,
+                p,
+                predicted,
+                m_theo.operations,
+                round(predicted / max(1, m_theo.operations), 3),
+                m_emp.operations,
+                round(theo.elapsed_seconds, 3),
+                round(emp.elapsed_seconds, 3),
+            )
+    table.notes.append(
+        "paper point 1: the theoretical model tracks actual cost "
+        "(pred/meas near 1)"
+    )
+    table.notes.append(
+        "paper point 2: theoretical-model structures match or beat "
+        "empirical-model structures at a fraction of the search cost; "
+        "the empirical search runs under tiny caps here (see module doc), "
+        "so its structures are worse than the paper's generously-budgeted "
+        "empirical curves"
+    )
+    return table
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

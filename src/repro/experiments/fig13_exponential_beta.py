@@ -1,0 +1,81 @@
+"""Fig. 13 — the effect of beta in the exponential distribution.
+
+Sweep the exponential scale beta over 1..1000 at burst probability 1e-6.
+Paper shape: because the exponential distribution has ``mu/sigma = 1``
+regardless of beta, the alarm probability — and hence cost and the chosen
+structure's density — shows no systematic trend in beta, and the SAT cost
+stays below the SBT's throughout.
+"""
+
+from __future__ import annotations
+
+from ..core.naive import naive_operation_count
+from ..core.sbt import shifted_binary_tree
+from ..core.search import train_structure
+from ..core.thresholds import NormalThresholds, all_sizes
+from ..streams.generators import exponential_stream
+from .common import (
+    ExperimentScale,
+    ExperimentTable,
+    get_scale,
+    measure_detector,
+)
+
+__all__ = ["run", "main"]
+
+_SEED = 1313
+BETAS = [1.0, 10.0, 50.0, 100.0, 500.0, 1000.0]
+BURST_PROBABILITY = 1e-6
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentTable:
+    scale = scale or get_scale()
+    maxw = scale.window_cap(250)
+    sizes = all_sizes(maxw)
+    sbt = shifted_binary_tree(maxw)
+    table = ExperimentTable(
+        title="Fig. 13 — exponential beta sweep (p = 1e-6, sizes 1..%d)"
+        % maxw,
+        headers=[
+            "beta",
+            "ops(SAT)",
+            "ops(SBT)",
+            "ops(naive)",
+            "alarm(SAT)",
+            "alarm(SBT)",
+            "density(SAT)",
+            "density(SBT)",
+        ],
+    )
+    for beta in BETAS:
+        train = exponential_stream(beta, scale.training_length, _SEED)
+        data = exponential_stream(beta, scale.stream_length, _SEED + 1)
+        thresholds = NormalThresholds.from_data(
+            train, BURST_PROBABILITY, sizes
+        )
+        sat = train_structure(train, thresholds, params=scale.search_params)
+        m_sat = measure_detector(sat, thresholds, data, "SAT")
+        m_sbt = measure_detector(sbt, thresholds, data, "SBT")
+        table.add(
+            beta,
+            m_sat.operations,
+            m_sbt.operations,
+            naive_operation_count(data.size, len(sizes)),
+            round(m_sat.alarm_probability, 4),
+            round(m_sbt.alarm_probability, 4),
+            round(m_sat.density, 5),
+            round(m_sbt.density, 5),
+        )
+    table.notes.append(
+        "paper: beta has no noticeable effect (mu/sigma = 1 for all beta); "
+        "SAT <= SBT throughout"
+    )
+    return table
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

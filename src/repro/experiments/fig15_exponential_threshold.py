@@ -1,0 +1,89 @@
+"""Fig. 15 — the effect of the burst probability, exponential data.
+
+The paper's headline synthetic result: on exponential data across burst
+probabilities 1e-2..1e-10, the Shifted Aggregation Tree beats the Shifted
+Binary Tree by "a multiplicative factor of 35" at the most favourable
+settings.  The exponential's heavy right tail keeps the SBT's fixed ~4x
+bounding ratio alarming constantly, while the adapted SAT drives its
+bounding ratio toward 1 exactly at the levels that matter.
+
+Reproduced series: cost / alarm probability / density for SAT and SBT per
+p, plus the speedup column the headline comes from.
+"""
+
+from __future__ import annotations
+
+from ..core.naive import naive_operation_count
+from ..core.sbt import shifted_binary_tree
+from ..core.search import train_structure
+from ..core.thresholds import NormalThresholds, all_sizes
+from ..streams.generators import exponential_stream
+from .common import (
+    ExperimentScale,
+    ExperimentTable,
+    get_scale,
+    measure_detector,
+)
+
+__all__ = ["run", "main"]
+
+_SEED = 1515
+BETA = 100.0
+
+
+def probabilities(scale: ExperimentScale) -> list[float]:
+    ks = range(2, 11, 2) if scale.name == "small" else range(2, 11)
+    return [10.0**-k for k in ks]
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentTable:
+    scale = scale or get_scale()
+    maxw = scale.window_cap(250)
+    sizes = all_sizes(maxw)
+    sbt = shifted_binary_tree(maxw)
+    train = exponential_stream(BETA, scale.training_length, _SEED)
+    data = exponential_stream(BETA, scale.stream_length, _SEED + 1)
+    table = ExperimentTable(
+        title="Fig. 15 — burst probability sweep, exponential(beta = %g)"
+        % BETA,
+        headers=[
+            "p",
+            "ops(SAT)",
+            "ops(SBT)",
+            "ops(naive)",
+            "speedup",
+            "alarm(SAT)",
+            "alarm(SBT)",
+            "density(SAT)",
+            "density(SBT)",
+        ],
+    )
+    for p in probabilities(scale):
+        thresholds = NormalThresholds.from_data(train, p, sizes)
+        sat = train_structure(train, thresholds, params=scale.search_params)
+        m_sat = measure_detector(sat, thresholds, data, "SAT")
+        m_sbt = measure_detector(sbt, thresholds, data, "SBT")
+        table.add(
+            p,
+            m_sat.operations,
+            m_sbt.operations,
+            naive_operation_count(data.size, len(sizes)),
+            round(m_sbt.operations / max(1, m_sat.operations), 2),
+            round(m_sat.alarm_probability, 4),
+            round(m_sbt.alarm_probability, 4),
+            round(m_sat.density, 5),
+            round(m_sbt.density, 5),
+        )
+    table.notes.append(
+        "paper: SAT/SBT speedup grows as p shrinks, up to ~35x at the "
+        "most favourable settings"
+    )
+    return table
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Table 2 — statistics of the real-world data sets.
+
+The paper's Table 2 reports size/mean/std/min/max for the SDSS SkyServer
+traffic and the IBM stock volume.  We report the same statistics for the
+simulated surrogates next to the paper's values, which doubles as the
+calibration record for the substitution (DESIGN.md §4).  Surrogate
+segments are much shorter than the originals (the originals span a year+
+of seconds), so moments carry sampling noise; the match to check is order
+of magnitude and shape (IBM's std ~10x its mean; SDSS's std ~0.5x).
+"""
+
+from __future__ import annotations
+
+from ..streams.stats import describe
+from .common import ExperimentScale, ExperimentTable, get_scale
+from .datasets import ibm_stream, sdss_stream
+
+__all__ = ["run", "main", "PAPER_STATS"]
+
+#: The paper's Table 2, verbatim.
+PAPER_STATS = {
+    "SDSS": {"size": 31_536_000, "mean": 120.95, "std": 64.87, "min": 0.0, "max": 576.0},
+    "IBM": {"size": 23_085_000, "mean": 287.06, "std": 2_796.05, "min": 0.0, "max": 2_806_500.0},
+}
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentTable:
+    scale = scale or get_scale()
+    table = ExperimentTable(
+        title="Table 2 — data set statistics (simulated surrogate vs paper)",
+        headers=["dataset", "which", "size", "mean", "std", "min", "max"],
+    )
+    for name, data in (
+        ("SDSS", sdss_stream(scale)),
+        ("IBM", ibm_stream(scale)),
+    ):
+        stats = describe(data)
+        table.add(
+            name,
+            "simulated",
+            stats.size,
+            round(stats.mean, 2),
+            round(stats.std, 2),
+            stats.min,
+            stats.max,
+        )
+        paper = PAPER_STATS[name]
+        table.add(
+            name,
+            "paper",
+            paper["size"],
+            paper["mean"],
+            paper["std"],
+            paper["min"],
+            paper["max"],
+        )
+    table.notes.append(
+        "surrogate segments are shorter than the year+ originals; compare "
+        "shape (std/mean ratio), not exact values"
+    )
+    return table
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Table 6 — highly-correlated stock bursts at different resolutions.
+
+The paper's §5.4 data-mining application: detect trading-volume bursts per
+stock at window sizes 10/30/60/300 seconds (burst probability 1e-9 in the
+paper; scaled up here because surrogate streams are far shorter), convert
+to 0/1 indicator strings, correlate, and report groups of co-bursting
+stocks per resolution — finding same-sector groups like CSCO/MSFT/ORCL.
+
+Because the stock universe here is simulated with *planted* sector
+co-bursts (see ``repro.streams.correlated``), the reproduction can go one
+step further than the paper's anecdote: it scores the recovered groups
+against the planted ground truth (a pair of stocks is truly correlated iff
+they share a sector or only market-wide events hit them together).
+"""
+
+from __future__ import annotations
+
+from ..mining import mine_burst_correlations
+from ..streams.correlated import StockUniverse
+from .common import ExperimentScale, ExperimentTable, get_scale
+
+__all__ = ["run", "main"]
+
+WINDOW_SIZES = (10, 30, 60, 300)
+BURST_PROBABILITY = 1e-7
+CUTOFF = 0.4
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentTable:
+    scale = scale or get_scale()
+    universe = StockUniverse(seed=66)
+    data, _events = universe.generate(scale.stream_length)
+    reports = mine_burst_correlations(
+        data,
+        window_sizes=WINDOW_SIZES,
+        burst_probability=BURST_PROBABILITY,
+        cutoff=CUTOFF,
+        training_points=scale.training_length,
+    )
+    table = ExperimentTable(
+        title="Table 6 — highly-correlated stocks at different resolutions "
+        "(simulated universe, planted sector structure)",
+        headers=["resolution", "groups", "pairs", "sector_purity"],
+    )
+    for report in reports:
+        pairs = list(report.pair_correlations)
+        if pairs:
+            same_sector = sum(
+                universe.sector_of(a) == universe.sector_of(b)
+                for a, b in pairs
+            )
+            purity = same_sector / len(pairs)
+        else:
+            purity = float("nan")
+        table.add(
+            f"{report.window_size}s",
+            ", ".join("/".join(g) for g in report.groups) or "(none)",
+            len(pairs),
+            round(purity, 3),
+        )
+    table.notes.append(
+        "paper: same-sector stocks correlate strongly "
+        "(e.g. CSCO/MSFT/ORCL); groups grow with the resolution window"
+    )
+    table.notes.append(
+        "sector_purity scores recovered pairs against the planted ground "
+        "truth (cross-sector pairs can be legitimate via market-wide events)"
+    )
+    return table
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

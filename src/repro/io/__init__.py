@@ -1,0 +1,15 @@
+"""Persistence for trained detector configurations, plus the CLI backend.
+
+A deployed burst monitor needs to carry its tuned pieces across process
+restarts: the window-size grid, the thresholds, the adapted structure,
+and enough provenance to know what they were trained on.
+:class:`DetectorSpec` bundles exactly that, serializes to a single JSON
+document, and rebuilds a ready :class:`~repro.core.chunked.ChunkedDetector`.
+
+``python -m repro`` (see ``repro.__main__``) exposes train/detect/inspect
+commands over CSV streams backed by this module.
+"""
+
+from .spec import DetectorSpec, load_spec, save_spec
+
+__all__ = ["DetectorSpec", "save_spec", "load_spec"]

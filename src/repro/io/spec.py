@@ -1,0 +1,155 @@
+"""Detector specifications: everything a deployment needs, as one JSON doc.
+
+The format is deliberately explicit (thresholds are stored as the literal
+per-size table, not as a recipe), so a spec detects identically even if
+threshold-fitting code changes between library versions.  Provenance
+fields record how the spec was produced.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.aggregates import AggregateFunction, aggregate_by_name
+from ..core.chunked import ChunkedDetector
+from ..core.structure import SATStructure
+from ..core.thresholds import FixedThresholds, ThresholdModel
+
+__all__ = ["DetectorSpec", "save_spec", "load_spec"]
+
+_FORMAT = "repro.detector-spec.v1"
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """A trained, serializable detector configuration."""
+
+    structure: SATStructure
+    thresholds: ThresholdModel
+    aggregate_name: str = "sum"
+    provenance: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        aggregate_by_name(self.aggregate_name)  # validate early
+        if not self.structure.covers(self.thresholds.max_window):
+            raise ValueError(
+                f"structure coverage {self.structure.coverage} cannot "
+                f"detect windows up to {self.thresholds.max_window}"
+            )
+
+    @property
+    def aggregate(self) -> AggregateFunction:
+        return aggregate_by_name(self.aggregate_name)
+
+    def build_detector(self) -> ChunkedDetector:
+        """A fresh detector implementing this spec."""
+        return ChunkedDetector(self.structure, self.thresholds, self.aggregate)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": _FORMAT,
+            "structure": self.structure.to_dict(),
+            "thresholds": {
+                str(int(w)): float(self.thresholds.threshold(int(w)))
+                for w in self.thresholds.window_sizes
+            },
+            "aggregate": self.aggregate_name,
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DetectorSpec":
+        if payload.get("format") != _FORMAT:
+            raise ValueError(
+                f"not a detector spec (format={payload.get('format')!r})"
+            )
+        structure = SATStructure.from_dict(payload["structure"])
+        table = {
+            int(w): float(f) for w, f in payload["thresholds"].items()
+        }
+        return cls(
+            structure=structure,
+            thresholds=FixedThresholds(table),
+            aggregate_name=payload.get("aggregate", "sum"),
+            provenance=dict(payload.get("provenance", {})),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DetectorSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- convenience constructors ------------------------------------------
+    @classmethod
+    def train(
+        cls,
+        training_data: np.ndarray,
+        burst_probability: float,
+        window_sizes,
+        threshold_kind: str = "normal",
+        search_params=None,
+    ) -> "DetectorSpec":
+        """Fit thresholds and adapt a structure in one step.
+
+        ``threshold_kind`` is ``"normal"`` (the paper's formula) or
+        ``"empirical"`` (training-data quantiles).
+        """
+        from ..core.search import train_structure
+        from ..core.thresholds import EmpiricalThresholds, NormalThresholds
+
+        training_data = np.asarray(training_data, dtype=np.float64)
+        if threshold_kind == "normal":
+            thresholds: ThresholdModel = NormalThresholds.from_data(
+                training_data, burst_probability, window_sizes
+            )
+        elif threshold_kind == "empirical":
+            thresholds = EmpiricalThresholds(
+                training_data, burst_probability, window_sizes
+            )
+        else:
+            raise ValueError(
+                "threshold_kind must be 'normal' or 'empirical'"
+            )
+        structure = train_structure(
+            training_data, thresholds, params=search_params
+        )
+        return cls(
+            structure=structure,
+            thresholds=thresholds,
+            provenance={
+                "trained_on_points": int(training_data.size),
+                "training_mean": float(training_data.mean()),
+                "training_std": float(training_data.std(ddof=0)),
+                "burst_probability": float(burst_probability),
+                "threshold_kind": threshold_kind,
+            },
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary."""
+        lines = [
+            f"detector spec: aggregate={self.aggregate_name}, "
+            f"{self.thresholds.window_sizes.size} window sizes up to "
+            f"{self.thresholds.max_window}",
+            self.structure.describe(),
+        ]
+        if self.provenance:
+            lines.append(f"provenance: {self.provenance}")
+        return "\n".join(lines)
+
+
+def save_spec(spec: DetectorSpec, path: str | Path) -> None:
+    """Write a spec to a JSON file."""
+    Path(path).write_text(spec.to_json() + "\n")
+
+
+def load_spec(path: str | Path) -> DetectorSpec:
+    """Read a spec from a JSON file."""
+    return DetectorSpec.from_json(Path(path).read_text())

@@ -1,0 +1,31 @@
+"""Burst-correlation mining — the paper's §5.4 sample application.
+
+High-performance burst detection is "a preliminary primitive for further
+knowledge discovery": here, detected bursts become 0/1 indicator strings
+per (stock, window size), indicator strings are correlated pairwise at
+each time resolution, and strongly-correlated stocks are grouped —
+reproducing the paper's Table 6 workflow end to end on the simulated
+stock universe.
+"""
+
+from .burst_strings import burst_indicator, burst_indicators
+from .episodes import Episode, burst_episodes
+from .correlation import (
+    correlation_matrix,
+    indicator_correlation,
+    jaccard_similarity,
+)
+from .groups import CorrelationReport, correlated_groups, mine_burst_correlations
+
+__all__ = [
+    "burst_indicator",
+    "burst_indicators",
+    "Episode",
+    "burst_episodes",
+    "indicator_correlation",
+    "jaccard_similarity",
+    "correlation_matrix",
+    "correlated_groups",
+    "mine_burst_correlations",
+    "CorrelationReport",
+]

@@ -1,0 +1,54 @@
+"""Bursts to 0/1 indicator strings (paper §5.4).
+
+"The bursts detected are converted to a 0-1 string where 0 means no burst
+and 1 means a burst" — one string per window size of interest, one
+position per stream time point, set at the burst window's *end* time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.events import Burst, BurstSet
+
+__all__ = ["burst_indicator", "burst_indicators"]
+
+
+def burst_indicator(
+    bursts: BurstSet | Iterable[Burst], length: int, size: int
+) -> np.ndarray:
+    """0/1 array of ``length``: 1 where a burst of window ``size`` ends."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    out = np.zeros(int(length), dtype=np.int8)
+    for b in bursts:
+        if b.size != size:
+            continue
+        if not 0 <= b.end < length:
+            raise ValueError(
+                f"burst end {b.end} outside stream of length {length}"
+            )
+        out[b.end] = 1
+    return out
+
+
+def burst_indicators(
+    bursts: BurstSet | Iterable[Burst],
+    length: int,
+    sizes: Iterable[int],
+) -> dict[int, np.ndarray]:
+    """Indicator string per window size, in one pass over the bursts."""
+    sizes = [int(w) for w in sizes]
+    out = {w: np.zeros(int(length), dtype=np.int8) for w in sizes}
+    for b in bursts:
+        row = out.get(b.size)
+        if row is None:
+            continue
+        if not 0 <= b.end < length:
+            raise ValueError(
+                f"burst end {b.end} outside stream of length {length}"
+            )
+        row[b.end] = 1
+    return out

@@ -1,0 +1,94 @@
+"""Collapsing burst windows into episodes.
+
+Elastic burst detection reports *every* over-threshold ``(end, size)``
+window, so one real-world event — a flash crash, a gamma-ray burst, a
+DDoS wave — typically surfaces as hundreds of overlapping windows across
+neighbouring positions and sizes.  Consumers usually want the *event*:
+its extent, its strongest window, how far over threshold it went.
+
+:func:`burst_episodes` groups bursts whose time extents overlap (or lie
+within ``gap`` points of each other) into :class:`Episode` records, each
+carrying the covered extent and the strongest constituent window (the
+one with the largest threshold *excess* — raw aggregates are incomparable
+across sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.events import Burst, BurstSet
+from ..core.thresholds import ThresholdModel
+
+__all__ = ["Episode", "burst_episodes"]
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One contiguous burst event reconstructed from window reports."""
+
+    start: int
+    end: int
+    num_windows: int
+    strongest: Burst
+    #: The strongest window's aggregate minus its threshold.
+    peak_excess: float
+
+    @property
+    def duration(self) -> int:
+        """Time points covered by the episode."""
+        return self.end - self.start + 1
+
+    def __str__(self) -> str:
+        return (
+            f"episode [{self.start}, {self.end}] "
+            f"({self.num_windows} windows; strongest size "
+            f"{self.strongest.size} @ {self.strongest.end}, "
+            f"+{self.peak_excess:g} over threshold)"
+        )
+
+
+def burst_episodes(
+    bursts: BurstSet | Iterable[Burst],
+    thresholds: ThresholdModel,
+    gap: int = 0,
+) -> list[Episode]:
+    """Group overlapping burst windows into episodes, in stream order.
+
+    Two bursts belong to the same episode when their window extents
+    overlap or are separated by at most ``gap`` points.  ``thresholds``
+    supplies each size's threshold so windows of different sizes can be
+    ranked by *excess*.
+    """
+    if gap < 0:
+        raise ValueError("gap must be non-negative")
+    ordered = sorted(bursts, key=lambda b: (b.start, b.end))
+    episodes: list[Episode] = []
+    if not ordered:
+        return episodes
+
+    def excess(b: Burst) -> float:
+        return b.value - thresholds.threshold(b.size)
+
+    group_start = ordered[0].start
+    group_end = ordered[0].end
+    group_count = 1
+    best = ordered[0]
+    for b in ordered[1:]:
+        if b.start <= group_end + gap + 1:
+            group_end = max(group_end, b.end)
+            group_count += 1
+            if excess(b) > excess(best):
+                best = b
+        else:
+            episodes.append(
+                Episode(group_start, group_end, group_count, best, excess(best))
+            )
+            group_start, group_end = b.start, b.end
+            group_count = 1
+            best = b
+    episodes.append(
+        Episode(group_start, group_end, group_count, best, excess(best))
+    )
+    return episodes

@@ -1,0 +1,61 @@
+"""Spatial (2-D) elastic burst detection.
+
+The paper's conclusion (§7) points out that "this framework — aggregation
+pyramid along with a simple adaptive search methodology — can be extended
+to spatial burst detection", citing Neill & Moore's overlap-kd trees as
+the fixed-structure analogue of the Shifted Binary Tree.  This package
+carries the extension out:
+
+* a 2-D aggregation substrate (summed-area tables: O(1) box sums);
+* :class:`SpatialStructure` — square filter boxes of size ``h`` placed on
+  an ``s x s`` grid, one level per scale, with the same
+  shift-divisibility and overlap/cover constraints as the 1-D SAT (the
+  shadow property holds per axis, so every ``w x w`` region with
+  ``w <= h - s + 1`` is contained in some level box);
+* :class:`SpatialDetector` — filter + detailed-search detection of every
+  square region whose aggregate meets its size's threshold, with the same
+  RAM-model operation accounting as the 1-D detectors;
+* a naive per-size baseline and an adapted-structure search reusing the
+  1-D cost-model machinery.
+
+Windows are squares (the setting of Neill & Moore's first papers); the
+threshold model is shared with the 1-D code — ``f(w)`` is indexed by the
+side length ``w``.
+"""
+
+from .aggregates2d import SummedAreaTable, sliding_box_sum
+from .detector2d import SpatialDetector, naive_spatial_detect
+from .events2d import SpatialBurst, SpatialBurstSet
+from .rectangles import (
+    RectangularDetector,
+    RectangularThresholds,
+    RectBurst,
+    RectBurstSet,
+    naive_rectangular_detect,
+    sliding_rect_sum,
+)
+from .search2d import spatial_cost_per_cell, train_spatial_structure
+from .structure2d import SpatialLevel, SpatialStructure, spatial_binary_structure
+from .thresholds2d import SpatialEmpiricalThresholds, SpatialNormalThresholds
+
+__all__ = [
+    "RectangularDetector",
+    "RectangularThresholds",
+    "RectBurst",
+    "RectBurstSet",
+    "naive_rectangular_detect",
+    "sliding_rect_sum",
+    "SpatialNormalThresholds",
+    "SpatialEmpiricalThresholds",
+    "SummedAreaTable",
+    "sliding_box_sum",
+    "SpatialLevel",
+    "SpatialStructure",
+    "spatial_binary_structure",
+    "SpatialBurst",
+    "SpatialBurstSet",
+    "SpatialDetector",
+    "naive_spatial_detect",
+    "train_spatial_structure",
+    "spatial_cost_per_cell",
+]

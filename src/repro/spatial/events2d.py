@@ -1,0 +1,86 @@
+"""Spatial burst events: square regions exceeding their size threshold."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["SpatialBurst", "SpatialBurstSet"]
+
+
+@dataclass(frozen=True, order=True)
+class SpatialBurst:
+    """A ``size x size`` region at top-left ``(row, col)`` over threshold."""
+
+    row: int
+    col: int
+    size: int
+    value: float
+
+    def key(self) -> tuple[int, int, int]:
+        """The ``(row, col, size)`` identity of the region."""
+        return (self.row, self.col, self.size)
+
+    def contains(self, row: int, col: int) -> bool:
+        """Whether the region covers grid cell ``(row, col)``."""
+        return (
+            self.row <= row < self.row + self.size
+            and self.col <= col < self.col + self.size
+        )
+
+    def overlaps(self, other: "SpatialBurst") -> bool:
+        """Whether two burst regions intersect."""
+        return (
+            self.row < other.row + other.size
+            and other.row < self.row + self.size
+            and self.col < other.col + other.size
+            and other.col < self.col + self.size
+        )
+
+
+class SpatialBurstSet:
+    """Sorted, de-duplicated collection of spatial bursts."""
+
+    def __init__(self, bursts: Iterable[SpatialBurst] = ()) -> None:
+        seen: dict[tuple[int, int, int], SpatialBurst] = {}
+        for b in bursts:
+            seen.setdefault(b.key(), b)
+        self._bursts = tuple(sorted(seen.values()))
+
+    def __len__(self) -> int:
+        return len(self._bursts)
+
+    def __iter__(self) -> Iterator[SpatialBurst]:
+        return iter(self._bursts)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, SpatialBurst):
+            return item.key() in self.keys()
+        if isinstance(item, tuple):
+            return item in self.keys()
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpatialBurstSet):
+            return NotImplemented
+        return self.keys() == other.keys()
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely hashed
+        return hash(tuple(self.keys()))
+
+    def __repr__(self) -> str:
+        return f"SpatialBurstSet({len(self._bursts)} bursts)"
+
+    def keys(self) -> set[tuple[int, int, int]]:
+        """The ``(row, col, size)`` identities."""
+        return {b.key() for b in self._bursts}
+
+    def sizes(self) -> tuple[int, ...]:
+        """Region sizes at which bursts occurred, sorted."""
+        return tuple(sorted({b.size for b in self._bursts}))
+
+    def covering(self, row: int, col: int) -> "SpatialBurstSet":
+        """Bursts whose region covers a given cell."""
+        return SpatialBurstSet(
+            b for b in self._bursts if b.contains(row, col)
+        )

@@ -1,0 +1,146 @@
+"""Adapting the spatial structure to the input (the §7 extension proper).
+
+The paper's methodology transfers wholesale: spatial structures are the
+same ``(size, shift)`` level lists as 1-D SATs, the transformation rule
+and the best-first search are identical, and only the cost model changes
+— in 2-D a level with shift ``s`` maintains one box per ``s^2`` grid
+cells, and an alarming box's detailed search region holds ``s^2`` origins
+per triggered size.  Per grid cell:
+
+* update: ``1 / s^2``;
+* filter: ``(1 + P_alarm * (log2|W_i| + 1)) / s^2``;
+* search: ``sum_{w in W_i} P[box(h) >= f(w)]`` (each origin is searched
+  at size ``w`` exactly when its covering box exceeds ``f(w)``).
+
+``P[box(h) >= f(w)]`` is estimated from a training grid's sliding box
+sums, mirroring the 1-D empirical probability model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core.search.bestfirst import BestFirstSearch, SearchParams
+from ..core.search.cost import CostModel
+from ..core.structure import Level
+from ..core.thresholds import ThresholdModel
+from .aggregates2d import sliding_box_sum
+from .structure2d import SpatialStructure
+
+__all__ = [
+    "SpatialProbabilityModel",
+    "SpatialTheoreticalCostModel",
+    "train_spatial_structure",
+    "spatial_cost_per_cell",
+]
+
+
+class SpatialProbabilityModel:
+    """Tail probabilities of box sums, estimated from a training grid."""
+
+    def __init__(self, grid: np.ndarray, cache_size: int = 128) -> None:
+        grid = np.asarray(grid, dtype=np.float64)
+        if grid.ndim != 2 or min(grid.shape) < 2:
+            raise ValueError("training grid must be 2-D, at least 2x2")
+        self.grid = grid
+        self.cache_size = int(cache_size)
+        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+
+    def _sorted_sums(self, size: int) -> np.ndarray:
+        cached = self._cache.get(size)
+        if cached is not None:
+            self._cache.move_to_end(size)
+            return cached
+        sums = sliding_box_sum(self.grid, size).ravel()
+        if sums.size == 0:
+            sums = np.array([self.grid.sum()])
+        sums = np.sort(sums)
+        self._cache[size] = sums
+        if len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return sums
+
+    def exceed_probabilities(
+        self, size: int, thresholds: np.ndarray
+    ) -> np.ndarray:
+        """P[sum of a ``size x size`` box >= threshold], per threshold."""
+        sums = self._sorted_sums(int(size))
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        below = np.searchsorted(sums, thresholds, side="left")
+        return (sums.size - below) / sums.size
+
+
+class SpatialTheoreticalCostModel(CostModel):
+    """Expected RAM-model operations per grid cell (see module docstring)."""
+
+    def __init__(
+        self,
+        thresholds: ThresholdModel,
+        probability_model: SpatialProbabilityModel,
+    ) -> None:
+        self.thresholds = thresholds
+        self.probability_model = probability_model
+        self._term_cache: dict[tuple[int, int, int, int], float] = {}
+
+    def base_term(self) -> float:
+        term = 1.0
+        if 1 in self.thresholds:
+            term += 1.0
+        return term
+
+    def level_term(self, below: Level, level: Level) -> float:
+        key = (below.size, below.shift, level.size, level.shift)
+        cached = self._term_cache.get(key)
+        if cached is not None:
+            return cached
+        lo = below.size - below.shift + 2
+        hi = level.size - level.shift + 1
+        boxes = 1.0 / (level.shift**2)
+        sizes = (
+            self.thresholds.sizes_in(lo, hi)
+            if lo <= hi
+            else np.empty(0, np.int64)
+        )
+        if sizes.size == 0:
+            term = boxes
+        else:
+            fs = np.array([self.thresholds.threshold(int(w)) for w in sizes])
+            probs = self.probability_model.exceed_probabilities(
+                level.size, fs
+            )
+            p_alarm = float(probs.max())
+            refine = int(sizes.size).bit_length()
+            term = boxes * (2.0 + p_alarm * refine) + float(probs.sum())
+        self._term_cache[key] = term
+        return term
+
+
+def spatial_cost_per_cell(
+    structure: SpatialStructure,
+    thresholds: ThresholdModel,
+    training_grid: np.ndarray,
+) -> float:
+    """Convenience: model-predicted operations per grid cell."""
+    model = SpatialTheoreticalCostModel(
+        thresholds, SpatialProbabilityModel(training_grid)
+    )
+    return model.cost_per_point(structure.base)
+
+
+def train_spatial_structure(
+    training_grid: np.ndarray,
+    thresholds: ThresholdModel,
+    params: SearchParams | None = None,
+) -> SpatialStructure:
+    """Find an efficient spatial structure for the given input.
+
+    Reuses the 1-D best-first search verbatim — states and the
+    transformation rule are shared; only the cost model is 2-D.
+    """
+    model = SpatialTheoreticalCostModel(
+        thresholds, SpatialProbabilityModel(training_grid)
+    )
+    result = BestFirstSearch(thresholds, model, params).run()
+    return SpatialStructure(result.structure)

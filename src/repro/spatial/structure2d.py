@@ -1,0 +1,116 @@
+"""Spatial filter structures: square boxes on a shifted grid, per scale.
+
+A spatial level places filter boxes of side ``size`` with their top-left
+corners on an ``shift x shift`` lattice (clamped at the grid border so
+every cell is covered).  The 1-D SAT constraints apply unchanged per
+axis — sizes strictly increase, shifts divide, neighbouring boxes overlap
+enough to cover the level below — so a :class:`SpatialStructure` simply
+*wraps* a validated :class:`~repro.core.structure.SATStructure` and adds
+the 2-D geometry: every ``w x w`` region with ``w <= size - shift + 1``
+is contained in some level box (the 1-D shadow property applied to rows
+and to columns independently), and each region is *assigned* to exactly
+one box (the one whose lattice origin is the last at or before the
+region's corner, per axis), which makes detailed search regions disjoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.structure import Level, SATStructure
+
+__all__ = [
+    "SpatialLevel",
+    "SpatialStructure",
+    "spatial_binary_structure",
+]
+
+#: A spatial level reuses the 1-D level record: (size, shift) per axis.
+SpatialLevel = Level
+
+
+class SpatialStructure:
+    """A multi-scale overlapping-box filter structure over a 2-D grid."""
+
+    def __init__(self, base: SATStructure) -> None:
+        self.base = base
+
+    @classmethod
+    def from_pairs(cls, pairs) -> "SpatialStructure":
+        """Build from ``(size, shift)`` pairs for levels above 0."""
+        return cls(SATStructure.from_pairs(pairs))
+
+    # -- delegated 1-D geometry ------------------------------------------
+    @property
+    def levels(self) -> tuple[Level, ...]:
+        """All levels including level 0 (the raw cells)."""
+        return self.base.levels
+
+    @property
+    def num_levels(self) -> int:
+        return self.base.num_levels
+
+    @property
+    def coverage(self) -> int:
+        """Largest region side length this structure can detect."""
+        return self.base.coverage
+
+    def covers(self, max_size: int) -> bool:
+        return self.base.covers(max_size)
+
+    def responsibility_range(self, level: int) -> tuple[int, int]:
+        """Region side lengths level ``level`` is responsible for."""
+        return self.base.responsibility_range(level)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpatialStructure):
+            return NotImplemented
+        return self.base == other.base
+
+    def __hash__(self) -> int:
+        return hash(("spatial", self.base))
+
+    def __repr__(self) -> str:
+        return f"Spatial{self.base!r}"
+
+    # -- 2-D geometry -----------------------------------------------------
+    @staticmethod
+    def lattice(extent: int, size: int, shift: int) -> np.ndarray:
+        """Box origins along one axis of length ``extent``.
+
+        Regular origins every ``shift`` cells, plus a border-clamped final
+        origin so the last box reaches the grid edge.  For ``size >=
+        extent`` a single box at 0 covers the whole axis.
+        """
+        if extent < 1:
+            raise ValueError("extent must be >= 1")
+        last = max(extent - size, 0)
+        origins = list(range(0, last + 1, shift))
+        if origins[-1] != last:
+            origins.append(last)
+        return np.asarray(origins, dtype=np.int64)
+
+    def nodes_per_cell(self) -> float:
+        """Filter boxes maintained per grid cell (border terms ignored)."""
+        return sum(1.0 / (lv.shift**2) for lv in self.levels)
+
+    def density(self, max_size: int | None = None) -> float:
+        """2-D analogue of the paper's density: boxes per pyramid cell.
+
+        The spatial "pyramid" has one cell per (origin, scale) pair, one
+        scale per side length up to ``max_size`` (default: coverage).
+        """
+        n = self.coverage if max_size is None else int(max_size)
+        return self.nodes_per_cell() / n
+
+
+def spatial_binary_structure(max_size: int) -> SpatialStructure:
+    """The fixed half-overlapping multi-scale grid (sizes 2^i, shifts 2^{i-1}).
+
+    The 2-D analogue of the Shifted Binary Tree, and in spirit the
+    overlap-kd partitioning of Neill & Moore that the paper relates to —
+    the baseline the adapted spatial structure is compared against.
+    """
+    from ..core.sbt import shifted_binary_tree
+
+    return SpatialStructure(shifted_binary_tree(max_size))

@@ -1,0 +1,48 @@
+"""Stream sources, synthetic generators, and real-data-set simulators.
+
+The paper evaluates on synthetic Poisson and exponential streams plus two
+proprietary data sets (SDSS SkyServer web traffic and NYSE TAQ IBM trading
+volume).  This package provides the synthetic generators exactly as
+described and statistically calibrated simulators standing in for the
+proprietary sets (see DESIGN.md §4 for the substitution rationale), along
+with chunked stream-source plumbing shared by examples and benches.
+"""
+
+from .bmodel import b_model_series
+from .correlated import BurstEvent, StockUniverse
+from .kleinberg import kleinberg_stream
+from .generators import (
+    constant_stream,
+    exponential_stream,
+    planted_burst_stream,
+    poisson_stream,
+    uniform_stream,
+)
+from .sdss import SDSSTrafficSimulator
+from .sliding_stats import ExponentialHistogram
+from .source import ArraySource, CSVSource, FunctionSource, StreamSource, detect_source
+from .stats import StreamStats, describe, histogram
+from .taq import TAQVolumeSimulator
+
+__all__ = [
+    "poisson_stream",
+    "exponential_stream",
+    "uniform_stream",
+    "constant_stream",
+    "planted_burst_stream",
+    "b_model_series",
+    "kleinberg_stream",
+    "ExponentialHistogram",
+    "SDSSTrafficSimulator",
+    "TAQVolumeSimulator",
+    "StockUniverse",
+    "BurstEvent",
+    "StreamStats",
+    "describe",
+    "histogram",
+    "StreamSource",
+    "ArraySource",
+    "FunctionSource",
+    "CSVSource",
+    "detect_source",
+]

@@ -1,0 +1,127 @@
+"""Correlated multi-stock volume universe for the mining application.
+
+The paper's §5.4 application scans 2003 tick data for the S&P 100,
+detects trading-volume bursts per stock at window sizes 10/30/60/300
+seconds, and reports groups of stocks whose burst indicator strings
+correlate (Table 6): same-sector groups (e.g. CSCO/MSFT/ORCL) plus some
+cross-sector surprises.
+
+That data set is proprietary, so :class:`StockUniverse` generates a
+universe with *planted* co-burst structure: every stock gets independent
+heavy-tailed background volume, and three kinds of volume events are
+injected — market-wide, sector-wide and idiosyncratic.  The generator
+returns the full ground-truth event log, letting tests verify that the
+burst-correlation pipeline recovers exactly the planted sector structure
+(a stronger check than eyeballing anecdotal groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BurstEvent", "StockUniverse", "DEFAULT_SECTORS"]
+
+#: A compact default universe: three recognizable sectors from the paper's
+#: Table 6 plus a catch-all, small enough for tests and examples.
+DEFAULT_SECTORS = {
+    "tech": ("CSCO", "MSFT", "ORCL", "IBM", "INTC"),
+    "consumer": ("PEP", "PFE", "PG", "KO"),
+    "financial": ("C", "GE", "XOM", "WFC", "USB"),
+    "other": ("WMT", "VZ", "T", "HD"),
+}
+
+
+@dataclass(frozen=True)
+class BurstEvent:
+    """One injected volume event (the ground truth for mining tests)."""
+
+    kind: str  # "market", "sector", or "single"
+    members: tuple[str, ...]
+    start: int
+    duration: int
+    magnitude: float
+
+
+@dataclass
+class StockUniverse:
+    """Generator of correlated per-second volume streams.
+
+    ``sectors`` maps sector name to ticker tuple.  Event rates are per
+    second; each event multiplies the affected stocks' volume by
+    ``magnitude`` for ``duration`` seconds (durations drawn uniformly from
+    ``duration_range``).
+    """
+
+    sectors: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_SECTORS)
+    )
+    base_volume: float = 50.0
+    lognormal_sigma: float = 1.2
+    market_event_rate: float = 1e-5
+    sector_event_rate: float = 4e-5
+    single_event_rate: float = 8e-5
+    magnitude_range: tuple[float, float] = (6.0, 20.0)
+    duration_range: tuple[int, int] = (10, 300)
+    seed: int | None = 0
+
+    @property
+    def tickers(self) -> tuple[str, ...]:
+        """All tickers, in sector order."""
+        return tuple(t for members in self.sectors.values() for t in members)
+
+    def sector_of(self, ticker: str) -> str:
+        """Sector name a ticker belongs to."""
+        for name, members in self.sectors.items():
+            if ticker in members:
+                return name
+        raise KeyError(ticker)
+
+    def _draw_events(
+        self, n: int, rng: np.random.Generator
+    ) -> list[BurstEvent]:
+        events: list[BurstEvent] = []
+        specs = [
+            ("market", self.market_event_rate, None),
+            ("sector", self.sector_event_rate, None),
+            ("single", self.single_event_rate, None),
+        ]
+        sector_names = list(self.sectors)
+        tickers = self.tickers
+        for kind, rate, _ in specs:
+            count = rng.poisson(rate * n)
+            for _ in range(count):
+                start = int(rng.integers(0, n))
+                duration = int(rng.integers(*self.duration_range))
+                magnitude = float(rng.uniform(*self.magnitude_range))
+                if kind == "market":
+                    members = tickers
+                elif kind == "sector":
+                    members = self.sectors[
+                        sector_names[int(rng.integers(len(sector_names)))]
+                    ]
+                else:
+                    members = (tickers[int(rng.integers(len(tickers)))],)
+                events.append(
+                    BurstEvent(kind, tuple(members), start, duration, magnitude)
+                )
+        return events
+
+    def generate(
+        self, n: int
+    ) -> tuple[dict[str, np.ndarray], list[BurstEvent]]:
+        """``n`` seconds of volume per ticker, plus the injected event log."""
+        rng = np.random.default_rng(self.seed)
+        sigma = self.lognormal_sigma
+        mu = np.log(self.base_volume) - sigma * sigma / 2.0
+        data = {
+            ticker: np.round(rng.lognormal(mu, sigma, int(n)))
+            for ticker in self.tickers
+        }
+        events = self._draw_events(int(n), rng)
+        for event in events:
+            stop = min(event.start + event.duration, int(n))
+            for ticker in event.members:
+                data[ticker][event.start : stop] *= event.magnitude
+        return data, events

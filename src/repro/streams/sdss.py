@@ -1,0 +1,94 @@
+"""Simulator standing in for the SDSS SkyServer traffic data set.
+
+The paper's first real-world data set records per-second request counts to
+the Sloan Digital Sky Survey SkyServer for all of 2003: 31,536,000 seconds
+with mean 120.95, standard deviation 64.87, minimum 0 and maximum 576
+(Table 2), and a unimodal, Poisson-looking histogram (Fig. 17a).  The raw
+log is not redistributable, so this module generates a statistically
+matched surrogate.
+
+Distribution choice.  The Table 2 variance (~4208) far exceeds the mean
+(~121), so per-second counts are strongly *overdispersed* relative to a
+pure Poisson.  Crucially, the paper's threshold formula ``f(w) = w*mu +
+sqrt(w)*sigma*Phi^{-1}(1-p)`` calibrates a per-window burst probability
+only if that excess variance lives at short time scales (so window sums
+concentrate like sums of i.i.d. draws); the paper's sane burst counts on
+the real data imply exactly that.  The surrogate therefore draws
+per-second counts from a **negative binomial** (a gamma-mixed Poisson —
+the standard overdispersed-arrivals model) whose dispersion supplies the
+bulk of the variance, modulated by a small diurnal + weekly rate cycle for
+realism.  The cycle amplitudes are deliberately kept inside the threshold
+margin ``sqrt(w)*sigma*Phi^{-1}(1-p)`` for the largest windows the paper
+uses — otherwise the slow mean drift alone would push whole stretches of
+window sums past their thresholds, flooding every detector with "bursts",
+behaviour the paper's measured costs rule out for the real data.  Default
+parameters land within a few percent of the Table 2 moments (see
+``tests/test_sdss.py``) while keeping the Fig. 17a unimodal shape and the
+calibration property the experiments need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SDSSTrafficSimulator"]
+
+_DAY = 86_400
+_WEEK = 7 * _DAY
+
+
+class SDSSTrafficSimulator:
+    """Overdispersed-count surrogate for SkyServer per-second traffic.
+
+    ``base_rate`` sets the mean; ``dispersion`` is the negative-binomial
+    shape ``r`` (variance ``mu + mu^2/r`` at fixed rate — smaller means
+    burstier); the amplitudes set the periodic rate swings.  Defaults are
+    calibrated to the paper's Table 2.
+    """
+
+    def __init__(
+        self,
+        base_rate: float = 121.0,
+        dispersion: float = 3.7,
+        diurnal_amplitude: float = 0.02,
+        weekly_amplitude: float = 0.01,
+        seed: int | None = None,
+    ) -> None:
+        if base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        if dispersion <= 0:
+            raise ValueError("dispersion must be positive")
+        if not 0 <= diurnal_amplitude < 1 or not 0 <= weekly_amplitude < 1:
+            raise ValueError("amplitudes must be in [0, 1)")
+        self.base_rate = float(base_rate)
+        self.dispersion = float(dispersion)
+        self.diurnal_amplitude = float(diurnal_amplitude)
+        self.weekly_amplitude = float(weekly_amplitude)
+        self.seed = seed
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        """Deterministic request rate at second-of-year indices ``t``."""
+        t = np.asarray(t, dtype=np.float64)
+        diurnal = 1.0 + self.diurnal_amplitude * np.sin(
+            2 * np.pi * t / _DAY - 0.6 * np.pi
+        )
+        weekly = 1.0 + self.weekly_amplitude * np.sin(2 * np.pi * t / _WEEK)
+        return self.base_rate * diurnal * weekly
+
+    def generate(self, n: int, start_second: int = 0) -> np.ndarray:
+        """``n`` seconds of simulated traffic starting at ``start_second``.
+
+        Distinct ``start_second`` values give distinct (deterministic,
+        seed-dependent) segments — used by the robustness experiment to
+        produce in-sample and out-of-sample training sets.
+        """
+        rng = np.random.default_rng(
+            None if self.seed is None else (self.seed, start_second)
+        )
+        t = np.arange(start_second, start_second + int(n))
+        lam = self.rate(t)
+        r = self.dispersion
+        # Negative binomial as a gamma-mixed Poisson with mean `lam` and
+        # shape `r`: success probability p = r / (r + lam).
+        p = r / (r + lam)
+        return rng.negative_binomial(r, p).astype(np.float64)

@@ -1,0 +1,123 @@
+"""Chunked stream sources: uniform plumbing from data to detectors.
+
+Detectors consume chunks (``process``/``finish``); a :class:`StreamSource`
+produces them.  Three concrete sources cover the common cases — in-memory
+arrays, generator functions (for unbounded simulation), and CSV files
+(one value per line, the format the paper's preprocessed logs reduce to).
+:func:`detect_source` glues any source to any detector.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..core.events import Burst
+
+__all__ = [
+    "StreamSource",
+    "ArraySource",
+    "FunctionSource",
+    "CSVSource",
+    "detect_source",
+]
+
+
+class StreamSource:
+    """Interface: iterate the stream as float64 chunks."""
+
+    def chunks(self, chunk_size: int) -> Iterator[np.ndarray]:
+        """Yield consecutive chunks of at most ``chunk_size`` values."""
+        raise NotImplementedError
+
+
+class ArraySource(StreamSource):
+    """A finite, in-memory stream."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+
+    def chunks(self, chunk_size: int) -> Iterator[np.ndarray]:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        for lo in range(0, self.data.size, chunk_size):
+            yield self.data[lo : lo + chunk_size]
+
+
+class FunctionSource(StreamSource):
+    """A stream produced on demand by ``generate(start, count)``.
+
+    Suited to the simulators in this package: chunks are generated lazily
+    so arbitrarily long streams never materialize in memory.  ``total``
+    bounds the stream (required — detectors need a finite run to flush).
+    """
+
+    def __init__(
+        self, generate: Callable[[int, int], np.ndarray], total: int
+    ) -> None:
+        if total < 0:
+            raise ValueError("total must be non-negative")
+        self.generate = generate
+        self.total = int(total)
+
+    def chunks(self, chunk_size: int) -> Iterator[np.ndarray]:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        produced = 0
+        while produced < self.total:
+            count = min(chunk_size, self.total - produced)
+            chunk = np.asarray(
+                self.generate(produced, count), dtype=np.float64
+            )
+            if chunk.size != count:
+                raise ValueError(
+                    f"generator returned {chunk.size} values, expected {count}"
+                )
+            yield chunk
+            produced += count
+
+
+class CSVSource(StreamSource):
+    """A stream stored as one non-negative value per line.
+
+    Blank lines are skipped; anything unparsable raises immediately (a
+    detection result on silently-corrupted input is worse than no result).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def chunks(self, chunk_size: int) -> Iterator[np.ndarray]:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        buffer: list[float] = []
+        with self.path.open() as fh:
+            for lineno, line in enumerate(fh, start=1):
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    value = float(text)
+                except ValueError:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: not a number: {text!r}"
+                    ) from None
+                buffer.append(value)
+                if len(buffer) == chunk_size:
+                    yield np.asarray(buffer, dtype=np.float64)
+                    buffer = []
+        if buffer:
+            yield np.asarray(buffer, dtype=np.float64)
+
+
+def detect_source(
+    detector, source: StreamSource, chunk_size: int = 1 << 16
+) -> list[Burst]:
+    """Run a detector over a source; returns all bursts in stream order."""
+    bursts: list[Burst] = []
+    for chunk in source.chunks(chunk_size):
+        bursts.extend(detector.process(chunk))
+    bursts.extend(detector.finish())
+    return sorted(bursts)

@@ -1,0 +1,82 @@
+"""Stream summary statistics and histograms (Table 2 / Fig. 17 style)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StreamStats", "describe", "histogram", "format_histogram"]
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """The Table 2 summary of a stream."""
+
+    size: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    def as_dict(self) -> dict:
+        return {
+            "size": self.size,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.size}  mean={self.mean:.2f}  std={self.std:.2f}  "
+            f"min={self.min:g}  max={self.max:g}"
+        )
+
+
+def describe(data: np.ndarray) -> StreamStats:
+    """Compute the Table 2 statistics of a stream."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot describe an empty stream")
+    return StreamStats(
+        size=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std(ddof=0)),
+        min=float(data.min()),
+        max=float(data.max()),
+    )
+
+
+def histogram(
+    data: np.ndarray, bins: int = 8, upper: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Counts and bin edges, Fig. 17 style (fixed-width bins from zero).
+
+    ``upper`` caps the histogram range (values above land in the last
+    bin), matching the paper's IBM histogram which buckets by
+    ``volume % 5000``-style fixed strides.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    top = float(data.max()) if upper is None else float(upper)
+    if top <= 0:
+        top = 1.0
+    edges = np.linspace(0.0, top, bins + 1)
+    counts, _ = np.histogram(np.minimum(data, top), bins=edges)
+    return counts, edges
+
+
+def format_histogram(
+    counts: np.ndarray, edges: np.ndarray, width: int = 40
+) -> str:
+    """ASCII rendering of a histogram, one bar per bin."""
+    counts = np.asarray(counts)
+    peak = counts.max() if counts.size else 1
+    lines = []
+    for i, c in enumerate(counts):
+        bar = "#" * int(round(width * (c / peak))) if peak else ""
+        lines.append(
+            f"[{edges[i]:>10.1f}, {edges[i + 1]:>10.1f})  {c:>10d}  {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Simulator standing in for the NYSE TAQ IBM trading-volume data set.
+
+The paper's second real-world data set aggregates tick-by-tick IBM trading
+volume per second over 2001-2004: 23,085,000 seconds, mean 287.06,
+standard deviation 2796.05 (nearly 10x the mean), minimum 0, maximum
+2,806,500 (Table 2); the Fig. 17b histogram concentrates almost all mass
+near zero.  The paper classifies this stream as "closer to the exponential
+distribution" — the extreme-skew, ``mu/sigma << 1`` regime where the
+Shifted Aggregation Tree's advantage over the Shifted Binary Tree peaks.
+
+The surrogate generates that regime structurally:
+
+* a trading-session mask (weekdays, 6.5 hours/day) creating the zero
+  plateau of nights and weekends;
+* in-session per-second volume drawn from a lognormal whose coefficient of
+  variation is calibrated so the *overall* moments land near Table 2;
+* rare volume jumps (block trades) from a Pareto tail, capped at the
+  observed maximum's order of magnitude.
+
+The detection-relevant property — the relation of window-sum tails to
+normal-approximation thresholds — is set by exactly these three features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TAQVolumeSimulator"]
+
+_DAY = 86_400
+_WEEK = 7 * _DAY
+_SESSION_OPEN = int(9.5 * 3600)  # 09:30
+_SESSION_CLOSE = 16 * 3600  # 16:00
+
+
+class TAQVolumeSimulator:
+    """Zero-inflated heavy-tailed surrogate for per-second trading volume."""
+
+    def __init__(
+        self,
+        mean_session_volume: float = 1500.0,
+        lognormal_sigma: float = 1.7,
+        jump_probability: float = 2e-5,
+        jump_scale: float = 2e5,
+        jump_tail: float = 1.6,
+        max_volume: float = 2.8e6,
+        seed: int | None = None,
+    ) -> None:
+        if mean_session_volume <= 0:
+            raise ValueError("mean_session_volume must be positive")
+        if not 0 <= jump_probability < 1:
+            raise ValueError("jump_probability must be in [0, 1)")
+        self.mean_session_volume = float(mean_session_volume)
+        self.lognormal_sigma = float(lognormal_sigma)
+        self.jump_probability = float(jump_probability)
+        self.jump_scale = float(jump_scale)
+        self.jump_tail = float(jump_tail)
+        self.max_volume = float(max_volume)
+        self.seed = seed
+
+    def session_mask(self, t: np.ndarray) -> np.ndarray:
+        """True where ``t`` (seconds since a Monday 00:00) is in a session."""
+        t = np.asarray(t, dtype=np.int64)
+        weekday = (t % _WEEK) // _DAY < 5
+        second_of_day = t % _DAY
+        in_hours = (second_of_day >= _SESSION_OPEN) & (
+            second_of_day < _SESSION_CLOSE
+        )
+        return weekday & in_hours
+
+    def generate(self, n: int, start_second: int = 0) -> np.ndarray:
+        """``n`` seconds of simulated volume starting at ``start_second``."""
+        rng = np.random.default_rng(
+            None if self.seed is None else (self.seed, start_second)
+        )
+        t = np.arange(start_second, start_second + int(n))
+        active = self.session_mask(t)
+        out = np.zeros(t.size, dtype=np.float64)
+        n_active = int(active.sum())
+        if n_active == 0:
+            return out
+        sigma = self.lognormal_sigma
+        mu = np.log(self.mean_session_volume) - sigma * sigma / 2.0
+        base = rng.lognormal(mu, sigma, n_active)
+        # Mild U-shaped intraday activity (heavier at open and close).
+        # Kept well inside the threshold margin sqrt(w)*sigma*z for the
+        # paper's window sizes, for the same calibration reason as the
+        # SDSS surrogate's cycle amplitudes (see repro.streams.sdss).
+        second_of_day = (t[active] % _DAY - _SESSION_OPEN).astype(np.float64)
+        session_len = _SESSION_CLOSE - _SESSION_OPEN
+        phase = second_of_day / session_len
+        base *= 0.92 + 0.24 * (2.0 * (phase - 0.5)) ** 2
+        # Rare block trades from a Pareto tail.
+        jumps = rng.random(n_active) < self.jump_probability
+        if jumps.any():
+            tail = rng.pareto(self.jump_tail, int(jumps.sum())) + 1.0
+            base[jumps] += self.jump_scale * tail
+        out[active] = np.minimum(np.round(base), self.max_volume)
+        return out

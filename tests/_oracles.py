@@ -1,0 +1,18 @@
+"""Brute-force oracles shared by the test modules."""
+
+import numpy as np
+
+
+def brute_force_bursts(data, thresholds, aggregate="sum"):
+    """O(k*N*w) oracle: literally evaluate every window from scratch."""
+    data = np.asarray(data, dtype=np.float64)
+    out = set()
+    for w in thresholds.window_sizes:
+        w = int(w)
+        f = thresholds.threshold(w)
+        for end in range(w - 1, data.size):
+            window = data[end - w + 1 : end + 1]
+            value = window.sum() if aggregate == "sum" else window.max()
+            if value >= f:
+                out.add((end, w))
+    return out

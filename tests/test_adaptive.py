@@ -1,0 +1,199 @@
+"""Tests for adaptive detection over time-evolving streams."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveDetector, DriftMonitor
+from repro.core.chunked import ChunkedDetector
+from repro.core.naive import naive_detect
+from repro.core.search import SearchParams, train_structure
+from repro.core.thresholds import NormalThresholds, all_sizes
+from repro.streams.generators import exponential_stream, poisson_stream
+
+FAST_SEARCH = SearchParams(
+    max_same_size_states=64, max_final_states=500, max_expansions=2_000
+)
+
+
+def drifting_stream(n_each, seed=0):
+    """Exponential stream whose scale jumps by 12x halfway through."""
+    a = exponential_stream(10.0, n_each, seed=seed)
+    b = exponential_stream(120.0, n_each, seed=seed + 1)
+    return np.concatenate((a, b))
+
+
+class TestDriftMonitor:
+    def test_no_drift_on_same_distribution(self, rng):
+        data = rng.poisson(10.0, 50_000).astype(float)
+        monitor = DriftMonitor(10.0, np.sqrt(10.0), tolerance=0.3)
+        monitor.observe(data)
+        assert not monitor.drifted()
+
+    def test_detects_mean_shift(self, rng):
+        monitor = DriftMonitor(10.0, np.sqrt(10.0), tolerance=0.3)
+        monitor.observe(rng.poisson(20.0, 20_000).astype(float))
+        assert monitor.drifted()
+
+    def test_detects_scale_shift(self, rng):
+        monitor = DriftMonitor(10.0, 10.0, tolerance=0.3)
+        monitor.observe(rng.exponential(10.0, 20_000) * 3)
+        assert monitor.drifted()
+
+    def test_reset(self, rng):
+        monitor = DriftMonitor(10.0, 3.0, tolerance=0.3)
+        monitor.observe(rng.poisson(30.0, 5_000).astype(float))
+        assert monitor.drifted()
+        monitor.reset(30.0, np.sqrt(30.0))
+        assert not monitor.drifted()
+        assert monitor.observed_points == 0
+
+    def test_empty_monitor_not_drifted(self):
+        monitor = DriftMonitor(5.0, 2.0, tolerance=0.3)
+        assert not monitor.drifted()
+        assert monitor.recent_moments() == (5.0, 2.0)
+
+
+class TestAdaptiveConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(relative_tolerance=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(min_era_points=0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(retrain_period=0)
+
+
+class TestAdaptiveDetector:
+    def _make(self, train, maxw=48, p=1e-5, **cfg):
+        thresholds = NormalThresholds.from_data(train, p, all_sizes(maxw))
+        config = AdaptiveConfig(
+            min_era_points=cfg.pop("min_era_points", 15_000),
+            retrain_window=cfg.pop("retrain_window", 8_000),
+            search_params=FAST_SEARCH,
+            **cfg,
+        )
+        return (
+            AdaptiveDetector(thresholds, train, config),
+            thresholds,
+        )
+
+    def test_exact_semantics_across_retraining(self):
+        data = drifting_stream(40_000, seed=3)
+        train = data[:8_000]
+        detector, thresholds = self._make(train)
+        got = detector.detect(data, chunk_size=7_777)
+        assert len(detector.eras) >= 2, "drift must trigger a retrain"
+        want = naive_detect(data, thresholds)
+        assert got == want
+
+    def test_no_retrain_on_stationary_stream(self):
+        data = poisson_stream(8.0, 60_000, seed=4)
+        detector, thresholds = self._make(data[:8_000])
+        got = detector.detect(data)
+        assert len(detector.eras) == 1
+        assert got == naive_detect(data, thresholds)
+
+    def test_periodic_retraining(self):
+        data = poisson_stream(8.0, 70_000, seed=5)
+        detector, thresholds = self._make(
+            data[:8_000], retrain_period=20_000
+        )
+        got = detector.detect(data, chunk_size=10_000)
+        assert len(detector.eras) >= 3
+        assert all(
+            era.reason in ("initial", "periodic") for era in detector.eras
+        )
+        assert got == naive_detect(data, thresholds)
+
+    def test_adaptation_beats_stale_structure(self):
+        # The payoff claim: after drift, the adapted structure costs less
+        # than continuing with the stale one.
+        data = drifting_stream(60_000, seed=6)
+        train = data[:8_000]
+        thresholds = NormalThresholds.from_data(train, 1e-5, all_sizes(48))
+        adaptive = AdaptiveDetector(
+            thresholds,
+            train,
+            AdaptiveConfig(
+                min_era_points=15_000,
+                retrain_window=8_000,
+                search_params=FAST_SEARCH,
+            ),
+        )
+        got = adaptive.detect(data)
+        stale_structure = train_structure(
+            train, thresholds, params=FAST_SEARCH
+        )
+        stale = ChunkedDetector(stale_structure, thresholds)
+        want = stale.detect(data)
+        assert got == want  # semantics identical either way
+        assert len(adaptive.eras) >= 2
+        assert (
+            adaptive.total_operations()
+            < stale.counters.total_operations
+        )
+
+    def test_burst_accounting_consistent(self):
+        data = drifting_stream(40_000, seed=7)
+        detector, _ = self._make(data[:8_000])
+        got = detector.detect(data, chunk_size=9_999)
+        assert detector.total_bursts() == len(got)
+
+    def test_era_bookkeeping(self):
+        data = drifting_stream(40_000, seed=8)
+        detector, _ = self._make(data[:8_000])
+        detector.detect(data)
+        assert detector.eras[0].reason == "initial"
+        assert detector.eras[0].start == 0
+        for earlier, later in zip(detector.eras, detector.eras[1:]):
+            assert earlier.end == later.start
+        assert detector.eras[-1].end == data.size
+        assert "era @" in detector.describe()
+
+    def test_process_after_finish_raises(self):
+        data = poisson_stream(5.0, 5_000, seed=9)
+        detector, _ = self._make(data, min_era_points=1_000_000)
+        detector.detect(data)
+        with pytest.raises(RuntimeError):
+            detector.process(np.ones(4))
+        with pytest.raises(RuntimeError):
+            detector.finish()
+
+    def test_structure_property_tracks_current_era(self):
+        data = drifting_stream(40_000, seed=10)
+        detector, _ = self._make(data[:8_000])
+        detector.detect(data)
+        assert detector.structure == detector.eras[-1].structure
+
+
+class TestPreload:
+    def test_preload_then_process_values_correct(self, rng):
+        data = rng.poisson(6.0, 4_000).astype(float)
+        thresholds = NormalThresholds.from_data(
+            data[:1_000], 1e-3, all_sizes(24)
+        )
+        from repro.core.sbt import shifted_binary_tree
+
+        structure = shifted_binary_tree(24)
+        whole = ChunkedDetector(structure, thresholds)
+        want = {b.key() for b in whole.detect(data)}
+        split = 2_000
+        part = ChunkedDetector(structure, thresholds)
+        part.preload(data[:split])
+        bursts = part.process(data[split:])
+        bursts.extend(part.finish())
+        got = {b.key() for b in bursts}
+        # Everything ending after the preload must be found, with exact
+        # aggregates for windows spanning the boundary.
+        want_after = {(t, w) for t, w in want if t >= split}
+        assert {k for k in got if k[0] >= split} == want_after
+
+    def test_preload_after_process_raises(self, rng):
+        data = rng.poisson(6.0, 100).astype(float)
+        thresholds = NormalThresholds.from_data(data, 1e-2, all_sizes(8))
+        from repro.core.sbt import shifted_binary_tree
+
+        d = ChunkedDetector(shifted_binary_tree(8), thresholds)
+        d.process(data)
+        with pytest.raises(RuntimeError):
+            d.preload(data)

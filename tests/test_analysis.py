@@ -1,0 +1,140 @@
+"""Unit tests for the alarm-probability analysis (paper §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    alarm_probability,
+    exceed_probability_normal,
+    level_alarm_probabilities,
+    run_metrics,
+    structure_alarm_probability,
+)
+from repro.core.chunked import ChunkedDetector
+from repro.core.sbt import shifted_binary_tree
+from repro.core.structure import SATStructure
+from repro.core.thresholds import FixedThresholds, NormalThresholds, all_sizes
+
+
+class TestExceedProbability:
+    def test_at_mean_is_half(self):
+        assert exceed_probability_normal(4, 4 * 10.0, 10.0, 2.0) == pytest.approx(0.5)
+
+    def test_far_above_mean_is_tiny(self):
+        assert exceed_probability_normal(4, 1000.0, 10.0, 2.0) < 1e-10
+
+    def test_zero_sigma_degenerates_to_step(self):
+        assert exceed_probability_normal(4, 39.0, 10.0, 0.0) == 1.0
+        assert exceed_probability_normal(4, 41.0, 10.0, 0.0) == 0.0
+
+
+class TestAlarmProbabilityFormula:
+    def test_consistent_with_threshold_plugin(self):
+        # The paper's (T, w) form must equal the direct tail probability
+        # of the normal threshold.
+        mu, sigma, p = 10.0, 3.0, 1e-4
+        w, big_w = 8, 24
+        th = NormalThresholds(mu, sigma, p, [w])
+        direct = exceed_probability_normal(big_w, th.threshold(w), mu, sigma)
+        paper_form = alarm_probability(big_w, w, mu, sigma, p)
+        assert paper_form == pytest.approx(direct, rel=1e-9)
+
+    def test_equal_sizes_gives_p(self):
+        # T = 1: the alarm probability is exactly the burst probability.
+        assert alarm_probability(8, 8, 10.0, 3.0, 1e-3) == pytest.approx(1e-3)
+
+    def test_increases_with_mu_over_sigma(self):
+        # Paper: larger mu/sigma -> larger P_a.
+        lo = alarm_probability(16, 4, 1.0, 2.0, 1e-4)
+        hi = alarm_probability(16, 4, 8.0, 2.0, 1e-4)
+        assert hi > lo
+
+    def test_decreases_with_smaller_burst_probability(self):
+        hi = alarm_probability(16, 4, 5.0, 2.0, 1e-2)
+        lo = alarm_probability(16, 4, 5.0, 2.0, 1e-8)
+        assert lo < hi
+
+    def test_decreases_with_smaller_bounding_ratio(self):
+        # Paper: as T decreases, so does P_a (same trigger size w).
+        tight = alarm_probability(6, 4, 5.0, 2.0, 1e-4)  # T = 1.5
+        loose = alarm_probability(16, 4, 5.0, 2.0, 1e-4)  # T = 4
+        assert tight < loose
+
+    def test_increases_with_window_size(self):
+        # Paper: at fixed T, larger w -> larger P_a.
+        small = alarm_probability(8, 2, 5.0, 2.0, 1e-4)  # T = 4
+        large = alarm_probability(64, 16, 5.0, 2.0, 1e-4)  # T = 4
+        assert large > small
+
+    def test_exponential_invariance_in_beta(self):
+        # mu/sigma = 1 for every beta: P_a must not depend on beta.
+        a = alarm_probability(16, 4, 10.0, 10.0, 1e-4)
+        b = alarm_probability(16, 4, 1000.0, 1000.0, 1e-4)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            alarm_probability(4, 8, 1.0, 1.0, 0.5)
+
+
+class TestLevelProbabilities:
+    def test_per_level_prediction_matches_measurement(self, rng):
+        # The normal-approximation prediction should land near the
+        # measured alarm rate on Poisson data (CLT regime).
+        lam = 20.0
+        data = rng.poisson(lam, 100_000).astype(float)
+        th = NormalThresholds(lam, np.sqrt(lam), 1e-3, all_sizes(32))
+        sbt = shifted_binary_tree(32)
+        predicted = level_alarm_probabilities(sbt, th, lam, np.sqrt(lam))
+        detector = ChunkedDetector(sbt, th)
+        detector.detect(data)
+        measured = detector.counters.alarm_probabilities()
+        # Compare mid levels (level 1 suffers discreteness; top levels
+        # have few nodes).
+        for i in (2, 3, 4):
+            assert measured[i] == pytest.approx(predicted[i], abs=0.05)
+
+    def test_inactive_level_predicts_zero(self):
+        structure = SATStructure.from_pairs([(4, 2), (10, 4)])
+        th = FixedThresholds({2: 50.0, 3: 60.0})  # nothing at level 2
+        probs = level_alarm_probabilities(structure, th, 5.0, 2.0)
+        assert probs[1] == 0.0
+
+    def test_structure_alarm_probability_weighting(self):
+        structure = SATStructure.from_pairs([(4, 2), (10, 4)])
+        th = NormalThresholds(5.0, 2.0, 1e-3, all_sizes(7))
+        # Level 1: shift 2, 2 sizes -> weight 4; level 2: shift 4, 4
+        # sizes -> weight 16.
+        agg = structure_alarm_probability(
+            structure, np.array([1.0, 0.0]), th
+        )
+        assert agg == pytest.approx(4 / 20)
+
+    def test_structure_alarm_probability_no_sizes(self):
+        structure = SATStructure.from_pairs([(4, 2)])
+        th = FixedThresholds({1: 1.0})
+        assert structure_alarm_probability(structure, np.array([0.5]), th) == 0.0
+
+
+class TestRunMetrics:
+    def test_metrics_from_run(self, rng):
+        data = rng.poisson(5.0, 5000).astype(float)
+        th = NormalThresholds.from_data(data[:1000], 1e-3, all_sizes(16))
+        sbt = shifted_binary_tree(16)
+        detector = ChunkedDetector(sbt, th)
+        bursts = detector.detect(data)
+        metrics = run_metrics(sbt, th, detector.counters)
+        assert metrics.operations == detector.counters.total_operations
+        assert metrics.bursts == len(bursts)
+        assert 0.0 <= metrics.alarm_probability <= 1.0
+        assert metrics.density == pytest.approx(sbt.density(16))
+        assert set(metrics.as_dict()) == {
+            "operations",
+            "updates",
+            "filter_comparisons",
+            "search_cells",
+            "alarms",
+            "bursts",
+            "density",
+            "alarm_probability",
+        }

@@ -1,0 +1,54 @@
+"""Unit tests for the b-model self-similar traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.streams.bmodel import b_model_series
+
+
+class TestBModel:
+    def test_length_and_conservation(self):
+        series = b_model_series(1000.0, 8, bias=0.8, seed=1)
+        assert series.size == 256
+        assert series.sum() == pytest.approx(1000.0)
+
+    def test_flat_at_half_bias(self):
+        series = b_model_series(1024.0, 5, bias=0.5, seed=2)
+        np.testing.assert_allclose(series, 32.0)
+
+    def test_burstiness_grows_with_bias(self):
+        flat = b_model_series(1e6, 12, bias=0.55, seed=3)
+        bursty = b_model_series(1e6, 12, bias=0.9, seed=3)
+        assert bursty.std() > 3 * flat.std()
+
+    def test_nonnegative(self):
+        assert (b_model_series(100.0, 10, bias=0.95, seed=4) >= 0).all()
+
+    def test_deterministic(self):
+        a = b_model_series(10.0, 6, seed=9)
+        b = b_model_series(10.0, 6, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_levels(self):
+        series = b_model_series(5.0, 0, seed=0)
+        assert list(series) == [5.0]
+
+    def test_self_similarity_of_halves(self):
+        # Each half conserves the mass assigned at the first split:
+        # the two halves sum to the total.
+        series = b_model_series(100.0, 10, bias=0.8, seed=5)
+        half = series.size // 2
+        left, right = series[:half].sum(), series[half:].sum()
+        assert left + right == pytest.approx(100.0)
+        # The first split assigned the bias fraction to one half.
+        assert sorted([left, right]) == pytest.approx([20.0, 80.0])
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            b_model_series(-1.0, 4)
+        with pytest.raises(ValueError):
+            b_model_series(1.0, 4, bias=0.4)
+        with pytest.raises(ValueError):
+            b_model_series(1.0, 4, bias=1.0)
+        with pytest.raises(ValueError):
+            b_model_series(1.0, 31)

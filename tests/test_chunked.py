@@ -1,0 +1,129 @@
+"""Tests that the vectorized detector is indistinguishable from the reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import MAX
+from repro.core.chunked import ChunkedDetector
+from repro.core.detector import StreamingDetector
+from repro.core.sbt import shifted_binary_tree
+from repro.core.structure import SATStructure, single_level_structure
+from repro.core.thresholds import FixedThresholds, NormalThresholds, all_sizes
+
+
+def counters_dict(detector):
+    c = detector.counters
+    return {
+        "updates": c.updates.tolist(),
+        "filter": c.filter_comparisons.tolist(),
+        "alarms": c.alarms.tolist(),
+        "search": c.search_cells.tolist(),
+        "bursts": c.bursts,
+    }
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 64, 250, 10_000])
+    def test_identical_to_streaming_all_chunk_sizes(self, chunk_size):
+        rng = np.random.default_rng(3)
+        data = rng.poisson(6.0, 700).astype(float)
+        th = NormalThresholds.from_data(data[:300], 2e-3, all_sizes(24))
+        structure = shifted_binary_tree(24)
+        ref = StreamingDetector(structure, th)
+        want = ref.detect(data)
+        chk = ChunkedDetector(structure, th)
+        got = chk.detect(data, chunk_size=chunk_size)
+        assert got == want
+        assert counters_dict(chk) == counters_dict(ref)
+
+    @pytest.mark.parametrize(
+        "pairs",
+        [
+            [(2, 1), (4, 2), (8, 4), (16, 8), (32, 16)],
+            [(30, 1)],
+            [(5, 2), (12, 4), (40, 16)],
+            [(3, 3), (9, 3), (33, 9)],
+        ],
+    )
+    def test_identical_across_structures(self, pairs):
+        rng = np.random.default_rng(4)
+        data = rng.exponential(5.0, 900)
+        structure = SATStructure.from_pairs(pairs)
+        maxw = min(structure.coverage, 25)
+        th = NormalThresholds.from_data(data[:300], 1e-3, all_sizes(maxw))
+        ref = StreamingDetector(structure, th)
+        want = ref.detect(data)
+        chk = ChunkedDetector(structure, th)
+        got = chk.detect(data, chunk_size=123)
+        assert got == want
+        assert counters_dict(chk) == counters_dict(ref)
+
+    def test_identical_with_max_aggregate(self):
+        rng = np.random.default_rng(5)
+        data = rng.uniform(0, 100, 600)
+        th = FixedThresholds({w: 96.0 + 0.2 * w for w in range(1, 15)})
+        structure = shifted_binary_tree(14)
+        want = StreamingDetector(structure, th, MAX).detect(data)
+        got = ChunkedDetector(structure, th, MAX).detect(data, chunk_size=97)
+        assert got == want
+
+    def test_identical_on_burst_heavy_input(self):
+        # Alarm probability ~1 everywhere: the degenerate-filter path.
+        data = np.full(500, 10.0)
+        th = FixedThresholds({w: 5.0 * w for w in range(1, 20)})
+        structure = single_level_structure(19)
+        want = StreamingDetector(structure, th).detect(data)
+        got = ChunkedDetector(structure, th).detect(data, chunk_size=64)
+        assert got == want
+        assert len(got) > 0
+
+
+class TestInterface:
+    def test_process_after_finish_raises(self):
+        th = FixedThresholds({2: 1.0})
+        d = ChunkedDetector(shifted_binary_tree(2), th)
+        d.detect(np.ones(4))
+        with pytest.raises(RuntimeError):
+            d.process(np.ones(2))
+        with pytest.raises(RuntimeError):
+            d.finish()
+
+    def test_bad_chunk_size(self):
+        th = FixedThresholds({2: 1.0})
+        d = ChunkedDetector(shifted_binary_tree(2), th)
+        with pytest.raises(ValueError):
+            d.detect(np.ones(4), chunk_size=0)
+
+    def test_empty_stream(self):
+        th = FixedThresholds({2: 1.0})
+        d = ChunkedDetector(shifted_binary_tree(2), th)
+        assert len(d.detect(np.empty(0))) == 0
+
+    def test_structure_must_cover(self):
+        th = FixedThresholds({100: 1.0})
+        with pytest.raises(ValueError, match="coverage"):
+            ChunkedDetector(shifted_binary_tree(16), th)
+
+    def test_length(self):
+        th = FixedThresholds({2: 1e9})
+        d = ChunkedDetector(shifted_binary_tree(2), th)
+        d.process(np.zeros(7))
+        assert d.length == 7
+
+
+class TestScale:
+    def test_moderate_stream_fast_path(self):
+        # Exercise multiple chunks with realistic thresholds.
+        rng = np.random.default_rng(6)
+        data = rng.poisson(10.0, 50_000).astype(float)
+        th = NormalThresholds.from_data(data[:5000], 1e-5, all_sizes(64))
+        d = ChunkedDetector(shifted_binary_tree(64), th)
+        bursts = d.detect(data, chunk_size=8192)
+        # Deterministic given the seed; sanity-check the counters add up.
+        assert d.counters.total_updates > data.size
+        assert d.counters.total_operations == (
+            d.counters.total_updates
+            + d.counters.total_filter_comparisons
+            + d.counters.total_search_cells
+        )
+        assert d.counters.bursts == len(bursts)

@@ -1,0 +1,93 @@
+"""Unit tests for the correlated stock-universe generator."""
+
+import numpy as np
+import pytest
+
+from repro.streams.correlated import DEFAULT_SECTORS, BurstEvent, StockUniverse
+
+
+class TestUniverseShape:
+    def test_tickers_cover_all_sectors(self):
+        uni = StockUniverse()
+        assert set(uni.tickers) == {
+            t for members in DEFAULT_SECTORS.values() for t in members
+        }
+
+    def test_sector_of(self):
+        uni = StockUniverse()
+        assert uni.sector_of("MSFT") == "tech"
+        assert uni.sector_of("PG") == "consumer"
+        with pytest.raises(KeyError):
+            uni.sector_of("ZZZZ")
+
+    def test_generate_shapes(self):
+        uni = StockUniverse(seed=1)
+        data, events = uni.generate(5000)
+        assert set(data) == set(uni.tickers)
+        for series in data.values():
+            assert series.size == 5000
+            assert (series >= 0).all()
+        assert all(isinstance(e, BurstEvent) for e in events)
+
+    def test_deterministic(self):
+        a, ea = StockUniverse(seed=2).generate(3000)
+        b, eb = StockUniverse(seed=2).generate(3000)
+        assert ea == eb
+        for ticker in a:
+            np.testing.assert_array_equal(a[ticker], b[ticker])
+
+
+class TestEventInjection:
+    def _forced_universe(self, kind_rate):
+        # High event rate so a short stream almost surely has events.
+        return StockUniverse(
+            seed=3,
+            market_event_rate=kind_rate.get("market", 0.0),
+            sector_event_rate=kind_rate.get("sector", 0.0),
+            single_event_rate=kind_rate.get("single", 0.0),
+        )
+
+    def test_sector_events_lift_members_only(self):
+        uni = self._forced_universe({"sector": 2e-4})
+        data, events = uni.generate(20_000)
+        sector_events = [e for e in events if e.kind == "sector"]
+        assert sector_events
+        e = sector_events[0]
+        assert set(e.members) == set(uni.sectors[uni.sector_of(e.members[0])])
+
+    def test_market_events_hit_everyone(self):
+        uni = self._forced_universe({"market": 2e-4})
+        _, events = uni.generate(20_000)
+        market = [e for e in events if e.kind == "market"]
+        assert market
+        assert set(market[0].members) == set(uni.tickers)
+
+    def test_single_events_hit_one(self):
+        uni = self._forced_universe({"single": 2e-4})
+        _, events = uni.generate(20_000)
+        singles = [e for e in events if e.kind == "single"]
+        assert singles
+        assert all(len(e.members) == 1 for e in singles)
+
+    def test_events_magnify_volume(self):
+        uni = StockUniverse(
+            seed=4,
+            market_event_rate=0.0,
+            sector_event_rate=0.0,
+            single_event_rate=1e-4,
+            magnitude_range=(50.0, 60.0),
+        )
+        data, events = uni.generate(20_000)
+        assert events
+        e = events[0]
+        ticker = e.members[0]
+        stop = min(e.start + e.duration, 20_000)
+        inside = data[ticker][e.start : stop].mean()
+        outside = np.delete(data[ticker], slice(e.start, stop)).mean()
+        assert inside > 5 * outside
+
+    def test_event_durations_in_range(self):
+        uni = self._forced_universe({"sector": 2e-4, "single": 2e-4})
+        _, events = uni.generate(20_000)
+        for e in events:
+            assert uni.duration_range[0] <= e.duration < uni.duration_range[1]

@@ -1,0 +1,177 @@
+"""Unit tests for the reference streaming detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import MAX
+from repro.core.detector import StreamingDetector
+from repro.core.naive import naive_detect
+from repro.core.sbt import shifted_binary_tree
+from repro.core.structure import SATStructure, single_level_structure
+from repro.core.thresholds import FixedThresholds, NormalThresholds, all_sizes
+
+from _oracles import brute_force_bursts
+
+
+def structures_for(maxw):
+    """A spread of valid structures covering maxw."""
+    return [
+        shifted_binary_tree(maxw),
+        single_level_structure(maxw),
+        SATStructure.from_pairs([(3, 1), (9, 3), (maxw + 5, 6)]),
+    ]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_oracle_poisson(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.poisson(4.0, 600).astype(float)
+        th = NormalThresholds.from_data(data[:200], 5e-3, all_sizes(20))
+        want = brute_force_bursts(data, th)
+        for structure in structures_for(20):
+            got = StreamingDetector(structure, th).detect(data)
+            assert got.keys() == want, structure
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_oracle_exponential(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        data = rng.exponential(10.0, 500)
+        th = NormalThresholds.from_data(data[:200], 1e-2, all_sizes(17))
+        want = brute_force_bursts(data, th)
+        for structure in structures_for(17):
+            got = StreamingDetector(structure, th).detect(data)
+            assert got.keys() == want, structure
+
+    def test_max_aggregate_matches_oracle(self):
+        rng = np.random.default_rng(7)
+        data = rng.uniform(0, 100, 400)
+        th = FixedThresholds({w: 95.0 + w * 0.1 for w in range(1, 13)})
+        want = brute_force_bursts(data, th, aggregate="max")
+        got = StreamingDetector(shifted_binary_tree(12), th, MAX).detect(data)
+        assert got.keys() == want
+
+    def test_sparse_window_sizes(self):
+        rng = np.random.default_rng(8)
+        data = rng.poisson(3.0, 500).astype(float)
+        th = NormalThresholds.from_data(data[:200], 1e-2, [5, 10, 20])
+        want = brute_force_bursts(data, th)
+        got = StreamingDetector(shifted_binary_tree(20), th).detect(data)
+        assert got.keys() == want
+
+    def test_burst_values_are_window_aggregates(self):
+        data = np.array([1.0, 9.0, 1.0, 1.0, 9.0, 9.0])
+        th = FixedThresholds({2: 18.0})
+        got = StreamingDetector(shifted_binary_tree(2), th).detect(data)
+        assert got.keys() == {(5, 2)}
+        assert next(iter(got)).value == 18.0
+
+    def test_burst_at_stream_tail_is_flushed(self):
+        # Burst in the final points, ending where no regular node of the
+        # covering level ends: only finish() can report it.
+        data = np.zeros(21)
+        data[18:21] = 50.0
+        th = FixedThresholds({3: 120.0})
+        detector = StreamingDetector(shifted_binary_tree(3), th)
+        live = detector.process(data)
+        tail = detector.finish()
+        assert {b.key() for b in live + tail} == {(20, 3)}
+
+    def test_burst_at_stream_start_clamped_window(self):
+        data = np.array([100.0, 100.0, 0.0, 0.0])
+        th = FixedThresholds({2: 150.0})
+        got = StreamingDetector(shifted_binary_tree(2), th).detect(data)
+        assert got.keys() == {(1, 2)}
+
+    def test_size_one_bursts(self):
+        data = np.array([0.0, 7.0, 0.0, 9.0])
+        th = FixedThresholds({1: 6.0})
+        got = StreamingDetector(shifted_binary_tree(2), th).detect(data)
+        assert got.keys() == {(1, 1), (3, 1)}
+
+    def test_empty_stream(self):
+        th = FixedThresholds({2: 1.0})
+        got = StreamingDetector(shifted_binary_tree(2), th).detect(
+            np.empty(0)
+        )
+        assert len(got) == 0
+
+    def test_stream_shorter_than_windows(self):
+        data = np.array([5.0])
+        th = FixedThresholds({1: 4.0, 8: 1.0})
+        got = StreamingDetector(shifted_binary_tree(8), th).detect(data)
+        # The size-8 window never fits; only the size-1 burst exists.
+        assert got.keys() == {(0, 1)}
+
+
+class TestInterface:
+    def test_structure_must_cover(self):
+        th = FixedThresholds({100: 1.0})
+        with pytest.raises(ValueError, match="coverage"):
+            StreamingDetector(shifted_binary_tree(16), th)
+
+    def test_process_after_finish_raises(self):
+        th = FixedThresholds({2: 1.0})
+        d = StreamingDetector(shifted_binary_tree(2), th)
+        d.detect(np.ones(4))
+        with pytest.raises(RuntimeError):
+            d.process(np.ones(2))
+        with pytest.raises(RuntimeError):
+            d.finish()
+
+    def test_incremental_process_equals_detect(self, rng):
+        data = rng.poisson(5.0, 300).astype(float)
+        th = NormalThresholds.from_data(data[:100], 1e-2, all_sizes(10))
+        whole = StreamingDetector(shifted_binary_tree(10), th).detect(data)
+        d = StreamingDetector(shifted_binary_tree(10), th)
+        bursts = []
+        for lo in range(0, 300, 37):
+            bursts.extend(d.process(data[lo : lo + 37]))
+        bursts.extend(d.finish())
+        assert {b.key() for b in bursts} == whole.keys()
+
+    def test_length_property(self):
+        th = FixedThresholds({2: 1e9})
+        d = StreamingDetector(shifted_binary_tree(2), th)
+        d.process(np.zeros(5))
+        assert d.length == 5
+
+
+class TestCounters:
+    def test_update_counts(self):
+        data = np.zeros(16)
+        th = FixedThresholds({2: 1e9})
+        d = StreamingDetector(shifted_binary_tree(2), th)
+        d.detect(data)
+        # Level 0: 16 updates; level 1 (shift 1): 16 nodes.
+        assert d.counters.updates[0] == 16
+        assert d.counters.updates[1] == 16
+
+    def test_no_alarms_no_search(self):
+        data = np.zeros(64)
+        th = FixedThresholds({4: 5.0})
+        d = StreamingDetector(shifted_binary_tree(4), th)
+        d.detect(data)
+        assert d.counters.total_alarms == 0
+        assert d.counters.total_search_cells == 0
+        assert d.counters.bursts == 0
+
+    def test_alarm_triggers_search_cells(self):
+        data = np.full(64, 10.0)
+        th = FixedThresholds({4: 20.0})
+        d = StreamingDetector(shifted_binary_tree(4), th)
+        d.detect(data)
+        assert d.counters.total_alarms > 0
+        assert d.counters.total_search_cells > 0
+        assert d.counters.bursts > 0
+
+    def test_level0_comparisons_only_when_size1_wanted(self):
+        data = np.zeros(10)
+        th1 = FixedThresholds({1: 5.0, 2: 5.0})
+        th2 = FixedThresholds({2: 5.0})
+        d1 = StreamingDetector(shifted_binary_tree(2), th1)
+        d1.detect(data)
+        d2 = StreamingDetector(shifted_binary_tree(2), th2)
+        d2.detect(data)
+        assert d1.counters.filter_comparisons[0] == 10
+        assert d2.counters.filter_comparisons[0] == 0

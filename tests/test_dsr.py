@@ -1,0 +1,107 @@
+"""Unit tests for detection plans and the filter refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core.dsr import build_plans, find_triggered
+from repro.core.opcount import OpCounters
+from repro.core.sbt import shifted_binary_tree
+from repro.core.structure import SATStructure
+from repro.core.thresholds import FixedThresholds, NormalThresholds, all_sizes
+
+
+class TestBuildPlans:
+    def test_plan_geometry(self):
+        structure = SATStructure.from_pairs([(4, 2), (10, 4)])
+        th = NormalThresholds(5.0, 2.0, 1e-3, all_sizes(7))
+        plans = build_plans(structure, th)
+        assert len(plans) == 2
+        assert (plans[0].lo, plans[0].hi) == (2, 3)
+        assert (plans[1].lo, plans[1].hi) == (4, 7)
+        assert list(plans[0].sizes) == [2, 3]
+        assert list(plans[1].sizes) == [4, 5, 6, 7]
+
+    def test_min_threshold_is_range_min(self):
+        structure = SATStructure.from_pairs([(4, 2), (10, 4)])
+        th = FixedThresholds({2: 9.0, 3: 7.0, 5: 4.0, 7: 6.0})
+        plans = build_plans(structure, th)
+        assert plans[0].min_threshold == 7.0
+        assert plans[1].min_threshold == 4.0
+        assert not plans[0].monotone  # 9.0 then 7.0 decreases
+        assert plans[1].monotone  # 4.0 then 6.0 increases
+
+    def test_inactive_level(self):
+        structure = SATStructure.from_pairs([(4, 2), (10, 4)])
+        th = FixedThresholds({2: 1.0, 3: 2.0})  # nothing for level 2
+        plans = build_plans(structure, th)
+        assert plans[0].active
+        assert not plans[1].active
+        assert plans[1].min_threshold == float("inf")
+
+    def test_coverage_check(self):
+        with pytest.raises(ValueError, match="coverage"):
+            build_plans(
+                SATStructure.from_pairs([(4, 2)]), FixedThresholds({9: 1.0})
+            )
+
+    def test_dsr_cells(self):
+        structure = SATStructure.from_pairs([(4, 2), (10, 4)])
+        th = NormalThresholds(5.0, 2.0, 1e-3, all_sizes(7))
+        plans = build_plans(structure, th)
+        assert plans[0].dsr_cells == 2 * 2
+        assert plans[1].dsr_cells == 4 * 4
+
+    def test_sizes_tile_across_plans(self):
+        structure = shifted_binary_tree(100)
+        th = NormalThresholds(5.0, 2.0, 1e-4, all_sizes(100))
+        plans = build_plans(structure, th)
+        covered = sorted(
+            int(w) for plan in plans for w in plan.sizes
+        )
+        assert covered == list(range(2, 101))
+
+
+class TestFindTriggered:
+    def _plan(self, sizes, thresholds):
+        structure = SATStructure.from_pairs([(max(sizes) + 2, 1)])
+        th = FixedThresholds(dict(zip(sizes, thresholds)))
+        return build_plans(structure, th)[0]
+
+    def test_monotone_prefix(self):
+        plan = self._plan([2, 3, 4, 5], [10.0, 20.0, 30.0, 40.0])
+        counters = OpCounters(1)
+        sizes, fs = find_triggered(plan, 25.0, counters)
+        assert list(sizes) == [2, 3]
+        assert list(fs) == [10.0, 20.0]
+
+    def test_monotone_all_triggered(self):
+        plan = self._plan([2, 3], [10.0, 20.0])
+        counters = OpCounters(1)
+        sizes, _ = find_triggered(plan, 1e9, counters)
+        assert list(sizes) == [2, 3]
+
+    def test_monotone_exact_boundary(self):
+        plan = self._plan([2, 3], [10.0, 20.0])
+        counters = OpCounters(1)
+        sizes, _ = find_triggered(plan, 20.0, counters)
+        assert list(sizes) == [2, 3]  # f(h) <= value is inclusive
+
+    def test_non_monotone_subset(self):
+        plan = self._plan([2, 3, 4], [30.0, 10.0, 20.0])
+        assert not plan.monotone
+        counters = OpCounters(1)
+        sizes, fs = find_triggered(plan, 15.0, counters)
+        assert list(sizes) == [3]
+        assert list(fs) == [10.0]
+
+    def test_comparison_accounting(self):
+        plan = self._plan([2, 3, 4, 5], [10.0, 20.0, 30.0, 40.0])
+        counters = OpCounters(1)
+        find_triggered(plan, 25.0, counters)
+        # Monotone refinement charges bit_length(4) = 3 comparisons.
+        assert counters.filter_comparisons[1] == 3
+        plan2 = self._plan([2, 3, 4], [30.0, 10.0, 20.0])
+        counters2 = OpCounters(1)
+        find_triggered(plan2, 15.0, counters2)
+        # Linear scan charges one comparison per size.
+        assert counters2.filter_comparisons[1] == 3

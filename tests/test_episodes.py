@@ -1,0 +1,100 @@
+"""Tests for burst-episode reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunked import ChunkedDetector
+from repro.core.events import Burst, BurstSet
+from repro.core.search import train_structure
+from repro.core.thresholds import FixedThresholds, NormalThresholds, all_sizes
+from repro.mining import burst_episodes
+from repro.streams.generators import planted_burst_stream, poisson_stream
+
+
+def fixed(table):
+    return FixedThresholds(table)
+
+
+class TestGrouping:
+    def test_single_burst_single_episode(self):
+        th = fixed({3: 10.0})
+        eps = burst_episodes([Burst(5, 3, 12.0)], th)
+        assert len(eps) == 1
+        assert (eps[0].start, eps[0].end) == (3, 5)
+        assert eps[0].duration == 3
+        assert eps[0].peak_excess == pytest.approx(2.0)
+
+    def test_overlapping_windows_merge(self):
+        th = fixed({3: 10.0, 5: 12.0})
+        bursts = [Burst(5, 3, 11.0), Burst(6, 5, 20.0), Burst(7, 3, 10.5)]
+        eps = burst_episodes(bursts, th)
+        assert len(eps) == 1
+        ep = eps[0]
+        assert (ep.start, ep.end) == (2, 7)
+        assert ep.num_windows == 3
+        # Strongest by excess: 20-12=8 beats 11-10=1 and 10.5-10=0.5.
+        assert ep.strongest.key() == (6, 5)
+
+    def test_disjoint_events_stay_separate(self):
+        th = fixed({2: 5.0})
+        bursts = [Burst(3, 2, 6.0), Burst(50, 2, 7.0)]
+        eps = burst_episodes(bursts, th)
+        assert len(eps) == 2
+        assert eps[0].start < eps[1].start
+
+    def test_gap_parameter_bridges_nearby(self):
+        th = fixed({2: 5.0})
+        bursts = [Burst(3, 2, 6.0), Burst(8, 2, 7.0)]  # extents [2,3], [7,8]
+        assert len(burst_episodes(bursts, th, gap=0)) == 2
+        assert len(burst_episodes(bursts, th, gap=3)) == 1
+
+    def test_adjacent_extents_merge_without_gap(self):
+        th = fixed({2: 5.0})
+        # Extents [2,3] and [4,5] touch back-to-back.
+        bursts = [Burst(3, 2, 6.0), Burst(5, 2, 6.0)]
+        assert len(burst_episodes(bursts, th, gap=0)) == 1
+
+    def test_empty(self):
+        assert burst_episodes(BurstSet(), fixed({2: 5.0})) == []
+
+    def test_negative_gap(self):
+        with pytest.raises(ValueError):
+            burst_episodes([], fixed({2: 5.0}), gap=-1)
+
+    def test_str(self):
+        th = fixed({3: 10.0})
+        text = str(burst_episodes([Burst(5, 3, 12.0)], th)[0])
+        assert "episode [3, 5]" in text
+
+
+class TestEndToEnd:
+    def test_planted_events_become_one_episode_each(self):
+        background = poisson_stream(4.0, 30_000, seed=2)
+        injections = [(8_000, 16, 25.0), (20_000, 64, 8.0)]
+        data, applied = planted_burst_stream(background, injections)
+        train = poisson_stream(4.0, 8_000, seed=3)
+        th = NormalThresholds.from_data(train, 1e-7, all_sizes(128))
+        structure = train_structure(train, th)
+        bursts = ChunkedDetector(structure, th).detect(data)
+        episodes = burst_episodes(bursts, th, gap=64)
+        # Each injected event yields exactly one episode overlapping it.
+        for start, width, _ in applied:
+            hits = [
+                ep
+                for ep in episodes
+                if ep.start <= start + width - 1 and ep.end >= start
+            ]
+            assert len(hits) == 1, (start, hits)
+            # The strongest window sits inside the event's neighbourhood.
+            best = hits[0].strongest
+            assert start - 128 <= best.start <= start + width + 128
+
+    def test_episode_count_far_below_window_count(self):
+        background = poisson_stream(4.0, 20_000, seed=4)
+        data, _ = planted_burst_stream(background, [(5_000, 32, 20.0)])
+        train = poisson_stream(4.0, 8_000, seed=5)
+        th = NormalThresholds.from_data(train, 1e-7, all_sizes(64))
+        structure = train_structure(train, th)
+        bursts = ChunkedDetector(structure, th).detect(data)
+        episodes = burst_episodes(bursts, th)
+        assert len(bursts) > 10 * len(episodes)

@@ -1,0 +1,91 @@
+"""Unit tests for burst events and burst sets."""
+
+import pytest
+
+from repro.core.events import Burst, BurstSet
+
+
+class TestBurst:
+    def test_start_and_key(self):
+        b = Burst(end=10, size=4, value=99.0)
+        assert b.start == 7
+        assert b.key() == (10, 4)
+
+    def test_ordering_is_stream_order(self):
+        a = Burst(5, 2, 1.0)
+        b = Burst(5, 3, 1.0)
+        c = Burst(6, 1, 1.0)
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_frozen(self):
+        b = Burst(1, 1, 1.0)
+        with pytest.raises(AttributeError):
+            b.end = 2
+
+
+class TestBurstSet:
+    def test_deduplicates_by_key(self):
+        s = BurstSet([Burst(1, 2, 5.0), Burst(1, 2, 5.0), Burst(2, 2, 6.0)])
+        assert len(s) == 2
+
+    def test_keeps_first_value_on_duplicate(self):
+        s = BurstSet([Burst(1, 2, 5.0), Burst(1, 2, 7.0)])
+        assert next(iter(s)).value == 5.0
+
+    def test_equality_by_keys(self):
+        a = BurstSet([Burst(1, 2, 5.0)])
+        b = BurstSet([Burst(1, 2, 999.0)])
+        assert a == b
+
+    def test_inequality(self):
+        assert BurstSet([Burst(1, 2, 0.0)]) != BurstSet([Burst(1, 3, 0.0)])
+
+    def test_eq_with_non_burstset(self):
+        assert BurstSet([]).__eq__(42) is NotImplemented
+
+    def test_contains_burst_and_tuple(self):
+        s = BurstSet([Burst(3, 2, 1.0)])
+        assert Burst(3, 2, -1.0) in s
+        assert (3, 2) in s
+        assert (3, 3) not in s
+        assert "nope" not in s
+
+    def test_iteration_sorted(self):
+        s = BurstSet([Burst(9, 1, 0.0), Burst(2, 5, 0.0), Burst(2, 1, 0.0)])
+        assert [b.key() for b in s] == [(2, 1), (2, 5), (9, 1)]
+
+    def test_from_pairs(self):
+        s = BurstSet.from_pairs([(4, 2), (1, 1)])
+        assert s.keys() == {(4, 2), (1, 1)}
+
+    def test_by_size(self):
+        s = BurstSet([Burst(1, 2, 0.0), Burst(5, 2, 0.0), Burst(3, 7, 0.0)])
+        groups = s.by_size()
+        assert set(groups) == {2, 7}
+        assert [b.end for b in groups[2]] == [1, 5]
+
+    def test_sizes_and_ends(self):
+        s = BurstSet([Burst(1, 2, 0.0), Burst(5, 2, 0.0), Burst(3, 7, 0.0)])
+        assert s.sizes() == (2, 7)
+        assert s.ends() == (1, 3, 5)
+
+    def test_difference(self):
+        a = BurstSet.from_pairs([(1, 1), (2, 2)])
+        b = BurstSet.from_pairs([(2, 2)])
+        assert a.difference(b).keys() == {(1, 1)}
+        assert b.difference(a).keys() == set()
+
+    def test_union(self):
+        a = BurstSet.from_pairs([(1, 1)])
+        b = BurstSet.from_pairs([(2, 2)])
+        assert a.union(b).keys() == {(1, 1), (2, 2)}
+
+    def test_restrict_sizes(self):
+        s = BurstSet.from_pairs([(1, 1), (2, 2), (3, 1)])
+        assert s.restrict_sizes([1]).keys() == {(1, 1), (3, 1)}
+
+    def test_empty(self):
+        s = BurstSet()
+        assert len(s) == 0
+        assert s.sizes() == ()
+        assert "0 bursts" in repr(s)

@@ -1,0 +1,36 @@
+"""Tests for the experiments command-line entry point."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.__main__ import main
+
+
+class TestExperimentsCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig15" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_scale(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig15", "--scale", "galactic"])
+
+    def test_registry_modules_importable(self):
+        import importlib
+
+        for module_name in EXPERIMENTS.values():
+            module = importlib.import_module(
+                f"repro.experiments.{module_name}"
+            )
+            assert hasattr(module, "run")
+            assert hasattr(module, "main")

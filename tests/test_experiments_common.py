@@ -1,0 +1,136 @@
+"""Tests for the experiment harness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.sbt import shifted_binary_tree
+from repro.core.thresholds import NormalThresholds, all_sizes
+from repro.experiments.common import (
+    SCALES,
+    ExperimentTable,
+    format_table,
+    get_scale,
+    measure_detector,
+    measure_naive,
+)
+from repro.experiments.datasets import ibm_stream, sdss_stream, training_prefix
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"small", "medium", "full"}
+
+    def test_get_scale_by_name(self):
+        assert get_scale("medium").name == "medium"
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert get_scale().name == "medium"
+
+    def test_get_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "small"
+
+    def test_get_scale_unknown(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_window_cap(self):
+        scale = SCALES["small"]
+        assert scale.window_cap(100) == 100
+        assert scale.window_cap(10_000) == scale.max_window_cap
+
+    def test_scales_increase(self):
+        assert (
+            SCALES["small"].stream_length
+            < SCALES["medium"].stream_length
+            < SCALES["full"].stream_length
+        )
+
+
+class TestMeasurement:
+    def test_measure_detector(self, rng):
+        data = rng.poisson(5.0, 5000).astype(float)
+        th = NormalThresholds.from_data(data[:1000], 1e-3, all_sizes(16))
+        m = measure_detector(shifted_binary_tree(16), th, data, "SBT")
+        assert m.label == "SBT"
+        assert m.operations > 0
+        assert m.wall_seconds > 0
+        assert 0 <= m.alarm_probability <= 1
+        assert m.ops_per_point(data.size) == pytest.approx(
+            m.operations / data.size
+        )
+
+    def test_measure_naive(self, rng):
+        data = rng.poisson(5.0, 2000).astype(float)
+        th = NormalThresholds.from_data(data[:500], 1e-3, all_sizes(8))
+        m = measure_naive(th, data)
+        assert m.operations > 0
+        assert m.alarm_probability == 1.0
+
+
+class TestExperimentTable:
+    def test_add_and_column(self):
+        t = ExperimentTable("T", ["a", "b"])
+        t.add(1, 2.5)
+        t.add(3, 4.5)
+        assert t.column("a") == [1, 3]
+        assert t.column("b") == [2.5, 4.5]
+
+    def test_add_wrong_arity(self):
+        t = ExperimentTable("T", ["a"])
+        with pytest.raises(ValueError):
+            t.add(1, 2)
+
+    def test_str_contains_everything(self):
+        t = ExperimentTable("My Title", ["col"], notes=["hello"])
+        t.add(42)
+        text = str(t)
+        assert "My Title" in text
+        assert "col" in text and "42" in text
+        assert "note: hello" in text
+
+    def test_format_table_alignment(self):
+        text = format_table(["x", "yyyy"], [[1, 2], [100, 20000]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_format_large_and_small_floats(self):
+        text = format_table(["v"], [[1e-7], [2.5e8], [3.25]])
+        assert "1e-07" in text
+        assert "2.5e+08" in text
+        assert "3.25" in text
+
+    def test_format_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestDatasets:
+    def test_streams_deterministic_and_scaled(self):
+        scale = SCALES["small"]
+        a = sdss_stream(scale)
+        b = sdss_stream(scale)
+        np.testing.assert_array_equal(a, b)
+        assert a.size == scale.stream_length
+        assert ibm_stream(scale).size == scale.stream_length
+
+    def test_segments_differ(self):
+        scale = SCALES["small"]
+        assert not np.array_equal(
+            sdss_stream(scale, 0), sdss_stream(scale, 3)
+        )
+        assert not np.array_equal(ibm_stream(scale, 0), ibm_stream(scale, 3))
+
+    def test_ibm_training_prefix_is_in_session(self):
+        # The IBM stream starts at Monday 09:30, so the training prefix
+        # must contain live trading volume (not the overnight zeros).
+        scale = SCALES["small"]
+        prefix = training_prefix(ibm_stream(scale), scale)
+        assert prefix.size == scale.training_length
+        assert (prefix > 0).mean() > 0.9
+
+    def test_training_prefix_clamps(self):
+        scale = SCALES["small"]
+        short = np.arange(10.0)
+        np.testing.assert_array_equal(training_prefix(short, scale), short)

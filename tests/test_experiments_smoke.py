@@ -1,0 +1,49 @@
+"""Micro-scale smoke tests for the experiment modules.
+
+Benches exercise the experiments at real scale; these tests just pin the
+plumbing (tables well-formed, columns present, values sane) at a scale
+small enough for the unit suite.
+"""
+
+import pytest
+
+from repro.core.search import SearchParams
+from repro.experiments.common import ExperimentScale
+from repro.experiments.fig13_exponential_beta import run as run_fig13
+from repro.experiments.fig17_histograms import run as run_fig17
+from repro.experiments.table2_data_stats import run as run_table2
+
+TINY = ExperimentScale(
+    name="small",  # reuse the small-scale parameter grids
+    stream_length=8_000,
+    training_length=2_000,
+    search_params=SearchParams(
+        max_same_size_states=32, max_final_states=200, max_expansions=500
+    ),
+    max_window_cap=40,
+)
+
+
+
+class TestTinyScaleExperiments:
+    def test_fig13_table_shape(self):
+        table = run_fig13(TINY)
+        assert table.headers[0] == "beta"
+        assert len(table.rows) == 6
+        for row in table.rows:
+            assert row[1] > 0 and row[2] > 0  # SAT and SBT ops positive
+        # The invariance claim holds even at tiny scale.
+        sat = table.column("ops(SAT)")
+        assert max(sat) <= min(sat) * 1.5
+
+    def test_table2_has_paper_and_simulated_rows(self):
+        table = run_table2(TINY)
+        which = table.column("which")
+        assert which.count("simulated") == 2
+        assert which.count("paper") == 2
+
+    def test_fig17_fractions_sum_to_one(self):
+        table = run_fig17(TINY)
+        for dataset in ("SDSS", "IBM"):
+            fractions = [r[4] for r in table.rows if r[0] == dataset]
+            assert sum(fractions) == pytest.approx(1.0, abs=0.02)

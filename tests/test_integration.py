@@ -1,0 +1,171 @@
+"""Integration tests: the full pipeline across data regimes.
+
+These tests run the complete train-thresholds / search-structure /
+detect pipeline on every stream family the experiments use and check the
+paper's core claims at test scale: exact agreement with the naive oracle,
+planted bursts recovered, and the trained SAT at least matching the SBT's
+cost in the regimes the paper highlights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.chunked import ChunkedDetector
+from repro.core.naive import naive_detect
+from repro.core.sbt import shifted_binary_tree
+from repro.core.search import train_structure
+from repro.core.thresholds import (
+    EmpiricalThresholds,
+    NormalThresholds,
+    all_sizes,
+    stepped_sizes,
+)
+from repro.streams.bmodel import b_model_series
+from repro.streams.generators import (
+    exponential_stream,
+    planted_burst_stream,
+    poisson_stream,
+)
+from repro.streams.sdss import SDSSTrafficSimulator
+from repro.streams.taq import TAQVolumeSimulator
+
+
+def pipeline(train, data, p, sizes):
+    th = NormalThresholds.from_data(train, p, sizes)
+    structure = train_structure(train, th)
+    detector = ChunkedDetector(structure, th)
+    bursts = detector.detect(data)
+    return th, structure, detector, bursts
+
+
+class TestEndToEndAgreement:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: poisson_stream(5.0, 12_000, seed=1),
+            lambda: exponential_stream(20.0, 12_000, seed=2),
+            lambda: b_model_series(3e5, 14, bias=0.75, seed=3),
+            lambda: SDSSTrafficSimulator(seed=4).generate(12_000),
+            lambda: TAQVolumeSimulator(seed=5).generate(
+                12_000, start_second=int(9.5 * 3600)
+            ),
+        ],
+        ids=["poisson", "exponential", "bmodel", "sdss", "taq"],
+    )
+    def test_trained_sat_equals_naive(self, make):
+        data = make()
+        train = data[:4000]
+        th, structure, _, bursts = pipeline(
+            train, data, 1e-4, all_sizes(60)
+        )
+        assert bursts == naive_detect(data, th)
+
+    def test_stepped_sizes_pipeline(self):
+        data = poisson_stream(8.0, 10_000, seed=6)
+        th = NormalThresholds.from_data(
+            data[:3000], 1e-4, stepped_sizes(5, 100)
+        )
+        structure = train_structure(data[:3000], th)
+        got = ChunkedDetector(structure, th).detect(data)
+        assert got == naive_detect(data, th)
+
+    def test_empirical_thresholds_pipeline(self):
+        data = exponential_stream(10.0, 10_000, seed=7)
+        th = EmpiricalThresholds(data[:4000], 1e-3, all_sizes(40))
+        structure = train_structure(data[:4000], th)
+        got = ChunkedDetector(structure, th).detect(data)
+        assert got == naive_detect(data, th)
+
+
+class TestPlantedBurstRecall:
+    def test_planted_bursts_are_detected(self):
+        background = poisson_stream(5.0, 20_000, seed=8)
+        injections = [(5_000, 20, 30.0), (12_000, 50, 20.0), (18_000, 5, 80.0)]
+        data, applied = planted_burst_stream(background, injections)
+        th, structure, _, bursts = pipeline(
+            background[:5_000], data, 1e-6, all_sizes(64)
+        )
+        ends = set(bursts.ends())
+        for start, width, _extra in applied:
+            covered = any(
+                start <= end < start + width + 64 for end in ends
+            )
+            assert covered, f"injected burst at {start} missed"
+
+    def test_no_bursts_in_quiet_stream(self):
+        data = poisson_stream(5.0, 20_000, seed=9)
+        th = NormalThresholds(5.0, np.sqrt(5.0), 1e-9, all_sizes(64))
+        structure = train_structure(data[:5_000], th)
+        bursts = ChunkedDetector(structure, th).detect(data)
+        # p = 1e-9 over ~1.3M (t, w) pairs: expect essentially none.
+        assert len(bursts) <= 2
+
+
+class TestPaperShapeClaims:
+    def test_sat_beats_sbt_on_exponential_rare_bursts(self):
+        # The paper's headline regime (Fig. 15): exponential data, rare
+        # bursts -> the adapted structure must clearly beat the SBT.
+        train = exponential_stream(100.0, 8_000, seed=10)
+        data = exponential_stream(100.0, 40_000, seed=11)
+        th = NormalThresholds.from_data(train, 1e-7, all_sizes(128))
+        sat = train_structure(train, th)
+        sbt = shifted_binary_tree(128)
+        d_sat = ChunkedDetector(sat, th)
+        d_sat.detect(data)
+        d_sbt = ChunkedDetector(sbt, th)
+        d_sbt.detect(data)
+        assert (
+            d_sat.counters.total_operations
+            < 0.5 * d_sbt.counters.total_operations
+        )
+
+    def test_both_far_below_naive(self):
+        train = poisson_stream(1.0, 8_000, seed=12)
+        data = poisson_stream(1.0, 40_000, seed=13)
+        th = NormalThresholds.from_data(train, 1e-6, all_sizes(128))
+        sat = train_structure(train, th)
+        d = ChunkedDetector(sat, th)
+        d.detect(data)
+        from repro.core.naive import naive_operation_count
+
+        naive_ops = naive_operation_count(data.size, 128)
+        assert d.counters.total_operations < naive_ops / 5
+
+    def test_cost_ratio_stable_across_stream_length(self):
+        # The scale-invariance DESIGN.md relies on: SAT/SBT op ratios are
+        # about the same at 20k and at 60k points.
+        train = exponential_stream(50.0, 8_000, seed=14)
+        th = NormalThresholds.from_data(train, 1e-5, all_sizes(64))
+        sat = train_structure(train, th)
+        sbt = shifted_binary_tree(64)
+        ratios = []
+        for n, seed in ((20_000, 15), (60_000, 16)):
+            data = exponential_stream(50.0, n, seed=seed)
+            d1 = ChunkedDetector(sat, th)
+            d1.detect(data)
+            d2 = ChunkedDetector(sbt, th)
+            d2.detect(data)
+            ratios.append(
+                d2.counters.total_operations / d1.counters.total_operations
+            )
+        assert ratios[0] == pytest.approx(ratios[1], rel=0.35)
+
+    def test_detection_latency_bound(self):
+        # Paper §3.2: a burst is reported no later than s_top points
+        # after it occurs — process() + finish() chunk boundaries must
+        # respect that in the incremental API.
+        data = np.zeros(1000)
+        data[500:510] = 100.0
+        th = NormalThresholds(0.1, 1.0, 1e-6, all_sizes(32))
+        structure = shifted_binary_tree(32)
+        detector = ChunkedDetector(structure, th)
+        found_at = None
+        for lo in range(0, 1000, 50):
+            out = detector.process(data[lo : lo + 50])
+            if out and found_at is None:
+                found_at = lo + 50
+        detector.finish()
+        assert found_at is not None
+        # The injected burst ends by t=509; the covering chunk ends at
+        # 550, well within s_top = 32 of the relevant node boundary.
+        assert found_at <= 550

@@ -1,0 +1,180 @@
+"""Tests for detector-spec persistence and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.core.naive import naive_detect
+from repro.core.sbt import shifted_binary_tree
+from repro.core.thresholds import FixedThresholds, NormalThresholds, all_sizes
+from repro.io import DetectorSpec, load_spec, save_spec
+
+
+class TestDetectorSpec:
+    def _spec(self, rng):
+        data = rng.poisson(5.0, 4000).astype(float)
+        return DetectorSpec.train(data, 1e-4, all_sizes(32)), data
+
+    def test_train_builds_working_detector(self, rng):
+        spec, data = self._spec(rng)
+        detector = spec.build_detector()
+        got = detector.detect(data)
+        assert got == naive_detect(data, spec.thresholds)
+
+    def test_json_roundtrip_detects_identically(self, rng):
+        spec, data = self._spec(rng)
+        clone = DetectorSpec.from_json(spec.to_json())
+        assert clone.structure == spec.structure
+        a = spec.build_detector().detect(data)
+        b = clone.build_detector().detect(data)
+        assert a == b
+
+    def test_file_roundtrip(self, rng, tmp_path):
+        spec, _ = self._spec(rng)
+        path = tmp_path / "spec.json"
+        save_spec(spec, path)
+        clone = load_spec(path)
+        assert clone.structure == spec.structure
+        np.testing.assert_allclose(
+            clone.thresholds.values, spec.thresholds.values
+        )
+
+    def test_provenance_recorded(self, rng):
+        spec, data = self._spec(rng)
+        assert spec.provenance["trained_on_points"] == data.size
+        assert spec.provenance["threshold_kind"] == "normal"
+
+    def test_empirical_threshold_kind(self, rng):
+        data = rng.exponential(5.0, 3000)
+        spec = DetectorSpec.train(
+            data, 1e-3, all_sizes(16), threshold_kind="empirical"
+        )
+        assert spec.build_detector().detect(data) == naive_detect(
+            data, spec.thresholds
+        )
+
+    def test_invalid_threshold_kind(self, rng):
+        with pytest.raises(ValueError):
+            DetectorSpec.train(
+                rng.poisson(5.0, 100).astype(float),
+                1e-3,
+                all_sizes(8),
+                threshold_kind="psychic",
+            )
+
+    def test_coverage_validated(self):
+        with pytest.raises(ValueError, match="coverage"):
+            DetectorSpec(
+                structure=shifted_binary_tree(4),
+                thresholds=FixedThresholds({100: 1.0}),
+            )
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="not a detector spec"):
+            DetectorSpec.from_dict({"format": "something-else"})
+
+    def test_describe(self, rng):
+        spec, _ = self._spec(rng)
+        text = spec.describe()
+        assert "detector spec" in text and "provenance" in text
+
+
+class TestCLI:
+    @pytest.fixture
+    def stream_files(self, rng, tmp_path):
+        train = rng.poisson(5.0, 3000).astype(float)
+        live = rng.poisson(5.0, 6000).astype(float)
+        live[4000:4004] += 30.0
+        train_path = tmp_path / "train.csv"
+        live_path = tmp_path / "live.csv"
+        train_path.write_text("\n".join(f"{x:g}" for x in train) + "\n")
+        live_path.write_text("\n".join(f"{x:g}" for x in live) + "\n")
+        return train_path, live_path, live
+
+    def test_train_detect_inspect_roundtrip(
+        self, stream_files, tmp_path, capsys
+    ):
+        train_path, live_path, live = stream_files
+        spec_path = tmp_path / "spec.json"
+        bursts_path = tmp_path / "bursts.csv"
+
+        assert cli_main(
+            [
+                "train",
+                str(train_path),
+                "--max-window",
+                "32",
+                "-p",
+                "1e-5",
+                "-o",
+                str(spec_path),
+            ]
+        ) == 0
+        assert json.loads(spec_path.read_text())["format"].startswith("repro")
+
+        assert cli_main(
+            ["detect", str(spec_path), str(live_path), "-o", str(bursts_path)]
+        ) == 0
+        lines = bursts_path.read_text().strip().splitlines()
+        assert lines[0] == "end,size,value"
+        # The injected event must appear among reported bursts.
+        ends = {int(line.split(",")[0]) for line in lines[1:]}
+        assert any(4000 <= e <= 4040 for e in ends)
+
+        assert cli_main(["inspect", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "detector spec" in out
+
+    def test_detect_matches_library(self, stream_files, tmp_path):
+        train_path, live_path, live = stream_files
+        spec_path = tmp_path / "spec.json"
+        cli_main(
+            [
+                "train",
+                str(train_path),
+                "--max-window",
+                "24",
+                "-o",
+                str(spec_path),
+            ]
+        )
+        bursts_path = tmp_path / "bursts.csv"
+        cli_main(
+            ["detect", str(spec_path), str(live_path), "-o", str(bursts_path)]
+        )
+        spec = load_spec(spec_path)
+        want = naive_detect(live, spec.thresholds)
+        lines = bursts_path.read_text().strip().splitlines()[1:]
+        got = {
+            (int(e), int(s))
+            for e, s, _ in (line.split(",") for line in lines)
+        }
+        assert got == want.keys()
+
+    def test_train_with_step(self, stream_files, tmp_path):
+        train_path, _, _ = stream_files
+        spec_path = tmp_path / "spec.json"
+        cli_main(
+            [
+                "train",
+                str(train_path),
+                "--max-window",
+                "60",
+                "--step",
+                "10",
+                "-o",
+                str(spec_path),
+            ]
+        )
+        spec = load_spec(spec_path)
+        assert list(spec.thresholds.window_sizes) == [10, 20, 30, 40, 50, 60]
+
+    def test_empty_csv_fails(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["train", str(empty), "--max-window", "8", "-o", "x.json"]
+            )

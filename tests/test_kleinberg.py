@@ -1,0 +1,91 @@
+"""Tests for the two-state bursty stream generator, and burst recall on it."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunked import ChunkedDetector
+from repro.core.search import train_structure
+from repro.core.thresholds import NormalThresholds, all_sizes
+from repro.mining import burst_episodes
+from repro.streams.kleinberg import kleinberg_stream
+
+
+class TestGenerator:
+    def test_intervals_match_elevated_regions(self):
+        stream, intervals = kleinberg_stream(
+            1.0, 50.0, 50_000, burst_start_probability=1e-3, seed=1
+        )
+        assert intervals
+        for start, end in intervals:
+            assert stream[start : end + 1].mean() > 10.0
+
+    def test_quiet_outside_intervals(self):
+        stream, intervals = kleinberg_stream(
+            1.0, 50.0, 50_000, burst_start_probability=1e-3, seed=2
+        )
+        mask = np.zeros(stream.size, dtype=bool)
+        for start, end in intervals:
+            mask[start : end + 1] = True
+        assert stream[~mask].mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_expected_burst_length(self):
+        _, intervals = kleinberg_stream(
+            1.0,
+            20.0,
+            300_000,
+            burst_start_probability=1e-3,
+            burst_stop_probability=0.05,
+            seed=3,
+        )
+        lengths = [end - start + 1 for start, end in intervals]
+        # Geometric with p = 0.05: mean 20 (truncation bias is small).
+        assert np.mean(lengths) == pytest.approx(20.0, rel=0.4)
+
+    def test_deterministic(self):
+        a, ia = kleinberg_stream(1.0, 10.0, 5_000, seed=4)
+        b, ib = kleinberg_stream(1.0, 10.0, 5_000, seed=4)
+        np.testing.assert_array_equal(a, b)
+        assert ia == ib
+
+    def test_intervals_sorted_disjoint(self):
+        _, intervals = kleinberg_stream(
+            1.0, 10.0, 100_000, burst_start_probability=5e-3, seed=5
+        )
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s1 <= e1 < s2 <= e2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kleinberg_stream(5.0, 5.0, 100)
+        with pytest.raises(ValueError):
+            kleinberg_stream(1.0, 5.0, 100, burst_start_probability=0.0)
+        with pytest.raises(ValueError):
+            kleinberg_stream(1.0, 5.0, 100, burst_stop_probability=0.0)
+
+
+class TestDetectionRecall:
+    def test_detector_recovers_automaton_bursts(self):
+        stream, intervals = kleinberg_stream(
+            2.0,
+            40.0,
+            60_000,
+            burst_start_probability=1e-4,
+            burst_stop_probability=2e-2,
+            seed=6,
+        )
+        # Thresholds from a quiet training stream of the base process.
+        train = np.random.default_rng(7).poisson(2.0, 10_000).astype(float)
+        thresholds = NormalThresholds.from_data(train, 1e-7, all_sizes(128))
+        structure = train_structure(train, thresholds)
+        bursts = ChunkedDetector(structure, thresholds).detect(stream)
+        episodes = burst_episodes(bursts, thresholds, gap=128)
+        # Every ground-truth interval of meaningful length is recovered
+        # by some episode.
+        for start, end in intervals:
+            if end - start + 1 < 3:
+                continue  # too short to exceed any window threshold
+            assert any(
+                ep.start <= end and ep.end >= start for ep in episodes
+            ), (start, end)
+        # And no huge overreporting: episodes stay within ~3x the truth.
+        assert len(episodes) <= 3 * max(1, len(intervals)) + 2

@@ -1,0 +1,73 @@
+"""Streaming memory bounds: detectors must not accumulate the stream.
+
+The paper's setting is an unbounded high-speed stream; a detector whose
+memory grows with stream length is wrong no matter how fast it is.  The
+engines promise to retain only a bounded trailing history — these tests
+process many chunks and check the retained buffers stay bounded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import MaxWindowEngine, SumWindowEngine
+from repro.core.chunked import ChunkedDetector
+from repro.core.detector import StreamingDetector
+from repro.core.sbt import shifted_binary_tree
+from repro.core.thresholds import NormalThresholds, all_sizes
+
+
+class TestEngineRetention:
+    def test_sum_engine_buffer_bounded(self, rng):
+        engine = SumWindowEngine(history=64)
+        sizes = []
+        for _ in range(50):
+            engine.append(rng.uniform(0, 5, 1000))
+            sizes.append(engine._prefix.size)
+        assert max(sizes) <= 64 + 1000 + 1
+
+    def test_max_engine_buffer_bounded(self, rng):
+        engine = MaxWindowEngine(history=64)
+        sizes = []
+        for _ in range(50):
+            engine.append(rng.uniform(0, 5, 1000))
+            sizes.append(engine._buf.size)
+        assert max(sizes) <= 64 + 2 * 1000
+
+    def test_queries_remain_correct_after_many_chunks(self, rng):
+        data = rng.uniform(0, 5, 30_000)
+        engine = SumWindowEngine(history=128)
+        for lo in range(0, data.size, 1000):
+            engine.append(data[lo : lo + 1000])
+        t = data.size - 1
+        # Prefix-sum differencing accumulates float error over the whole
+        # stream; equality is up to that rounding.
+        assert engine.value(t, 128) == pytest.approx(
+            np.sum(data[-128:]), rel=1e-9
+        )
+
+
+class TestDetectorMemory:
+    def _measure_engine_footprint(self, detector_cls, chunks):
+        rng = np.random.default_rng(0)
+        train = rng.poisson(5.0, 2000).astype(float)
+        th = NormalThresholds.from_data(train, 1e-4, all_sizes(32))
+        d = detector_cls(shifted_binary_tree(32), th)
+        footprints = []
+        for _ in range(chunks):
+            d.process(rng.poisson(5.0, 2000).astype(float))
+            engine = d._engine
+            buf = getattr(engine, "_prefix", None)
+            if buf is None:
+                buf = engine._buf
+            footprints.append(buf.size)
+        d.finish()
+        return footprints
+
+    def test_chunked_detector_memory_bounded(self):
+        footprints = self._measure_engine_footprint(ChunkedDetector, 30)
+        # Footprint stabilizes: the last ten chunks add nothing.
+        assert max(footprints[-10:]) <= max(footprints[:10]) + 1
+
+    def test_streaming_detector_memory_bounded(self):
+        footprints = self._measure_engine_footprint(StreamingDetector, 30)
+        assert max(footprints[-10:]) <= max(footprints[:10]) + 1

@@ -1,0 +1,187 @@
+"""Unit and pipeline tests for the burst-correlation mining layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Burst, BurstSet
+from repro.mining.burst_strings import burst_indicator, burst_indicators
+from repro.mining.correlation import (
+    correlation_matrix,
+    indicator_correlation,
+    jaccard_similarity,
+    smear,
+)
+from repro.mining.groups import correlated_groups, mine_burst_correlations
+from repro.streams.correlated import StockUniverse
+
+
+class TestBurstIndicator:
+    def test_marks_end_times(self):
+        bursts = BurstSet([Burst(3, 10, 1.0), Burst(7, 10, 1.0), Burst(4, 30, 1.0)])
+        ind = burst_indicator(bursts, 10, 10)
+        assert list(np.nonzero(ind)[0]) == [3, 7]
+
+    def test_multi_size(self):
+        bursts = [Burst(3, 10, 1.0), Burst(4, 30, 1.0)]
+        table = burst_indicators(bursts, 10, [10, 30, 60])
+        assert table[10][3] == 1
+        assert table[30][4] == 1
+        assert table[60].sum() == 0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            burst_indicator([Burst(10, 5, 1.0)], 10, 5)
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            burst_indicator([], -1, 5)
+
+
+class TestSmear:
+    def test_zero_tolerance_identity(self):
+        ind = np.array([0, 1, 0, 0], dtype=np.int8)
+        np.testing.assert_array_equal(smear(ind, 0), ind)
+
+    def test_widens_neighbourhood(self):
+        ind = np.zeros(7, dtype=np.int8)
+        ind[3] = 1
+        out = smear(ind, 2)
+        assert list(out) == [0, 1, 1, 1, 1, 1, 0]
+
+    def test_clips_at_edges(self):
+        ind = np.zeros(3, dtype=np.int8)
+        ind[0] = 1
+        assert list(smear(ind, 5)) == [1, 1, 1]
+
+    def test_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            smear(np.zeros(3), -1)
+
+
+class TestCorrelationMeasures:
+    def test_identical_strings_correlate_fully(self):
+        a = np.array([0, 1, 0, 1, 0])
+        assert indicator_correlation(a, a) == pytest.approx(1.0)
+        assert jaccard_similarity(a, a) == 1.0
+
+    def test_disjoint_strings(self):
+        a = np.array([1, 0, 0, 0])
+        b = np.array([0, 0, 0, 1])
+        assert indicator_correlation(a, b) < 0
+        assert jaccard_similarity(a, b) == 0.0
+
+    def test_constant_string_gives_zero(self):
+        a = np.zeros(5)
+        b = np.array([0, 1, 0, 0, 0])
+        assert indicator_correlation(a, b) == 0.0
+        assert jaccard_similarity(a, np.zeros(5)) == 0.0
+
+    def test_tolerance_aligns_near_misses(self):
+        a = np.zeros(50)
+        b = np.zeros(50)
+        a[10] = 1
+        b[12] = 1
+        assert indicator_correlation(a, b, tolerance=0) <= 0
+        assert indicator_correlation(a, b, tolerance=3) > 0.5
+        assert jaccard_similarity(a, b, tolerance=3) > 0.3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            indicator_correlation(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            jaccard_similarity(np.zeros(3), np.zeros(4))
+
+    def test_matrix_symmetric(self):
+        ind = {
+            "A": np.array([0, 1, 0, 1]),
+            "B": np.array([0, 1, 0, 1]),
+            "C": np.array([1, 0, 0, 0]),
+        }
+        names, m = correlation_matrix(ind)
+        assert names == ["A", "B", "C"]
+        np.testing.assert_allclose(m, m.T)
+        assert m[0, 1] == pytest.approx(1.0)
+        assert m[0, 0] == 1.0
+
+    def test_matrix_empty_diagonal(self):
+        names, m = correlation_matrix({"A": np.zeros(4)})
+        assert m[0, 0] == 0.0
+
+    def test_matrix_jaccard(self):
+        ind = {"A": np.array([1, 1, 0]), "B": np.array([1, 0, 0])}
+        _, m = correlation_matrix(ind, measure="jaccard")
+        assert m[0, 1] == pytest.approx(0.5)
+
+    def test_matrix_invalid_measure(self):
+        with pytest.raises(ValueError):
+            correlation_matrix({"A": np.zeros(3)}, measure="cosine")
+
+
+class TestGroups:
+    def test_connected_components(self):
+        names = ["A", "B", "C", "D"]
+        m = np.eye(4)
+        m[0, 1] = m[1, 0] = 0.9
+        m[1, 2] = m[2, 1] = 0.8
+        groups = correlated_groups(names, m, cutoff=0.5)
+        assert groups == (("A", "B", "C"),)
+
+    def test_singletons_dropped(self):
+        names = ["A", "B"]
+        groups = correlated_groups(names, np.eye(2), cutoff=0.5)
+        assert groups == ()
+
+    def test_ordering_largest_first(self):
+        names = ["A", "B", "C", "D", "E"]
+        m = np.eye(5)
+        m[3, 4] = m[4, 3] = 0.9
+        for i, j in [(0, 1), (1, 2)]:
+            m[i, j] = m[j, i] = 0.9
+        groups = correlated_groups(names, m, cutoff=0.5)
+        assert groups[0] == ("A", "B", "C")
+        assert groups[1] == ("D", "E")
+
+
+class TestPipeline:
+    def test_recovers_planted_sector_structure(self):
+        uni = StockUniverse(
+            seed=10,
+            sectors={"x": ("AA", "BB"), "y": ("CC", "DD")},
+            market_event_rate=0.0,
+            sector_event_rate=3e-4,
+            single_event_rate=0.0,
+            magnitude_range=(15.0, 25.0),
+        )
+        data, events = uni.generate(30_000)
+        assert any(e.kind == "sector" for e in events)
+        reports = mine_burst_correlations(
+            data,
+            window_sizes=(10, 30),
+            burst_probability=1e-5,
+            cutoff=0.3,
+            training_points=5_000,
+        )
+        # Every reported pair must be same-sector (no market events are
+        # injected, so cross-sector correlation would be spurious).
+        found_any = False
+        for report in reports:
+            for a, b in report.pair_correlations:
+                found_any = True
+                assert uni.sector_of(a) == uni.sector_of(b), (a, b)
+        assert found_any
+
+    def test_report_str(self):
+        from repro.mining.groups import CorrelationReport
+
+        r = CorrelationReport(30, (("A", "B"),), {("A", "B"): 0.9})
+        assert "30s" in str(r) and "A/B" in str(r)
+        empty = CorrelationReport(10, (), {})
+        assert "(none)" in str(empty)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="no stock data"):
+            mine_burst_correlations({})
+        with pytest.raises(ValueError, match="equal stream length"):
+            mine_burst_correlations(
+                {"A": np.zeros(10), "B": np.zeros(11)}
+            )

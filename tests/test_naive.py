@@ -1,0 +1,91 @@
+"""Unit tests for the naive O(kN) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import MAX
+from repro.core.naive import NaiveDetector, naive_detect, naive_operation_count
+from repro.core.thresholds import FixedThresholds, NormalThresholds, all_sizes
+
+from _oracles import brute_force_bursts
+
+
+class TestNaiveDetect:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.poisson(4.0, 400).astype(float)
+        th = NormalThresholds.from_data(data[:150], 5e-3, all_sizes(15))
+        assert naive_detect(data, th).keys() == brute_force_bursts(data, th)
+
+    def test_max_aggregate(self):
+        rng = np.random.default_rng(9)
+        data = rng.uniform(0, 50, 300)
+        th = FixedThresholds({3: 48.0, 7: 49.0})
+        want = brute_force_bursts(data, th, aggregate="max")
+        assert naive_detect(data, th, MAX).keys() == want
+
+    def test_burst_values(self):
+        data = np.array([5.0, 5.0, 0.0])
+        th = FixedThresholds({2: 10.0})
+        bursts = list(naive_detect(data, th))
+        assert bursts[0].key() == (1, 2)
+        assert bursts[0].value == 10.0
+
+    def test_empty_stream(self):
+        th = FixedThresholds({2: 1.0})
+        assert len(naive_detect(np.empty(0), th)) == 0
+
+    def test_operation_count_formula(self):
+        assert naive_operation_count(1000, 25) == 2 * 1000 * 25
+
+
+class TestNaiveDetector:
+    def test_chunked_equals_whole(self, rng):
+        data = rng.poisson(5.0, 500).astype(float)
+        th = NormalThresholds.from_data(data[:200], 1e-2, all_sizes(12))
+        want = naive_detect(data, th)
+        d = NaiveDetector(th)
+        bursts = []
+        for lo in range(0, 500, 61):
+            bursts.extend(d.process(data[lo : lo + 61]))
+        bursts.extend(d.finish())
+        assert {b.key() for b in bursts} == want.keys()
+        # No duplicates across chunk boundaries.
+        assert len(bursts) == len({b.key() for b in bursts})
+
+    def test_detect_convenience(self, rng):
+        data = rng.poisson(5.0, 300).astype(float)
+        th = NormalThresholds.from_data(data[:100], 1e-2, all_sizes(9))
+        assert NaiveDetector(th).detect(data) == naive_detect(data, th)
+
+    def test_operations_counted(self, rng):
+        data = rng.poisson(5.0, 200).astype(float)
+        th = NormalThresholds.from_data(data[:100], 1e-2, all_sizes(5))
+        d = NaiveDetector(th)
+        d.detect(data)
+        assert d.operations > 0
+        assert d.operations <= naive_operation_count(200, 5)
+
+    def test_finish_twice_raises(self):
+        d = NaiveDetector(FixedThresholds({2: 1.0}))
+        d.finish()
+        with pytest.raises(RuntimeError):
+            d.finish()
+
+    def test_process_after_finish_raises(self):
+        d = NaiveDetector(FixedThresholds({2: 1.0}))
+        d.finish()
+        with pytest.raises(RuntimeError):
+            d.process(np.ones(2))
+
+    def test_tiny_chunks(self, rng):
+        data = rng.poisson(3.0, 120).astype(float)
+        th = NormalThresholds.from_data(data[:50], 2e-2, all_sizes(8))
+        want = naive_detect(data, th)
+        d = NaiveDetector(th)
+        bursts = []
+        for x in data:
+            bursts.extend(d.process(np.array([x])))
+        bursts.extend(d.finish())
+        assert {b.key() for b in bursts} == want.keys()

@@ -1,0 +1,77 @@
+"""Unit tests for operation counters."""
+
+import numpy as np
+import pytest
+
+from repro.core.opcount import OpCounters
+
+
+class TestOpCounters:
+    def test_totals(self):
+        c = OpCounters(2)
+        c.updates[:] = [10, 5, 2]
+        c.filter_comparisons[:] = [0, 5, 2]
+        c.search_cells[:] = [0, 8, 0]
+        assert c.total_updates == 17
+        assert c.total_filter_comparisons == 7
+        assert c.total_search_cells == 8
+        assert c.total_operations == 32
+
+    def test_num_levels(self):
+        assert OpCounters(3).num_levels == 3
+
+    def test_alarm_probability(self):
+        c = OpCounters(2)
+        c.updates[:] = [10, 10, 4]
+        c.alarms[:] = [0, 5, 1]
+        assert c.alarm_probability(1) == 0.5
+        assert c.alarm_probability(2) == 0.25
+        assert c.alarm_probability(0) == 0.0
+
+    def test_alarm_probability_no_updates(self):
+        c = OpCounters(1)
+        assert c.alarm_probability(1) == 0.0
+
+    def test_alarm_probabilities_vector(self):
+        c = OpCounters(2)
+        c.updates[:] = [10, 10, 0]
+        c.alarms[:] = [0, 2, 0]
+        np.testing.assert_allclose(c.alarm_probabilities(), [0.2, 0.0])
+
+    def test_weighted_alarm_probability(self):
+        c = OpCounters(2)
+        c.updates[:] = [10, 10, 10]
+        c.alarms[:] = [0, 10, 0]  # level 1 always alarms, level 2 never
+        # Level 1 weighted 1, level 2 weighted 3.
+        assert c.weighted_alarm_probability(np.array([1.0, 3.0])) == 0.25
+
+    def test_weighted_alarm_probability_zero_weights(self):
+        c = OpCounters(1)
+        c.updates[:] = [1, 1]
+        assert c.weighted_alarm_probability(np.array([0.0])) == 0.0
+
+    def test_weighted_alarm_probability_shape_mismatch(self):
+        c = OpCounters(2)
+        with pytest.raises(ValueError):
+            c.weighted_alarm_probability(np.array([1.0]))
+
+    def test_merge(self):
+        a, b = OpCounters(1), OpCounters(1)
+        a.updates[:] = [1, 2]
+        b.updates[:] = [3, 4]
+        a.bursts, b.bursts = 1, 2
+        a.merge(b)
+        assert list(a.updates) == [4, 6]
+        assert a.bursts == 3
+
+    def test_merge_mismatched_levels(self):
+        with pytest.raises(ValueError):
+            OpCounters(1).merge(OpCounters(2))
+
+    def test_as_dict_and_repr(self):
+        c = OpCounters(1)
+        c.updates[:] = [1, 1]
+        d = c.as_dict()
+        assert d["updates"] == 2
+        assert d["operations"] == 2
+        assert "updates=2" in repr(c)

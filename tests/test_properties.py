@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The load-bearing properties of the whole system:
+
+1. *Completeness/soundness*: for ANY valid SAT structure, ANY stream and
+   ANY thresholds, the SAT detectors report exactly the naive baseline's
+   bursts.  This is the paper's "all bursts are guaranteed to be
+   reported" claim, quantified over the structure family.
+2. *Detector equivalence*: streaming and chunked detectors agree on
+   bursts and on every operation counter, for any chunking.
+3. Kernel and structure invariants backing those up.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import MAX, SUM, sliding_max, sliding_sum
+from repro.core.chunked import ChunkedDetector
+from repro.core.detector import StreamingDetector
+from repro.core.naive import naive_detect
+from repro.core.structure import Level, SATStructure
+from repro.core.thresholds import FixedThresholds
+
+# -- strategies --------------------------------------------------------
+
+
+@st.composite
+def sat_structures(draw, max_top=64):
+    """Random *valid* SAT structures grown by the transformation rule."""
+    levels = [Level(1, 1)]
+    while True:
+        below = levels[-1]
+        coverage = below.size - below.shift + 1 if len(levels) > 1 else 1
+        if below.size >= max_top or (len(levels) > 1 and draw(st.booleans())):
+            break
+        size = draw(
+            st.integers(min_value=below.size + 1, max_value=min(max_top, 2 * below.size + 4))
+        )
+        max_mult = max(1, (size - below.size + 1) // below.shift)
+        shift = below.shift * draw(st.integers(1, max_mult))
+        if size - shift + 1 < below.size or size - shift + 1 <= coverage:
+            continue
+        levels.append(Level(size, shift))
+    if len(levels) == 1:
+        levels.append(Level(2, 1))
+    return SATStructure(levels)
+
+
+@st.composite
+def streams(draw):
+    """Short non-negative integer-ish streams."""
+    n = draw(st.integers(10, 120))
+    return np.array(
+        draw(
+            st.lists(
+                st.floats(0, 50, allow_nan=False, width=16),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+
+
+@st.composite
+def threshold_tables(draw, max_size):
+    """Random (possibly non-monotone) threshold tables."""
+    sizes = draw(
+        st.lists(
+            st.integers(1, max_size), min_size=1, max_size=6, unique=True
+        )
+    )
+    return {
+        w: draw(st.floats(1.0, 400.0, allow_nan=False)) for w in sizes
+    }
+
+
+# -- detector equivalence ------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=streams(), structure=sat_structures(), table=threshold_tables(20))
+def test_sat_equals_naive_for_any_structure(data, structure, table):
+    table = {w: f for w, f in table.items() if w <= structure.coverage}
+    if not table:
+        table = {1: 25.0}
+    th = FixedThresholds(table)
+    want = naive_detect(data, th)
+    got = StreamingDetector(structure, th).detect(data)
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=streams(),
+    structure=sat_structures(),
+    table=threshold_tables(20),
+    chunk=st.integers(1, 64),
+)
+def test_chunked_equals_streaming_any_chunking(data, structure, table, chunk):
+    table = {w: f for w, f in table.items() if w <= structure.coverage}
+    if not table:
+        table = {2: 60.0}
+    th = FixedThresholds(table)
+    ref = StreamingDetector(structure, th)
+    want = ref.detect(data)
+    chk = ChunkedDetector(structure, th)
+    got = chk.detect(data, chunk_size=chunk)
+    assert got == want
+    assert list(chk.counters.updates) == list(ref.counters.updates)
+    assert list(chk.counters.filter_comparisons) == list(
+        ref.counters.filter_comparisons
+    )
+    assert list(chk.counters.alarms) == list(ref.counters.alarms)
+    assert list(chk.counters.search_cells) == list(ref.counters.search_cells)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=streams(), table=threshold_tables(12))
+def test_max_aggregate_equals_naive(data, table):
+    th = FixedThresholds(table)
+    structure = SATStructure.from_pairs([(4, 2), (16, 4)])
+    if structure.coverage < th.max_window:
+        table = {w: f for w, f in table.items() if w <= structure.coverage}
+        th = FixedThresholds(table)
+    want = naive_detect(data, th, MAX)
+    got = ChunkedDetector(structure, th, MAX).detect(data, chunk_size=17)
+    assert got == want
+
+
+# -- monotonicity: the filter's soundness core ---------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=streams(), w=st.integers(1, 10), c=st.integers(1, 10))
+def test_aggregate_monotonicity(data, w, c):
+    # A[x_t..x_{t+w-1}] <= A[x_t..x_{t+w+c-1}] for sum and max.
+    if w + c > data.size:
+        return
+    small_sum = sliding_sum(data, w)
+    big_sum = sliding_sum(data, w + c)
+    assert np.all(small_sum[: big_sum.size] <= big_sum + 1e-9)
+    small_max = sliding_max(data, w)
+    big_max = sliding_max(data, w + c)
+    assert np.all(small_max[: big_max.size] <= big_max + 1e-9)
+
+
+# -- structure invariants -------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(structure=sat_structures())
+def test_structure_invariants(structure):
+    # Coverage is the top level's self-overlap plus one.
+    top = structure.top
+    assert structure.coverage == top.size - top.shift + 1
+    # Responsibility ranges tile [1, coverage].
+    expected_lo = 1
+    for i in range(len(structure.levels)):
+        lo, hi = structure.responsibility_range(i)
+        assert lo == expected_lo
+        expected_lo = max(expected_lo, hi + 1)
+    assert expected_lo == structure.coverage + 1
+    # Serialization round-trips.
+    assert SATStructure.from_json(structure.to_json()) == structure
+    # Density is positive and at most ~levels-per-cell.
+    assert 0 < structure.density() <= len(structure.levels)
+
+
+@settings(max_examples=80, deadline=None)
+@given(structure=sat_structures())
+def test_every_covered_size_has_unique_level(structure):
+    for w in range(1, structure.coverage + 1):
+        owners = []
+        for i in range(len(structure.levels)):
+            lo, hi = structure.responsibility_range(i)
+            if lo <= w <= hi:
+                owners.append(i)
+        assert len(owners) == 1, (w, owners)
+
+
+# -- sliding kernels vs brute force ---------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=streams(), w=st.integers(1, 30))
+def test_sliding_kernels_vs_bruteforce(data, w):
+    if w > data.size:
+        assert sliding_sum(data, w).size == 0
+        assert sliding_max(data, w).size == 0
+        return
+    want_sum = [data[i : i + w].sum() for i in range(data.size - w + 1)]
+    want_max = [data[i : i + w].max() for i in range(data.size - w + 1)]
+    np.testing.assert_allclose(sliding_sum(data, w), want_sum, rtol=1e-9)
+    np.testing.assert_allclose(sliding_max(data, w), want_max)
+
+
+# -- engines ---------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=streams(),
+    agg=st.sampled_from([SUM, MAX]),
+    w=st.integers(1, 16),
+)
+def test_engine_matches_definition(data, agg, w):
+    engine = agg.make_engine(history=32)
+    engine.append(data)
+    for t in range(data.size):
+        start = max(0, t - w + 1)
+        window = data[start : t + 1]
+        want = window.sum() if agg is SUM else window.max()
+        assert engine.value(t, w) == pytest.approx(want)
+
+
+# -- the transformation rule ------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(structure=sat_structures(max_top=32), data=st.data())
+def test_generate_children_produces_valid_growing_states(structure, data):
+    from repro.core.search.state import generate_children
+
+    max_window = data.draw(st.integers(structure.coverage + 1, 64))
+    max_size = data.draw(st.integers(structure.top.size, 2 * max_window))
+    children = generate_children(
+        structure, max_size=max_size, min_size=0, max_window=max_window
+    )
+    seen = set()
+    for child in children:
+        # Valid by construction (the SATStructure constructor enforces the
+        # paper's constraints), strictly growing, within the size bound,
+        # and unique.
+        assert child.num_levels == structure.num_levels + 1
+        assert child.top.size <= max_size
+        assert child.top.shift % structure.top.shift == 0
+        assert child.coverage > structure.coverage
+        assert child not in seen
+        seen.add(child)
+
+
+@settings(max_examples=40, deadline=None)
+@given(structure=sat_structures(max_top=24), data=st.data())
+def test_generate_children_min_size_is_resumable(structure, data):
+    # Generating in two passes (up to mid, then mid..high) yields exactly
+    # the same states as one pass — the incremental 2L growth protocol's
+    # correctness condition.
+    from repro.core.search.state import generate_children
+
+    max_window = data.draw(st.integers(structure.coverage + 1, 48))
+    mid = data.draw(st.integers(structure.top.size, 2 * max_window))
+    high = data.draw(st.integers(mid, 2 * max_window))
+    one_pass = generate_children(
+        structure, max_size=high, min_size=0, max_window=max_window
+    )
+    two_pass = generate_children(
+        structure, max_size=mid, min_size=0, max_window=max_window
+    ) + generate_children(
+        structure, max_size=high, min_size=mid, max_window=max_window
+    )
+    assert {c for c in one_pass} == {c for c in two_pass}

@@ -1,0 +1,152 @@
+"""Unit tests for the aggregation pyramid and its cell algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import MAX
+from repro.core.pyramid import (
+    AggregationPyramid,
+    Cell,
+    embedded_cells,
+    overlap,
+    shades,
+    shadow,
+)
+from repro.core.sbt import shifted_binary_tree
+from repro.core.thresholds import FixedThresholds
+
+
+class TestCellAlgebra:
+    def test_shadow(self):
+        c = Cell(h=3, t=10)
+        assert c.size == 4
+        assert shadow(c) == (7, 10)
+
+    def test_shades(self):
+        outer = Cell(5, 10)  # covers [5, 10]
+        assert shades(outer, Cell(2, 8))  # [6, 8]
+        assert shades(outer, outer)
+        assert not shades(outer, Cell(2, 12))
+        assert not shades(Cell(2, 8), outer)
+
+    def test_overlap_cell(self):
+        c1 = Cell(4, 8)  # [4, 8]
+        c2 = Cell(4, 11)  # [7, 11]
+        ov = overlap(c1, c2)
+        assert shadow(ov) == (7, 8)
+        # Paper Fig. 3: the overlap is shaded by both cells.
+        assert shades(c1, ov) and shades(c2, ov)
+
+    def test_overlap_disjoint(self):
+        assert overlap(Cell(1, 3), Cell(1, 9)) is None
+
+    def test_overlap_symmetric(self):
+        c1, c2 = Cell(4, 8), Cell(4, 11)
+        assert overlap(c1, c2) == overlap(c2, c1)
+
+
+class TestStreamingPyramid:
+    def test_update_rule_matches_bruteforce(self, rng):
+        data = rng.uniform(0, 10, 40)
+        pyr = AggregationPyramid(window=12)
+        pyr.extend(data)
+        for t in range(28, 40):
+            for h in range(min(t + 1, 12)):
+                want = data[t - h : t + 1].sum()
+                assert pyr.cell(h, t) == pytest.approx(want)
+
+    def test_max_aggregate(self, rng):
+        data = rng.uniform(0, 10, 30)
+        pyr = AggregationPyramid(window=8, aggregate=MAX)
+        pyr.extend(data)
+        for t in range(22, 30):
+            for h in range(8):
+                assert pyr.cell(h, t) == data[t - h : t + 1].max()
+
+    def test_push_returns_column(self):
+        pyr = AggregationPyramid(window=4)
+        col = pyr.push(3.0)
+        assert list(col) == [3.0]
+        col = pyr.push(2.0)
+        assert list(col) == [2.0, 5.0]
+
+    def test_cell_bounds(self):
+        pyr = AggregationPyramid(window=4)
+        pyr.extend([1.0, 2.0])
+        with pytest.raises(IndexError):
+            pyr.cell(4, 1)  # beyond window
+        with pytest.raises(IndexError):
+            pyr.cell(2, 1)  # begins before the stream
+        with pytest.raises(IndexError):
+            pyr.cell(0, 5)  # not pushed yet
+
+    def test_retention(self):
+        pyr = AggregationPyramid(window=3)
+        pyr.extend(np.arange(10.0))
+        with pytest.raises(IndexError, match="retained"):
+            pyr.cell(0, 2)
+        assert pyr.cell(0, 9) == 9.0
+
+    def test_column(self):
+        pyr = AggregationPyramid(window=4)
+        pyr.extend([1.0, 2.0, 3.0])
+        assert list(pyr.column(2)) == [3.0, 5.0, 6.0]
+        with pytest.raises(IndexError):
+            pyr.column(99)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            AggregationPyramid(window=0)
+
+    def test_bursts_at(self):
+        pyr = AggregationPyramid(window=4)
+        pyr.extend([1.0, 5.0, 1.0])
+        th = FixedThresholds({1: 4.0, 2: 100.0, 3: 6.0})
+        cells = pyr.bursts_at(1, th)
+        assert Cell(0, 1) in cells  # value 5 >= f(1) = 4
+        cells = pyr.bursts_at(2, th)
+        assert Cell(2, 2) in cells  # 7 >= f(3) = 6
+        assert Cell(1, 2) not in cells
+
+    def test_length(self):
+        pyr = AggregationPyramid(window=4)
+        assert pyr.length == 0
+        pyr.extend([1.0, 1.0])
+        assert pyr.length == 2
+
+
+class TestFromArray:
+    def test_dense_pyramid(self):
+        levels = AggregationPyramid.from_array(np.array([1.0, 4.0, 0.0, 3.0]))
+        assert list(levels[0]) == [1.0, 4.0, 0.0, 3.0]
+        assert list(levels[1]) == [5.0, 4.0, 3.0]
+        assert list(levels[2]) == [5.0, 7.0]
+        assert list(levels[3]) == [8.0]
+
+    def test_max_height(self):
+        levels = AggregationPyramid.from_array(np.ones(10), max_height=3)
+        assert len(levels) == 3
+
+
+class TestEmbedding:
+    def test_sbt_embedding_levels(self):
+        # Paper Fig. 4: SBT level i materializes pyramid cells at height
+        # 2^i - 1, at every multiple of its shift.
+        sbt = shifted_binary_tree(8)
+        cells = embedded_cells(sbt, duration=32)
+        heights = {c.h for c in cells}
+        assert heights == {0, 1, 3, 7, 15}
+        # Size-4 nodes (height 3) shift by 2: ends at odd times.
+        level2 = sorted(c.t for c in cells if c.h == 3)
+        assert level2 == list(range(1, 32, 2))
+
+    def test_embedding_counts(self):
+        sbt = shifted_binary_tree(4)
+        cells = embedded_cells(sbt, duration=16)
+        by_height = {}
+        for c in cells:
+            by_height[c.h] = by_height.get(c.h, 0) + 1
+        assert by_height[0] == 16  # level 0, shift 1
+        assert by_height[1] == 16  # size 2, shift 1
+        assert by_height[3] == 8  # size 4, shift 2
+        assert by_height[7] == 4  # size 8, shift 4

@@ -1,0 +1,62 @@
+"""Tests for the dense-pyramid detector and the embedding diagram."""
+
+import numpy as np
+import pytest
+
+from repro.core.naive import naive_detect, naive_operation_count
+from repro.core.pyramid import embedding_diagram, pyramid_detect
+from repro.core.sbt import shifted_binary_tree
+from repro.core.structure import SATStructure
+from repro.core.thresholds import FixedThresholds, NormalThresholds, all_sizes
+
+
+class TestPyramidDetect:
+    def test_matches_naive(self, rng):
+        data = rng.poisson(5.0, 1500).astype(float)
+        th = NormalThresholds.from_data(data[:400], 1e-3, all_sizes(20))
+        bursts, ops = pyramid_detect(data, th)
+        assert bursts == naive_detect(data, th)
+        assert ops > 0
+
+    def test_sparse_sizes_fewer_comparisons(self, rng):
+        data = rng.poisson(5.0, 1000).astype(float)
+        dense = NormalThresholds.from_data(data[:300], 1e-2, all_sizes(16))
+        sparse = NormalThresholds.from_data(data[:300], 1e-2, [8, 16])
+        _, dense_ops = pyramid_detect(data, dense)
+        _, sparse_ops = pyramid_detect(data, sparse)
+        # Same updates (the pyramid is dense either way), fewer compares.
+        assert sparse_ops < dense_ops
+
+    def test_cost_comparable_to_naive(self, rng):
+        # The dense pyramid is the "naive with sharing" extreme: ~maxw
+        # updates per point plus one comparison per size of interest.
+        data = rng.poisson(5.0, 2000).astype(float)
+        th = NormalThresholds.from_data(data[:500], 1e-2, all_sizes(32))
+        _, ops = pyramid_detect(data, th)
+        assert ops <= naive_operation_count(data.size, 32)
+
+    def test_empty_stream(self):
+        th = FixedThresholds({2: 1.0})
+        bursts, ops = pyramid_detect(np.empty(0), th)
+        assert len(bursts) == 0
+
+
+class TestEmbeddingDiagram:
+    def test_row_per_level_top_first(self):
+        sbt = shifted_binary_tree(8)
+        text = embedding_diagram(sbt, duration=16)
+        lines = text.splitlines()
+        assert len(lines) == len(sbt.levels)
+        assert "level  4" in lines[0]
+        assert "level  0" in lines[-1]
+
+    def test_node_marks_follow_shift(self):
+        structure = SATStructure.from_pairs([(4, 2)])
+        text = embedding_diagram(structure, duration=8)
+        level1 = text.splitlines()[0]
+        marks = level1.split(": ")[1]
+        assert marks == ".N.N.N.N"
+
+    def test_level0_every_point(self):
+        text = embedding_diagram(shifted_binary_tree(4), duration=6)
+        assert text.splitlines()[-1].endswith("NNNNNN")

@@ -1,0 +1,140 @@
+"""Tests for rectangular spatial burst detection."""
+
+import numpy as np
+import pytest
+
+from repro.spatial import (
+    RectangularDetector,
+    RectangularThresholds,
+    RectBurst,
+    RectBurstSet,
+    naive_rectangular_detect,
+    sliding_rect_sum,
+    spatial_binary_structure,
+    SpatialStructure,
+)
+
+
+def brute_force_rects(grid, thresholds):
+    out = set()
+    height, width = grid.shape
+    for h, w in thresholds.shapes:
+        f = thresholds.threshold(h, w)
+        for r in range(height - h + 1):
+            for c in range(width - w + 1):
+                if grid[r : r + h, c : c + w].sum() >= f:
+                    out.add((r, c, h, w))
+    return out
+
+
+class TestSlidingRectSum:
+    def test_matches_slices(self, rng):
+        grid = rng.uniform(0, 3, (12, 15))
+        sums = sliding_rect_sum(grid, 3, 5)
+        assert sums.shape == (10, 11)
+        assert sums[4, 6] == pytest.approx(grid[4:7, 6:11].sum())
+
+    def test_too_large(self):
+        assert sliding_rect_sum(np.ones((3, 3)), 4, 1).size == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sliding_rect_sum(np.ones((3, 3)), 0, 1)
+
+
+class TestThresholds:
+    def test_normal_formula(self):
+        th = RectangularThresholds.normal(2.0, 1.0, 1e-4, [(2, 8)])
+        from scipy.stats import norm
+
+        z = norm.ppf(1 - 1e-4)
+        assert th.threshold(2, 8) == pytest.approx(32.0 + 4.0 * z)
+
+    def test_shapes_and_maxdim(self):
+        th = RectangularThresholds({(2, 8): 5.0, (3, 3): 4.0})
+        assert th.shapes == ((2, 8), (3, 3))
+        assert th.max_dimension == 8
+        assert th.shapes_with_maxdim_in(3, 3) == [(3, 3)]
+        assert th.shapes_with_maxdim_in(4, 10) == [(2, 8)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RectangularThresholds({})
+        with pytest.raises(ValueError):
+            RectangularThresholds({(0, 2): 1.0})
+        with pytest.raises(ValueError):
+            RectangularThresholds.normal(1.0, -1.0, 0.5, [(2, 2)])
+        with pytest.raises(ValueError):
+            RectangularThresholds.normal(1.0, 1.0, 1.5, [(2, 2)])
+
+
+class TestDetection:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        grid = rng.poisson(0.3, (24, 30)).astype(float)
+        grid[8:10, 5:17] += 2.5
+        shapes = [(1, 1), (1, 6), (6, 1), (2, 8), (8, 2), (3, 3), (6, 6)]
+        th = RectangularThresholds.normal(0.3, np.sqrt(0.3), 1e-3, shapes)
+        want = brute_force_rects(grid, th)
+        got = RectangularDetector(spatial_binary_structure(8), th).detect(grid)
+        assert got.keys() == want
+        assert naive_rectangular_detect(grid, th).keys() == want
+
+    def test_various_structures(self, rng):
+        grid = rng.poisson(0.4, (20, 20)).astype(float)
+        grid[3:5, 10:18] += 3.0
+        shapes = [(2, 8), (4, 4), (8, 2)]
+        th = RectangularThresholds.normal(0.4, np.sqrt(0.4), 1e-3, shapes)
+        want = brute_force_rects(grid, th)
+        for pairs in [[(10, 3)], [(3, 1), (12, 4)]]:
+            structure = SpatialStructure.from_pairs(pairs)
+            got = RectangularDetector(structure, th).detect(grid)
+            assert got.keys() == want, pairs
+
+    def test_anisotropic_event_found_at_its_shape(self, rng):
+        # A faint wide strip: only the aligned shape accumulates enough
+        # of it to clear the threshold; a (20, 2) region crossing the
+        # strip picks up a 2x2 sliver (+2.8), far below the margin.
+        grid = rng.poisson(0.1, (40, 40)).astype(float)
+        grid[20:22, 5:25] += 0.7  # faint 2 x 20 strip
+        shapes = [(2, 20), (20, 2)]
+        th = RectangularThresholds.normal(0.1, np.sqrt(0.1), 1e-6, shapes)
+        got = RectangularDetector(spatial_binary_structure(20), th).detect(grid)
+        by_shape = {}
+        for b in got:
+            key = (b.height, b.width)
+            by_shape[key] = by_shape.get(key, 0) + 1
+        assert by_shape.get((2, 20), 0) >= 1
+        assert by_shape.get((20, 2), 0) <= 2
+
+    def test_coverage_enforced(self):
+        th = RectangularThresholds({(2, 50): 1.0})
+        with pytest.raises(ValueError, match="coverage"):
+            RectangularDetector(spatial_binary_structure(8), th)
+
+    def test_requires_2d(self):
+        th = RectangularThresholds({(2, 2): 1.0})
+        d = RectangularDetector(spatial_binary_structure(2), th)
+        with pytest.raises(ValueError):
+            d.detect(np.ones(5))
+
+    def test_cell_shape_handled_at_level_zero(self):
+        grid = np.zeros((6, 6))
+        grid[2, 4] = 9.0
+        th = RectangularThresholds({(1, 1): 5.0, (2, 2): 100.0})
+        got = RectangularDetector(spatial_binary_structure(2), th).detect(grid)
+        assert got.keys() == {(2, 4, 1, 1)}
+
+
+class TestRectBurstSet:
+    def test_dedup_and_eq(self):
+        a = RectBurstSet([RectBurst(0, 0, 2, 3, 5.0), RectBurst(0, 0, 2, 3, 9.0)])
+        assert len(a) == 1
+        assert a == RectBurstSet([RectBurst(0, 0, 2, 3, 1.0)])
+
+    def test_shapes(self):
+        s = RectBurstSet(
+            [RectBurst(0, 0, 2, 3, 1.0), RectBurst(1, 1, 3, 2, 1.0)]
+        )
+        assert s.shapes() == ((2, 3), (3, 2))

@@ -1,0 +1,76 @@
+"""Calibration and behaviour tests for the SDSS traffic surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.streams.sdss import SDSSTrafficSimulator
+from repro.streams.stats import describe
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        return SDSSTrafficSimulator(seed=1).generate(200_000)
+
+    def test_mean_near_table2(self, sample):
+        # Paper Table 2: mean 120.95.
+        assert describe(sample).mean == pytest.approx(120.95, rel=0.08)
+
+    def test_std_near_table2(self, sample):
+        # Paper Table 2: std 64.87.
+        assert describe(sample).std == pytest.approx(64.87, rel=0.12)
+
+    def test_support_plausible(self, sample):
+        # Paper Table 2: min 0, max 576 over 31.5M points; a shorter
+        # segment should stay the same order of magnitude.
+        stats = describe(sample)
+        assert stats.min >= 0
+        assert 300 < stats.max < 1500
+
+    def test_unimodal_interior_mode(self, sample):
+        # Paper Fig. 17a: unimodal, Poisson-like histogram.
+        counts, _ = np.histogram(sample, bins=12)
+        mode = int(np.argmax(counts))
+        assert 0 < mode < 11
+
+    def test_integer_counts(self, sample):
+        assert np.all(sample == np.round(sample))
+
+    def test_window_sums_match_iid_scaling(self, sample):
+        # The detection-critical property: window-sum variance grows
+        # ~linearly in w (excess variance lives at short time scales), so
+        # the paper's normal threshold formula calibrates.
+        from repro.core.aggregates import sliding_sum
+
+        var1 = sample.var()
+        var64 = sliding_sum(sample, 64).var() / 64
+        assert var64 == pytest.approx(var1, rel=0.35)
+
+
+class TestInterface:
+    def test_deterministic_given_seed_and_segment(self):
+        sim = SDSSTrafficSimulator(seed=7)
+        np.testing.assert_array_equal(sim.generate(500), sim.generate(500))
+
+    def test_segments_differ(self):
+        sim = SDSSTrafficSimulator(seed=7)
+        a = sim.generate(500, start_second=0)
+        b = sim.generate(500, start_second=604_800)
+        assert not np.array_equal(a, b)
+
+    def test_rate_is_positive_and_periodic(self):
+        sim = SDSSTrafficSimulator(seed=7)
+        t = np.arange(0, 2 * 86_400, 600)
+        rate = sim.rate(t)
+        assert (rate > 0).all()
+        day1 = sim.rate(np.arange(0, 86_400, 600))
+        day2 = sim.rate(np.arange(86_400, 2 * 86_400, 600))
+        np.testing.assert_allclose(day1, day2, rtol=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SDSSTrafficSimulator(base_rate=0.0)
+        with pytest.raises(ValueError):
+            SDSSTrafficSimulator(dispersion=0.0)
+        with pytest.raises(ValueError):
+            SDSSTrafficSimulator(diurnal_amplitude=1.5)

@@ -1,0 +1,238 @@
+"""Unit and quality tests for the state-space search."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunked import ChunkedDetector
+from repro.core.naive import naive_detect
+from repro.core.search import (
+    BestFirstSearch,
+    EmpiricalCostModel,
+    NormalProbabilityModel,
+    SearchParams,
+    TheoreticalCostModel,
+    exhaustive_search,
+    greedy_search,
+    train_structure,
+)
+from repro.core.search.state import generate_children, geometric_grid
+from repro.core.structure import SATStructure
+from repro.core.thresholds import FixedThresholds, NormalThresholds, all_sizes
+
+
+class TestGeometricGrid:
+    def test_small_all_present(self):
+        assert geometric_grid(10) == tuple(range(1, 11))
+
+    def test_contains_powers_of_two(self):
+        grid = geometric_grid(4096)
+        for p in (1, 2, 4, 64, 1024, 4096):
+            assert p in grid
+
+    def test_spacing_bounded_above_sixteen(self):
+        # The grid is dense (every integer) up to 16 and geometrically
+        # thinned above, with consecutive ratios bounded.
+        grid = geometric_grid(10_000)
+        coarse = [v for v in grid if v >= 16]
+        ratios = [b / a for a, b in zip(coarse, coarse[1:])]
+        assert max(ratios) < 1.35
+
+    def test_empty(self):
+        assert geometric_grid(0) == ()
+
+
+class TestGenerateChildren:
+    def test_children_are_valid_structures(self):
+        base = SATStructure.from_pairs([(4, 2)])
+        children = generate_children(base, max_size=16, min_size=0, max_window=20)
+        assert children
+        for child in children:
+            assert child.num_levels == 2
+            assert child.top.size <= 16
+            assert child.top.shift % 2 == 0
+            assert child.coverage > base.coverage
+
+    def test_min_size_excludes_old_candidates(self):
+        base = SATStructure.from_pairs([(4, 2)])
+        first = generate_children(base, max_size=8, min_size=0, max_window=20)
+        second = generate_children(base, max_size=16, min_size=8, max_window=20)
+        first_sizes = {c.top.size for c in first}
+        second_sizes = {c.top.size for c in second}
+        assert first_sizes and second_sizes
+        assert max(first_sizes) <= 8
+        assert min(second_sizes) > 8
+
+    def test_completion_sizes_added(self):
+        # With max_window 19 a completing child 19 + s - 1 should exist
+        # even off the geometric grid.
+        base = SATStructure.from_pairs([(16, 1)])
+        children = generate_children(
+            base, max_size=40, min_size=0, max_window=19
+        )
+        assert any(c.covers(19) for c in children)
+
+    def test_sbt_step_reachable(self):
+        base = SATStructure.from_pairs([(2, 1), (4, 2)])
+        children = generate_children(base, max_size=8, min_size=0, max_window=64)
+        assert any(
+            c.top.size == 8 and c.top.shift == 4 for c in children
+        )
+
+
+class TestBestFirstSearch:
+    def _search(self, maxw=24, p=1e-3, **kw):
+        rng = np.random.default_rng(11)
+        data = rng.poisson(6.0, 4000).astype(float)
+        th = NormalThresholds.from_data(data, p, all_sizes(maxw))
+        model = TheoreticalCostModel(th, NormalProbabilityModel.from_data(data))
+        return BestFirstSearch(th, model, SearchParams(**kw)), th, data
+
+    def test_finds_valid_final_structure(self):
+        search, th, _ = self._search()
+        result = search.run()
+        assert result.structure.covers(th.max_window)
+        assert result.finals_seen >= 1
+        assert result.normalized_cost > 0
+        assert "levels=" in repr(result)
+
+    def test_found_structure_detects_correctly(self):
+        search, th, data = self._search()
+        structure = search.run().structure
+        got = ChunkedDetector(structure, th).detect(data)
+        assert got == naive_detect(data, th)
+
+    def test_expansion_cap_without_final_raises(self):
+        # An expansion budget too small to ever reach a covering state is
+        # an error, not a silent bad structure.
+        search, _, _ = self._search(max_expansions=1, max_final_states=10**9)
+        with pytest.raises(RuntimeError, match="max_expansions"):
+            search.run()
+
+    def test_expansions_bounded_by_cap(self):
+        search, _, _ = self._search(max_expansions=200)
+        result = search.run()
+        assert result.states_expanded <= 200
+
+    def test_max_window_one_returns_root(self):
+        th = FixedThresholds({1: 5.0})
+        model = TheoreticalCostModel(th, NormalProbabilityModel(1.0, 1.0))
+        result = BestFirstSearch(th, model).run()
+        assert result.structure.num_levels == 0
+
+    def test_history_recorded(self):
+        search, _, _ = self._search()
+        result = search.run()
+        assert result.history
+        # Best-final cost never worsens as the search proceeds.
+        costs = [c for _, c in result.history]
+        assert costs == sorted(costs, reverse=True) or all(
+            costs[i] >= costs[i + 1] - 1e-12 for i in range(len(costs) - 1)
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SearchParams(max_same_size_states=0)
+        with pytest.raises(ValueError):
+            SearchParams(max_final_states=0)
+        with pytest.raises(ValueError):
+            SearchParams(max_expansions=0)
+
+    def test_within_factor_of_exhaustive_optimum(self):
+        # Tiny instance where the true optimum is computable.
+        rng = np.random.default_rng(13)
+        data = rng.poisson(5.0, 2000).astype(float)
+        th = NormalThresholds.from_data(data, 1e-2, all_sizes(6))
+        model = TheoreticalCostModel(
+            th, NormalProbabilityModel.from_data(data)
+        )
+        best, best_cost = exhaustive_search(th, model, size_bound=12)
+        result = BestFirstSearch(
+            th, model, SearchParams(max_final_states=500)
+        ).run()
+        assert result.normalized_cost <= best_cost * 1.35
+
+    def test_empirical_cost_model_search(self):
+        rng = np.random.default_rng(14)
+        data = rng.poisson(5.0, 2000).astype(float)
+        th = NormalThresholds.from_data(data, 1e-2, all_sizes(12))
+        model = EmpiricalCostModel(data, th)
+        result = BestFirstSearch(
+            th,
+            model,
+            SearchParams(
+                max_same_size_states=8, max_final_states=8, max_expansions=200
+            ),
+        ).run()
+        assert result.structure.covers(12)
+
+
+class TestStrategies:
+    def _setup(self, maxw=12):
+        rng = np.random.default_rng(15)
+        data = rng.poisson(5.0, 2000).astype(float)
+        th = NormalThresholds.from_data(data, 1e-2, all_sizes(maxw))
+        model = TheoreticalCostModel(
+            th, NormalProbabilityModel.from_data(data)
+        )
+        return th, model
+
+    def test_greedy_reaches_final(self):
+        th, model = self._setup()
+        structure, cost = greedy_search(th, model)
+        assert structure.covers(th.max_window)
+        assert cost > 0
+
+    def test_exhaustive_is_no_worse_than_greedy(self):
+        th, model = self._setup(maxw=5)
+        _, exhaustive_cost = exhaustive_search(th, model, size_bound=10)
+        _, greedy_cost = greedy_search(th, model)
+        assert exhaustive_cost <= greedy_cost + 1e-12
+
+    def test_exhaustive_unreachable_bound(self):
+        th, model = self._setup(maxw=12)
+        with pytest.raises(RuntimeError):
+            exhaustive_search(th, model, size_bound=4)
+
+
+class TestTrainStructure:
+    def test_end_to_end_correctness(self):
+        rng = np.random.default_rng(16)
+        train = rng.exponential(4.0, 3000)
+        data = rng.exponential(4.0, 6000)
+        th = NormalThresholds.from_data(train, 1e-3, all_sizes(30))
+        structure = train_structure(train, th)
+        assert structure.covers(30)
+        got = ChunkedDetector(structure, th).detect(data)
+        assert got == naive_detect(data, th)
+
+    def test_normal_probability_variant(self):
+        rng = np.random.default_rng(17)
+        train = rng.poisson(5.0, 2000).astype(float)
+        th = NormalThresholds.from_data(train, 1e-3, all_sizes(16))
+        structure = train_structure(
+            train, th, probability_model="normal"
+        )
+        assert structure.covers(16)
+
+    def test_empirical_cost_variant(self):
+        rng = np.random.default_rng(18)
+        train = rng.poisson(5.0, 1500).astype(float)
+        th = NormalThresholds.from_data(train, 1e-2, all_sizes(10))
+        structure = train_structure(
+            train,
+            th,
+            cost_model="empirical",
+            params=SearchParams(
+                max_same_size_states=8, max_final_states=8, max_expansions=150
+            ),
+        )
+        assert structure.covers(10)
+
+    def test_invalid_names(self):
+        rng = np.random.default_rng(19)
+        train = rng.poisson(5.0, 500).astype(float)
+        th = NormalThresholds.from_data(train, 1e-2, all_sizes(4))
+        with pytest.raises(ValueError):
+            train_structure(train, th, cost_model="psychic")
+        with pytest.raises(ValueError):
+            train_structure(train, th, probability_model="psychic")

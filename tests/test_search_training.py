@@ -1,0 +1,103 @@
+"""Unit tests for the probability models feeding the cost model."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core.aggregates import MAX, sliding_sum
+from repro.core.search.training import (
+    EmpiricalProbabilityModel,
+    NormalProbabilityModel,
+)
+
+
+class TestNormalProbabilityModel:
+    def test_matches_scipy(self):
+        model = NormalProbabilityModel(10.0, 2.0)
+        want = norm.sf((45.0 - 40.0) / (2.0 * 2.0))
+        assert model.exceed_probability(4, 45.0) == pytest.approx(want)
+
+    def test_vectorized_matches_scalar(self):
+        model = NormalProbabilityModel(10.0, 2.0)
+        ths = np.array([35.0, 40.0, 45.0])
+        got = model.exceed_probabilities(4, ths)
+        want = [model.exceed_probability(4, t) for t in ths]
+        np.testing.assert_allclose(got, want)
+
+    def test_zero_sigma(self):
+        model = NormalProbabilityModel(10.0, 0.0)
+        assert model.exceed_probability(4, 39.0) == 1.0
+        assert model.exceed_probability(4, 41.0) == 0.0
+        np.testing.assert_allclose(
+            model.exceed_probabilities(4, np.array([39.0, 41.0])), [1.0, 0.0]
+        )
+
+    def test_from_data(self, rng):
+        data = rng.poisson(7.0, 2000).astype(float)
+        model = NormalProbabilityModel.from_data(data)
+        assert model.mu == pytest.approx(data.mean())
+        assert model.sigma == pytest.approx(data.std())
+
+    def test_negative_sigma(self):
+        with pytest.raises(ValueError):
+            NormalProbabilityModel(1.0, -1.0)
+
+
+class TestEmpiricalProbabilityModel:
+    def test_counts_exceedances_exactly(self, rng):
+        data = rng.poisson(5.0, 500).astype(float)
+        model = EmpiricalProbabilityModel(data)
+        sums = sliding_sum(data, 7)
+        threshold = float(np.median(sums))
+        want = (sums >= threshold).mean()
+        assert model.exceed_probability(7, threshold) == pytest.approx(want)
+
+    def test_boundary_inclusive(self):
+        data = np.array([1.0, 1.0, 1.0, 1.0])
+        model = EmpiricalProbabilityModel(data)
+        # All windows of 2 sum to exactly 2.0: >= is inclusive.
+        assert model.exceed_probability(2, 2.0) == 1.0
+        assert model.exceed_probability(2, 2.0001) == 0.0
+
+    def test_vectorized_matches_scalar(self, rng):
+        data = rng.exponential(3.0, 400)
+        model = EmpiricalProbabilityModel(data)
+        ths = np.array([1.0, 10.0, 30.0, 1e9])
+        got = model.exceed_probabilities(5, ths)
+        want = [model.exceed_probability(5, float(t)) for t in ths]
+        np.testing.assert_allclose(got, want)
+
+    def test_window_larger_than_sample(self):
+        data = np.ones(10)
+        model = EmpiricalProbabilityModel(data)
+        assert model.exceed_probability(100, 5.0) == 1.0
+        assert model.exceed_probability(100, 50.0) == 0.0
+
+    def test_max_aggregate(self, rng):
+        data = rng.uniform(0, 10, 300)
+        model = EmpiricalProbabilityModel(data, aggregate=MAX)
+        p = model.exceed_probability(5, 9.0)
+        from repro.core.aggregates import sliding_max
+
+        want = (sliding_max(data, 5) >= 9.0).mean()
+        assert p == pytest.approx(want)
+
+    def test_cache_eviction(self, rng):
+        data = rng.poisson(2.0, 200).astype(float)
+        model = EmpiricalProbabilityModel(data, cache_size=2)
+        for size in (2, 3, 4, 5):
+            model.exceed_probability(size, 1.0)
+        assert len(model._cache) == 2
+
+    def test_cache_reuse_moves_to_end(self, rng):
+        data = rng.poisson(2.0, 200).astype(float)
+        model = EmpiricalProbabilityModel(data, cache_size=2)
+        model.exceed_probability(2, 1.0)
+        model.exceed_probability(3, 1.0)
+        model.exceed_probability(2, 1.0)  # refresh 2
+        model.exceed_probability(4, 1.0)  # evicts 3
+        assert set(model._cache) == {2, 4}
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            EmpiricalProbabilityModel(np.array([1.0]))

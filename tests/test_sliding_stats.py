@@ -1,0 +1,111 @@
+"""Tests for the Exponential Histogram sliding-window counter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.sliding_stats import ExponentialHistogram
+
+
+def exact_window_count(events, window, upto):
+    lo = max(0, upto - window + 1)
+    return int(np.sum(events[lo : upto + 1]))
+
+
+class TestBasics:
+    def test_empty(self):
+        eh = ExponentialHistogram(window=16)
+        assert eh.estimate() == 0.0
+        assert eh.time == 0
+        assert eh.space == 0
+
+    def test_few_events_exact(self):
+        eh = ExponentialHistogram(window=100, k=8)
+        for value in [0, 1, 0, 1, 1, 0]:
+            eh.append(value)
+        # With few events no merging happens: the oldest bucket has size
+        # 1, so the estimate is total - 0.5.
+        assert eh.estimate() == pytest.approx(2.5)
+        assert eh.time == 6
+
+    def test_expiry(self):
+        eh = ExponentialHistogram(window=4, k=8)
+        eh.append(1)
+        for _ in range(10):
+            eh.append(0)
+        assert eh.estimate() == 0.0
+
+    def test_extend(self):
+        eh = ExponentialHistogram(window=50, k=8)
+        eh.extend(np.array([1, 0, 1, 1]))
+        assert eh.time == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialHistogram(window=0)
+        with pytest.raises(ValueError):
+            ExponentialHistogram(window=4, k=0)
+
+    def test_repr(self):
+        assert "ExponentialHistogram" in repr(ExponentialHistogram(8))
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("k", [2, 4, 8, 16])
+    def test_relative_error_bound_dense(self, k, rng):
+        window = 500
+        events = (rng.random(5000) < 0.4).astype(int)
+        eh = ExponentialHistogram(window=window, k=k)
+        for t, value in enumerate(events):
+            eh.append(int(value))
+            if t >= window and t % 97 == 0:
+                exact = exact_window_count(events, window, t)
+                if exact:
+                    err = abs(eh.estimate() - exact) / exact
+                    assert err <= 1.0 / k + 1e-9, (t, exact, eh.estimate())
+
+    def test_space_logarithmic(self, rng):
+        window = 4096
+        eh = ExponentialHistogram(window=window, k=8)
+        for value in (rng.random(3 * window) < 0.5).astype(int):
+            eh.append(int(value))
+        # O(k log N): generous explicit bound.
+        assert eh.space <= (8 // 2 + 3) * (int(np.log2(window)) + 2)
+
+    def test_bucket_sizes_are_powers_of_two(self, rng):
+        eh = ExponentialHistogram(window=256, k=4)
+        for value in (rng.random(1000) < 0.7).astype(int):
+            eh.append(int(value))
+        for size in eh.bucket_sizes():
+            assert size & (size - 1) == 0
+
+    def test_bucket_count_per_size_bounded(self, rng):
+        eh = ExponentialHistogram(window=256, k=4)
+        for value in (rng.random(1000) < 0.7).astype(int):
+            eh.append(int(value))
+        sizes = eh.bucket_sizes()
+        for size in set(sizes):
+            assert sizes.count(size) <= (4 + 1) // 2 + 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    bits=st.lists(st.booleans(), min_size=1, max_size=400),
+    window=st.integers(1, 120),
+    k=st.integers(2, 12),
+)
+def test_property_relative_error(bits, window, k):
+    events = np.array(bits, dtype=int)
+    eh = ExponentialHistogram(window=window, k=k)
+    for t, value in enumerate(events):
+        eh.append(int(value))
+    exact = exact_window_count(events, window, len(events) - 1)
+    estimate = eh.estimate()
+    if exact == 0:
+        assert estimate <= 0.5
+    else:
+        # Error comes from the half-counted oldest bucket: at most 1/k
+        # relatively once counts are non-trivial, and at most half an
+        # event absolutely when the window holds almost nothing.
+        assert abs(estimate - exact) <= max(0.5, exact / k) + 1e-9

@@ -1,0 +1,274 @@
+"""Unit and integration tests for the spatial (2-D) extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import FixedThresholds, all_sizes
+from repro.spatial import (
+    SpatialBurst,
+    SpatialBurstSet,
+    SpatialDetector,
+    SpatialEmpiricalThresholds,
+    SpatialNormalThresholds,
+    SpatialStructure,
+    SummedAreaTable,
+    naive_spatial_detect,
+    sliding_box_sum,
+    spatial_binary_structure,
+    spatial_cost_per_cell,
+    train_spatial_structure,
+)
+
+
+def brute_force_spatial(grid, thresholds):
+    out = set()
+    h, w = grid.shape
+    for size in thresholds.window_sizes:
+        size = int(size)
+        f = thresholds.threshold(size)
+        for r in range(h - size + 1):
+            for c in range(w - size + 1):
+                if grid[r : r + size, c : c + size].sum() >= f:
+                    out.add((r, c, size))
+    return out
+
+
+class TestSummedAreaTable:
+    def test_box_matches_slice_sum(self, rng):
+        grid = rng.uniform(0, 5, (20, 30))
+        table = SummedAreaTable(grid)
+        for r, c, hh, ww in [(0, 0, 1, 1), (3, 7, 5, 2), (15, 25, 5, 5)]:
+            want = grid[r : r + hh, c : c + ww].sum()
+            assert table.box(r, c, hh, ww) == pytest.approx(want)
+
+    def test_boxes_vectorized(self, rng):
+        grid = rng.uniform(0, 5, (20, 20))
+        table = SummedAreaTable(grid)
+        rows = np.array([0, 5, 10])
+        cols = np.array([2, 3, 4])
+        got = table.boxes(rows, cols, 4, 6)
+        for k in range(3):
+            assert got[k] == pytest.approx(
+                table.box(int(rows[k]), int(cols[k]), 4, 6)
+            )
+
+    def test_bounds_checking(self):
+        table = SummedAreaTable(np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            table.box(0, 0, 5, 1)
+        with pytest.raises(ValueError):
+            table.box(-1, 0, 1, 1)
+        with pytest.raises(ValueError):
+            table.box(0, 0, 0, 1)
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            SummedAreaTable(np.ones(4))
+        with pytest.raises(ValueError):
+            SummedAreaTable(np.empty((0, 4)))
+
+    def test_sliding_box_sum(self, rng):
+        grid = rng.uniform(0, 3, (10, 12))
+        sums = sliding_box_sum(grid, 4)
+        assert sums.shape == (7, 9)
+        assert sums[2, 3] == pytest.approx(grid[2:6, 3:7].sum())
+
+    def test_sliding_box_too_large(self):
+        assert sliding_box_sum(np.ones((3, 3)), 5).size == 0
+
+
+class TestSpatialStructure:
+    def test_wraps_sat_constraints(self):
+        s = SpatialStructure.from_pairs([(4, 2), (10, 4)])
+        assert s.coverage == 7
+        assert s.responsibility_range(1) == (2, 3)
+
+    def test_lattice_regular_and_clamped(self):
+        origins = SpatialStructure.lattice(20, 8, 4)
+        assert list(origins) == [0, 4, 8, 12]
+        origins = SpatialStructure.lattice(22, 8, 4)
+        assert list(origins) == [0, 4, 8, 12, 14]  # clamped border origin
+
+    def test_lattice_box_larger_than_extent(self):
+        assert list(SpatialStructure.lattice(5, 8, 4)) == [0]
+
+    def test_lattice_invalid(self):
+        with pytest.raises(ValueError):
+            SpatialStructure.lattice(0, 4, 2)
+
+    def test_binary_structure(self):
+        s = spatial_binary_structure(16)
+        assert s.covers(16)
+        assert s.levels[1].size == 2
+
+    def test_density_and_nodes(self):
+        s = SpatialStructure.from_pairs([(4, 2)])
+        # level 0 contributes 1/1, level 1 contributes 1/4.
+        assert s.nodes_per_cell() == pytest.approx(1.25)
+        assert s.density() == pytest.approx(1.25 / 3)
+
+    def test_equality(self):
+        a = SpatialStructure.from_pairs([(4, 2)])
+        b = SpatialStructure.from_pairs([(4, 2)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestSpatialEvents:
+    def test_burst_geometry(self):
+        b = SpatialBurst(2, 3, 4, 10.0)
+        assert b.contains(2, 3) and b.contains(5, 6)
+        assert not b.contains(6, 3)
+        assert b.overlaps(SpatialBurst(5, 6, 2, 0.0))
+        assert not b.overlaps(SpatialBurst(6, 3, 2, 0.0))
+
+    def test_set_semantics(self):
+        s = SpatialBurstSet(
+            [SpatialBurst(0, 0, 2, 1.0), SpatialBurst(0, 0, 2, 9.0)]
+        )
+        assert len(s) == 1
+        assert (0, 0, 2) in s
+        assert s == SpatialBurstSet([SpatialBurst(0, 0, 2, 5.0)])
+        assert s.sizes() == (2,)
+
+    def test_covering(self):
+        s = SpatialBurstSet(
+            [SpatialBurst(0, 0, 2, 1.0), SpatialBurst(5, 5, 2, 1.0)]
+        )
+        assert len(s.covering(1, 1)) == 1
+        assert len(s.covering(9, 9)) == 0
+
+
+class TestSpatialThresholds:
+    def test_normal_scales_with_area(self):
+        th = SpatialNormalThresholds(2.0, 1.0, 1e-4, [2, 4])
+        z = th.z
+        assert th.threshold(2) == pytest.approx(4 * 2.0 + 2 * z)
+        assert th.threshold(4) == pytest.approx(16 * 2.0 + 4 * z)
+
+    def test_normal_from_grid(self, rng):
+        grid = rng.poisson(3.0, (40, 40)).astype(float)
+        th = SpatialNormalThresholds.from_grid(grid, 1e-3, [2])
+        assert th.mu == pytest.approx(grid.mean())
+
+    def test_empirical_quantile(self, rng):
+        grid = rng.poisson(3.0, (60, 60)).astype(float)
+        th = SpatialEmpiricalThresholds(grid, 0.05, [3])
+        sums = sliding_box_sum(grid, 3).ravel()
+        assert th.threshold(3) == pytest.approx(
+            np.quantile(sums, 0.95), rel=1e-6
+        )
+
+    def test_empirical_monotone(self, rng):
+        grid = rng.poisson(3.0, (60, 60)).astype(float)
+        th = SpatialEmpiricalThresholds(grid, 0.01, range(1, 12))
+        assert th.is_monotone
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SpatialNormalThresholds(1.0, -1.0, 0.5, [2])
+        with pytest.raises(ValueError):
+            SpatialNormalThresholds(1.0, 1.0, 2.0, [2])
+        with pytest.raises(ValueError):
+            SpatialEmpiricalThresholds(np.ones((1, 1)), 0.5, [2])
+
+
+class TestSpatialDetection:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_bruteforce_sparse(self, seed):
+        rng = np.random.default_rng(seed)
+        grid = rng.poisson(0.2, (30, 34)).astype(float)
+        grid[10:14, 5:9] += 2.0
+        th = SpatialNormalThresholds.from_grid(grid, 1e-3, all_sizes(8))
+        want = brute_force_spatial(grid, th)
+        got = SpatialDetector(spatial_binary_structure(8), th).detect(grid)
+        assert got.keys() == want
+        assert naive_spatial_detect(grid, th).keys() == want
+
+    def test_matches_bruteforce_various_structures(self, rng):
+        grid = rng.poisson(0.3, (26, 26)).astype(float)
+        grid[4:8, 18:22] += 3.0
+        th = SpatialNormalThresholds.from_grid(grid, 5e-3, all_sizes(10))
+        want = brute_force_spatial(grid, th)
+        for pairs in [[(12, 3)], [(3, 1), (15, 6)], [(4, 2), (8, 2), (16, 6)]]:
+            structure = SpatialStructure.from_pairs(pairs)
+            got = SpatialDetector(structure, th).detect(grid)
+            assert got.keys() == want, pairs
+
+    def test_non_square_grid(self, rng):
+        grid = rng.poisson(0.3, (17, 41)).astype(float)
+        th = SpatialNormalThresholds.from_grid(grid, 1e-2, all_sizes(6))
+        want = brute_force_spatial(grid, th)
+        got = SpatialDetector(spatial_binary_structure(6), th).detect(grid)
+        assert got.keys() == want
+
+    def test_grid_smaller_than_top_level(self, rng):
+        grid = rng.poisson(0.5, (7, 7)).astype(float)
+        th = SpatialNormalThresholds.from_grid(grid, 1e-2, all_sizes(6))
+        want = brute_force_spatial(grid, th)
+        got = SpatialDetector(spatial_binary_structure(6), th).detect(grid)
+        assert got.keys() == want
+
+    def test_size_one_regions(self):
+        grid = np.zeros((5, 5))
+        grid[2, 3] = 9.0
+        th = FixedThresholds({1: 5.0, 2: 100.0})
+        got = SpatialDetector(spatial_binary_structure(2), th).detect(grid)
+        assert got.keys() == {(2, 3, 1)}
+
+    def test_unrefined_filter_same_bursts(self, rng):
+        grid = rng.poisson(0.4, (24, 24)).astype(float)
+        th = SpatialNormalThresholds.from_grid(grid, 1e-2, all_sizes(8))
+        a = SpatialDetector(spatial_binary_structure(8), th)
+        b = SpatialDetector(
+            spatial_binary_structure(8), th, refine_filter=False
+        )
+        assert a.detect(grid) == b.detect(grid)
+        assert (
+            a.counters.total_search_cells <= b.counters.total_search_cells
+        )
+
+    def test_requires_2d(self):
+        th = FixedThresholds({2: 1.0})
+        with pytest.raises(ValueError):
+            SpatialDetector(spatial_binary_structure(2), th).detect(
+                np.ones(4)
+            )
+
+    def test_coverage_enforced(self):
+        th = FixedThresholds({50: 1.0})
+        with pytest.raises(ValueError, match="coverage"):
+            SpatialDetector(spatial_binary_structure(4), th)
+
+
+class TestSpatialSearch:
+    def test_trained_structure_correct_and_cheaper(self, rng):
+        train = rng.poisson(0.05, (80, 80)).astype(float)
+        grid = rng.poisson(0.05, (120, 120)).astype(float)
+        grid[50:58, 30:38] += 1.5
+        th = SpatialNormalThresholds.from_grid(train, 1e-5, all_sizes(16))
+        adapted = train_spatial_structure(train, th)
+        assert adapted.covers(16)
+        want = naive_spatial_detect(grid, th)
+        det = SpatialDetector(adapted, th)
+        assert det.detect(grid) == want
+        binary = SpatialDetector(spatial_binary_structure(16), th)
+        binary.detect(grid)
+        # The adapted structure should not lose to the fixed grid.
+        assert (
+            det.counters.total_operations
+            <= binary.counters.total_operations * 1.1
+        )
+
+    def test_cost_per_cell_positive(self, rng):
+        train = rng.poisson(0.1, (60, 60)).astype(float)
+        th = SpatialNormalThresholds.from_grid(train, 1e-4, all_sizes(8))
+        cost = spatial_cost_per_cell(
+            spatial_binary_structure(8), th, train
+        )
+        assert cost > 1.0  # at least the level-0 updates
+
+    def test_probability_model_validation(self):
+        from repro.spatial.search2d import SpatialProbabilityModel
+
+        with pytest.raises(ValueError):
+            SpatialProbabilityModel(np.ones(5))

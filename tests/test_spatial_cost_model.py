@@ -1,0 +1,85 @@
+"""Accuracy tests for the spatial theoretical cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import all_sizes
+from repro.spatial import (
+    SpatialDetector,
+    SpatialNormalThresholds,
+    SpatialStructure,
+    spatial_binary_structure,
+)
+from repro.spatial.search2d import (
+    SpatialProbabilityModel,
+    SpatialTheoreticalCostModel,
+)
+
+
+@pytest.fixture
+def setup(rng):
+    train = rng.poisson(0.1, (120, 120)).astype(float)
+    grid = rng.poisson(0.1, (160, 160)).astype(float)
+    thresholds = SpatialNormalThresholds.from_grid(train, 1e-4, all_sizes(24))
+    model = SpatialTheoreticalCostModel(
+        thresholds, SpatialProbabilityModel(train)
+    )
+    return train, grid, thresholds, model
+
+
+class TestSpatialProbabilityModel:
+    def test_counts_exceedances(self, rng):
+        grid = rng.poisson(1.0, (50, 50)).astype(float)
+        model = SpatialProbabilityModel(grid)
+        from repro.spatial import sliding_box_sum
+
+        sums = sliding_box_sum(grid, 4).ravel()
+        threshold = float(np.median(sums))
+        got = model.exceed_probabilities(4, np.array([threshold]))[0]
+        assert got == pytest.approx((sums >= threshold).mean())
+
+    def test_box_exceeding_grid(self):
+        model = SpatialProbabilityModel(np.ones((4, 4)))
+        assert model.exceed_probabilities(100, np.array([1.0]))[0] == 1.0
+        assert model.exceed_probabilities(100, np.array([1e9]))[0] == 0.0
+
+    def test_cache_bounded(self, rng):
+        model = SpatialProbabilityModel(
+            rng.poisson(1.0, (30, 30)).astype(float), cache_size=2
+        )
+        for size in (2, 3, 4, 5):
+            model.exceed_probabilities(size, np.array([1.0]))
+        assert len(model._cache) == 2
+
+
+class TestCostModelAccuracy:
+    def test_prediction_tracks_measured(self, setup):
+        _train, grid, thresholds, model = setup
+        for structure in (
+            spatial_binary_structure(24),
+            SpatialStructure.from_pairs([(4, 2), (10, 2), (27, 4)]),
+        ):
+            predicted = model.cost_per_point(structure.base)
+            detector = SpatialDetector(structure, thresholds)
+            detector.detect(grid)
+            actual = detector.counters.total_operations / grid.size
+            # The model ignores border effects (clamped lattice boxes add
+            # a few percent of extra nodes), so the band is loose.
+            assert predicted == pytest.approx(actual, rel=0.35), structure
+
+    def test_additivity(self, setup):
+        *_rest, model = setup
+        structure = SpatialStructure.from_pairs([(4, 2), (10, 2), (27, 4)])
+        total = model.base_term()
+        levels = structure.levels
+        for i in range(1, len(levels)):
+            total += model.level_term(levels[i - 1], levels[i])
+        assert model.cost_per_point(structure.base) == pytest.approx(total)
+
+    def test_term_cache(self, setup):
+        *_rest, model = setup
+        from repro.core.structure import Level
+
+        first = model.level_term(Level(4, 2), Level(10, 2))
+        assert model.level_term(Level(4, 2), Level(10, 2)) == first
+        assert len(model._term_cache) == 1

@@ -1,0 +1,79 @@
+"""Property-based tests for the spatial extension.
+
+The same load-bearing property as in 1-D, quantified over random valid
+structures, random sparse grids and random thresholds: the spatial
+detector reports exactly the brute-force set of over-threshold regions.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.thresholds import FixedThresholds
+from repro.spatial import SpatialDetector, SpatialStructure, SummedAreaTable
+
+from test_properties import sat_structures
+
+
+@st.composite
+def grids(draw, max_dim=18):
+    h = draw(st.integers(4, max_dim))
+    w = draw(st.integers(4, max_dim))
+    cells = draw(
+        st.lists(
+            st.floats(0, 9, allow_nan=False, width=16),
+            min_size=h * w,
+            max_size=h * w,
+        )
+    )
+    return np.array(cells).reshape(h, w)
+
+
+def brute_force(grid, thresholds):
+    out = set()
+    height, width = grid.shape
+    for size in thresholds.window_sizes:
+        size = int(size)
+        f = thresholds.threshold(size)
+        for r in range(height - size + 1):
+            for c in range(width - size + 1):
+                if grid[r : r + size, c : c + size].sum() >= f:
+                    out.add((r, c, size))
+    return out
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    grid=grids(),
+    structure=sat_structures(max_top=16),
+    data=st.data(),
+)
+def test_spatial_detector_equals_bruteforce(grid, structure, data):
+    sizes = data.draw(
+        st.lists(
+            st.integers(1, structure.coverage),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    table = {
+        w: data.draw(st.floats(1.0, 300.0, allow_nan=False)) for w in sizes
+    }
+    thresholds = FixedThresholds(table)
+    detector = SpatialDetector(SpatialStructure(structure), thresholds)
+    got = detector.detect(grid)
+    assert got.keys() == brute_force(grid, thresholds)
+
+
+@settings(max_examples=40, deadline=None)
+@given(grid=grids(), size=st.integers(1, 6))
+def test_summed_area_table_random_boxes(grid, size):
+    table = SummedAreaTable(grid)
+    height, width = grid.shape
+    if size > height or size > width:
+        return
+    for r in range(0, height - size + 1, max(1, size)):
+        for c in range(0, width - size + 1, max(1, size)):
+            want = grid[r : r + size, c : c + size].sum()
+            assert abs(table.box(r, c, size, size) - want) < 1e-6

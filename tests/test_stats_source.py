@@ -1,0 +1,118 @@
+"""Unit tests for stream statistics and stream sources."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunked import ChunkedDetector
+from repro.core.naive import naive_detect
+from repro.core.sbt import shifted_binary_tree
+from repro.core.thresholds import NormalThresholds, all_sizes
+from repro.streams.source import ArraySource, CSVSource, FunctionSource, detect_source
+from repro.streams.stats import StreamStats, describe, format_histogram, histogram
+
+
+class TestDescribe:
+    def test_basic(self):
+        stats = describe(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert stats == StreamStats(4, 2.5, np.std([1, 2, 3, 4]), 1.0, 4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            describe(np.empty(0))
+
+    def test_as_dict_and_str(self):
+        stats = describe(np.array([1.0, 3.0]))
+        assert stats.as_dict()["mean"] == 2.0
+        assert "mean=2.00" in str(stats)
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self, rng):
+        data = rng.exponential(5.0, 1000)
+        counts, edges = histogram(data, bins=10)
+        assert counts.sum() == 1000
+        assert edges.size == 11
+
+    def test_upper_cap_overflows_to_last_bin(self):
+        data = np.array([1.0, 2.0, 100.0])
+        counts, edges = histogram(data, bins=4, upper=4.0)
+        assert counts.sum() == 3
+        assert counts[-1] == 1  # the 100.0 lands in the last bin
+
+    def test_degenerate_all_zero(self):
+        counts, edges = histogram(np.zeros(5), bins=3)
+        assert counts.sum() == 5
+
+    def test_format(self):
+        counts, edges = histogram(np.array([1.0, 1.0, 3.0]), bins=2)
+        text = format_histogram(counts, edges)
+        assert text.count("\n") == 1
+        assert "#" in text
+
+
+class TestArraySource:
+    def test_chunks(self):
+        src = ArraySource(np.arange(10.0))
+        chunks = list(src.chunks(4))
+        assert [c.size for c in chunks] == [4, 4, 2]
+        np.testing.assert_array_equal(np.concatenate(chunks), np.arange(10.0))
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(ArraySource(np.ones(3)).chunks(0))
+
+
+class TestFunctionSource:
+    def test_generates_lazily(self):
+        calls = []
+
+        def gen(start, count):
+            calls.append((start, count))
+            return np.full(count, float(start))
+
+        src = FunctionSource(gen, total=10)
+        chunks = list(src.chunks(4))
+        assert calls == [(0, 4), (4, 4), (8, 2)]
+        assert chunks[1][0] == 4.0
+
+    def test_wrong_count_raises(self):
+        src = FunctionSource(lambda s, c: np.ones(c + 1), total=4)
+        with pytest.raises(ValueError, match="expected"):
+            list(src.chunks(4))
+
+    def test_negative_total(self):
+        with pytest.raises(ValueError):
+            FunctionSource(lambda s, c: np.ones(c), total=-1)
+
+
+class TestCSVSource:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        path.write_text("1.5\n\n2\n3.25\n")
+        chunks = list(CSVSource(path).chunks(2))
+        np.testing.assert_array_equal(
+            np.concatenate(chunks), [1.5, 2.0, 3.25]
+        )
+
+    def test_bad_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1\noops\n")
+        with pytest.raises(ValueError, match="bad.csv:2"):
+            list(CSVSource(path).chunks(10))
+
+    def test_bad_chunk_size(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("1\n")
+        with pytest.raises(ValueError):
+            list(CSVSource(path).chunks(0))
+
+
+class TestDetectSource:
+    def test_source_detection_equals_batch(self, rng):
+        data = rng.poisson(5.0, 2000).astype(float)
+        th = NormalThresholds.from_data(data[:500], 1e-2, all_sizes(16))
+        detector = ChunkedDetector(shifted_binary_tree(16), th)
+        bursts = detect_source(detector, ArraySource(data), chunk_size=300)
+        assert {b.key() for b in bursts} == naive_detect(data, th).keys()
+        # Sorted stream order.
+        assert bursts == sorted(bursts)

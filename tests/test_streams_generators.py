@@ -1,0 +1,106 @@
+"""Unit tests for the synthetic stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.streams.generators import (
+    constant_stream,
+    exponential_stream,
+    planted_burst_stream,
+    poisson_stream,
+    uniform_stream,
+)
+
+
+class TestPoissonStream:
+    def test_moments(self):
+        data = poisson_stream(9.0, 50_000, seed=1)
+        assert data.mean() == pytest.approx(9.0, rel=0.05)
+        assert data.var() == pytest.approx(9.0, rel=0.1)
+
+    def test_deterministic_by_seed(self):
+        a = poisson_stream(3.0, 100, seed=5)
+        b = poisson_stream(3.0, 100, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_instance_accepted(self):
+        rng = np.random.default_rng(5)
+        a = poisson_stream(3.0, 100, seed=rng)
+        b = poisson_stream(3.0, 100, seed=np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_dtype_and_nonnegative(self):
+        data = poisson_stream(2.0, 100, seed=0)
+        assert data.dtype == np.float64
+        assert (data >= 0).all()
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            poisson_stream(-1.0, 10)
+
+
+class TestExponentialStream:
+    def test_moments(self):
+        data = exponential_stream(50.0, 50_000, seed=2)
+        assert data.mean() == pytest.approx(50.0, rel=0.05)
+        assert data.std() == pytest.approx(50.0, rel=0.05)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            exponential_stream(0.0, 10)
+
+    def test_nonnegative(self):
+        assert (exponential_stream(1.0, 1000, seed=3) >= 0).all()
+
+
+class TestUniformConstant:
+    def test_uniform_range(self):
+        data = uniform_stream(1.0, 5.0, 1000, seed=4)
+        assert data.min() >= 1.0 and data.max() < 5.0
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_stream(-1.0, 5.0, 10)
+        with pytest.raises(ValueError):
+            uniform_stream(5.0, 5.0, 10)
+
+    def test_constant(self):
+        data = constant_stream(3.5, 7)
+        assert (data == 3.5).all() and data.size == 7
+
+    def test_constant_invalid(self):
+        with pytest.raises(ValueError):
+            constant_stream(-1.0, 5)
+
+
+class TestPlantedBursts:
+    def test_injection_adds_mass(self):
+        background = np.zeros(100)
+        data, applied = planted_burst_stream(background, [(10, 5, 3.0)])
+        assert data[10:15].sum() == 15.0
+        assert data[:10].sum() == 0.0
+        assert applied == [(10, 5, 3.0)]
+
+    def test_background_unmodified(self):
+        background = np.zeros(10)
+        planted_burst_stream(background, [(0, 2, 1.0)])
+        assert background.sum() == 0.0
+
+    def test_clipping_at_stream_end(self):
+        data, applied = planted_burst_stream(np.zeros(10), [(8, 5, 1.0)])
+        assert applied == [(8, 2, 1.0)]
+        assert data.sum() == 2.0
+
+    def test_invalid_injections(self):
+        with pytest.raises(ValueError):
+            planted_burst_stream(np.zeros(10), [(0, 0, 1.0)])
+        with pytest.raises(ValueError):
+            planted_burst_stream(np.zeros(10), [(0, 1, -1.0)])
+        with pytest.raises(ValueError):
+            planted_burst_stream(np.zeros(10), [(10, 1, 1.0)])
+
+    def test_multiple_bursts_accumulate(self):
+        data, _ = planted_burst_stream(
+            np.zeros(10), [(2, 3, 1.0), (3, 3, 1.0)]
+        )
+        assert data[3] == 2.0

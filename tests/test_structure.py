@@ -1,0 +1,207 @@
+"""Unit tests for SAT structures and the SBT factory."""
+
+import pytest
+
+from repro.core.sbt import sbt_levels_needed, shifted_binary_tree
+from repro.core.structure import (
+    Level,
+    SATStructure,
+    StructureError,
+    single_level_structure,
+)
+
+
+class TestLevel:
+    def test_basic(self):
+        lv = Level(8, 4)
+        assert lv.overlap == 4
+
+    def test_invalid_size(self):
+        with pytest.raises(StructureError):
+            Level(0, 1)
+
+    def test_invalid_shift(self):
+        with pytest.raises(StructureError):
+            Level(4, 0)
+        with pytest.raises(StructureError):
+            Level(4, 5)
+
+    def test_ordering(self):
+        assert Level(2, 1) < Level(3, 1)
+
+
+class TestConstraints:
+    def test_level0_required(self):
+        with pytest.raises(StructureError, match="level 0"):
+            SATStructure((Level(2, 1),))
+
+    def test_empty_raises(self):
+        with pytest.raises(StructureError):
+            SATStructure(())
+
+    def test_sizes_must_increase(self):
+        with pytest.raises(StructureError, match="must exceed"):
+            SATStructure.from_pairs([(4, 2), (4, 2)])
+
+    def test_shift_divisibility(self):
+        with pytest.raises(StructureError, match="multiple"):
+            SATStructure.from_pairs([(4, 2), (8, 3)])
+
+    def test_cover_constraint(self):
+        # (8, 6): 8 - 6 + 1 = 3 < 4 = size below.
+        with pytest.raises(StructureError, match="cover"):
+            SATStructure.from_pairs([(4, 1), (8, 6)])
+
+    def test_valid_structure(self):
+        s = SATStructure.from_pairs([(4, 2), (8, 4), (20, 8)])
+        assert s.num_levels == 3
+        assert s.top == Level(20, 8)
+
+    def test_shift_can_stay_equal(self):
+        s = SATStructure.from_pairs([(4, 2), (6, 2)])
+        assert s.coverage == 5
+
+
+class TestGeometry:
+    def test_coverage(self):
+        s = SATStructure.from_pairs([(4, 2), (10, 4)])
+        assert s.coverage == 7
+        assert s.covers(7) and not s.covers(8)
+
+    def test_responsibility_ranges_tile(self):
+        s = SATStructure.from_pairs([(4, 2), (10, 4), (24, 8)])
+        ranges = [s.responsibility_range(i) for i in range(len(s.levels))]
+        assert ranges[0] == (1, 1)
+        # Ranges tile [1, coverage] exactly.
+        expected_lo = 1
+        for lo, hi in ranges:
+            assert lo == expected_lo
+            expected_lo = hi + 1
+        assert expected_lo == s.coverage + 1
+
+    def test_empty_responsibility_range_allowed(self):
+        # Second level adds no coverage: its range is empty.
+        s = SATStructure.from_pairs([(4, 1), (8, 5)])
+        lo, hi = s.responsibility_range(2)
+        assert lo > hi
+
+    def test_level_for_size(self):
+        s = SATStructure.from_pairs([(4, 2), (10, 4)])
+        assert s.level_for_size(1) == 0
+        assert s.level_for_size(2) == 1
+        assert s.level_for_size(3) == 1
+        assert s.level_for_size(4) == 2
+        assert s.level_for_size(7) == 2
+
+    def test_level_for_size_beyond_coverage(self):
+        s = SATStructure.from_pairs([(4, 2)])
+        with pytest.raises(ValueError, match="coverage"):
+            s.level_for_size(4)
+
+    def test_bounding_ratios(self):
+        s = SATStructure.from_pairs([(4, 2), (10, 4)])
+        assert s.bounding_ratio(0) == 1.0
+        assert s.bounding_ratio(1) == pytest.approx(4 / 2)
+        assert s.bounding_ratio(2) == pytest.approx(10 / 4)
+        assert s.bounding_ratios() == [
+            s.bounding_ratio(1),
+            s.bounding_ratio(2),
+        ]
+
+    def test_nodes_per_cycle(self):
+        s = SATStructure.from_pairs([(4, 2), (10, 4)])
+        # s_top = 4: level 0 gives 4 nodes, level 1 gives 2, level 2 gives 1.
+        assert s.nodes_per_cycle() == 7
+
+    def test_density(self):
+        s = SATStructure.from_pairs([(4, 2), (10, 4)])
+        assert s.density() == pytest.approx(7 / (4 * 7))
+        assert s.density(10) == pytest.approx(7 / (4 * 10))
+
+    def test_extended(self):
+        s = SATStructure.from_pairs([(4, 2)])
+        s2 = s.extended(10, 4)
+        assert s2.num_levels == 2
+        assert s.num_levels == 1  # original untouched
+
+
+class TestSerialization:
+    def test_roundtrip_dict(self):
+        s = SATStructure.from_pairs([(4, 2), (10, 4)])
+        assert SATStructure.from_dict(s.to_dict()) == s
+
+    def test_roundtrip_json(self):
+        s = SATStructure.from_pairs([(4, 2), (10, 4)])
+        assert SATStructure.from_json(s.to_json()) == s
+
+    def test_hash_and_eq(self):
+        a = SATStructure.from_pairs([(4, 2)])
+        b = SATStructure.from_pairs([(4, 2)])
+        assert a == b and hash(a) == hash(b)
+        assert a != SATStructure.from_pairs([(4, 1)])
+        assert a.__eq__("x") is NotImplemented
+
+    def test_describe_mentions_levels(self):
+        text = SATStructure.from_pairs([(4, 2)]).describe()
+        assert "level  1" in text and "coverage 3" in text
+
+    def test_repr(self):
+        assert "coverage=3" in repr(SATStructure.from_pairs([(4, 2)]))
+
+
+class TestShiftedBinaryTree:
+    def test_levels_needed(self):
+        assert sbt_levels_needed(2) == 1
+        assert sbt_levels_needed(3) == 2
+        assert sbt_levels_needed(5) == 3
+        assert sbt_levels_needed(65) == 7
+        assert sbt_levels_needed(66) == 8
+
+    def test_levels_needed_invalid(self):
+        with pytest.raises(ValueError):
+            sbt_levels_needed(0)
+
+    def test_structure_shape(self):
+        sbt = shifted_binary_tree(16)
+        assert [(lv.size, lv.shift) for lv in sbt.levels[1:]] == [
+            (2, 1),
+            (4, 2),
+            (8, 4),
+            (16, 8),
+            (32, 16),
+        ]
+        assert sbt.covers(16)
+
+    def test_min_coverage(self):
+        assert shifted_binary_tree(2).coverage >= 2
+        with pytest.raises(ValueError):
+            shifted_binary_tree(1)
+
+    @pytest.mark.parametrize("maxw", [2, 3, 7, 100, 1000])
+    def test_always_covers_and_valid(self, maxw):
+        sbt = shifted_binary_tree(maxw)
+        assert sbt.covers(maxw)
+        # One fewer level must NOT cover (minimality).
+        if sbt.num_levels > 1:
+            smaller = SATStructure(sbt.levels[:-1])
+            assert not smaller.covers(maxw)
+
+    def test_bounding_ratio_approaches_four(self):
+        # T_i = 2^i / (2^{i-2} + 2) -> 4 from below as i grows (paper §5.1:
+        # "T in a Shifted Binary Tree is designed to be about 4").
+        sbt = shifted_binary_tree(1000)
+        ratios = sbt.bounding_ratios()
+        assert all(r <= 4.0 for r in ratios)
+        assert ratios == sorted(ratios)  # monotone toward 4
+        assert ratios[-1] == pytest.approx(4.0, rel=0.05)
+
+
+class TestSingleLevel:
+    def test_covers_everything_densely(self):
+        s = single_level_structure(50)
+        assert s.coverage == 50
+        assert s.top.shift == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            single_level_structure(1)

@@ -1,0 +1,96 @@
+"""Calibration and behaviour tests for the IBM/TAQ volume surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.streams.stats import describe
+from repro.streams.taq import TAQVolumeSimulator
+
+_WEEK = 7 * 86_400
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        # Two whole weeks so the session/off-session mix is exact.
+        return TAQVolumeSimulator(seed=2).generate(2 * _WEEK)
+
+    def test_extreme_skew(self, sample):
+        # Paper Table 2: std (2796) is ~10x the mean (287).  The exact
+        # ratio fluctuates with the heavy tail; require the right regime.
+        stats = describe(sample)
+        assert stats.std > 4 * stats.mean
+
+    def test_mean_order_of_magnitude(self, sample):
+        # Paper mean 287.06; allow a factor ~2 band (jump realizations).
+        assert 120 < describe(sample).mean < 650
+
+    def test_zero_floor_and_capped_max(self, sample):
+        stats = describe(sample)
+        assert stats.min == 0.0
+        assert stats.max <= 2.8e6  # paper max 2,806,500
+
+    def test_mass_concentrated_near_zero(self, sample):
+        # Paper Fig. 17b: ~99% of seconds in the first 5000-wide bucket.
+        frac = (sample < 5000).mean()
+        assert frac > 0.93
+
+    def test_nights_and_weekends_are_zero(self):
+        sim = TAQVolumeSimulator(seed=3)
+        week = sim.generate(_WEEK)  # starts Monday 00:00
+        # Saturday (day 5): all zero.
+        saturday = week[5 * 86_400 : 6 * 86_400]
+        assert saturday.sum() == 0.0
+        # Monday 03:00: pre-open, zero.
+        assert week[3 * 3600] == 0.0
+
+    def test_sessions_have_volume(self):
+        sim = TAQVolumeSimulator(seed=3)
+        week = sim.generate(_WEEK)
+        monday_session = week[int(9.5 * 3600) : 16 * 3600]
+        assert (monday_session > 0).mean() > 0.99
+
+
+class TestSessionMask:
+    def test_mask_boundaries(self):
+        sim = TAQVolumeSimulator()
+        open_s = int(9.5 * 3600)
+        t = np.array(
+            [open_s - 1, open_s, 16 * 3600 - 1, 16 * 3600, 5 * 86_400 + open_s]
+        )
+        mask = sim.session_mask(t)
+        assert list(mask) == [False, True, True, False, False]
+
+    def test_five_trading_days(self):
+        sim = TAQVolumeSimulator()
+        t = np.arange(_WEEK)
+        active = sim.session_mask(t).sum()
+        assert active == 5 * (16 * 3600 - int(9.5 * 3600))
+
+
+class TestInterface:
+    def test_deterministic(self):
+        sim = TAQVolumeSimulator(seed=4)
+        np.testing.assert_array_equal(sim.generate(5000), sim.generate(5000))
+
+    def test_segments_differ(self):
+        sim = TAQVolumeSimulator(seed=4)
+        open_s = int(9.5 * 3600)
+        a = sim.generate(5000, start_second=open_s)
+        b = sim.generate(5000, start_second=open_s + _WEEK)
+        assert not np.array_equal(a, b)
+
+    def test_all_zero_outside_sessions(self):
+        sim = TAQVolumeSimulator(seed=4)
+        assert sim.generate(3600, start_second=0).sum() == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TAQVolumeSimulator(mean_session_volume=0.0)
+        with pytest.raises(ValueError):
+            TAQVolumeSimulator(jump_probability=1.5)
+
+    def test_integer_volumes(self):
+        sim = TAQVolumeSimulator(seed=5)
+        data = sim.generate(20_000, start_second=int(9.5 * 3600))
+        assert np.all(data == np.round(data))

@@ -1,0 +1,225 @@
+"""Unit tests for threshold models."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core.aggregates import sliding_sum
+from repro.core.thresholds import (
+    EmpiricalThresholds,
+    FixedThresholds,
+    NormalThresholds,
+    all_sizes,
+    stepped_sizes,
+)
+
+
+class TestSizeGrids:
+    def test_all_sizes(self):
+        assert all_sizes(4) == (1, 2, 3, 4)
+        assert all_sizes(4, min_window=2) == (2, 3, 4)
+
+    def test_all_sizes_invalid(self):
+        with pytest.raises(ValueError):
+            all_sizes(1, min_window=3)
+
+    def test_stepped_sizes(self):
+        assert stepped_sizes(5, 22) == (5, 10, 15, 20)
+        assert stepped_sizes(1, 3) == (1, 2, 3)
+
+    def test_stepped_sizes_invalid(self):
+        with pytest.raises(ValueError):
+            stepped_sizes(0, 10)
+        with pytest.raises(ValueError):
+            stepped_sizes(10, 5)
+
+
+class TestFixedThresholds:
+    def test_lookup_and_grid(self):
+        th = FixedThresholds({4: 10.0, 2: 5.0})
+        assert list(th.window_sizes) == [2, 4]
+        assert th.threshold(2) == 5.0
+        assert th.max_window == 4
+        assert 2 in th and 3 not in th
+
+    def test_missing_size_raises(self):
+        th = FixedThresholds({2: 5.0})
+        with pytest.raises(KeyError):
+            th.threshold(3)
+
+    def test_empty_table_raises(self):
+        with pytest.raises(ValueError):
+            FixedThresholds({})
+
+    def test_monotone_flag(self):
+        assert FixedThresholds({1: 1.0, 2: 2.0}).is_monotone
+        assert not FixedThresholds({1: 2.0, 2: 1.0}).is_monotone
+
+    def test_sizes_in_range(self):
+        th = FixedThresholds({2: 1.0, 5: 2.0, 9: 3.0})
+        assert list(th.sizes_in(3, 9)) == [5, 9]
+        assert list(th.sizes_in(1, 1)) == []
+
+    def test_min_threshold_in(self):
+        th = FixedThresholds({2: 5.0, 5: 2.0, 9: 3.0})
+        assert th.min_threshold_in(2, 9) == 2.0
+        assert th.min_threshold_in(6, 8) == float("inf")
+
+    def test_index_range(self):
+        th = FixedThresholds({2: 1.0, 5: 2.0, 9: 3.0})
+        assert th.index_range(2, 5) == (0, 2)
+        assert th.index_range(10, 20) == (3, 3)
+
+    def test_invalid_window_size(self):
+        with pytest.raises(ValueError):
+            FixedThresholds({0: 1.0})
+
+    def test_repr(self):
+        assert "max_window=9" in repr(FixedThresholds({9: 1.0}))
+
+
+class TestNormalThresholds:
+    def test_formula(self):
+        th = NormalThresholds(10.0, 2.0, 1e-4, [1, 4, 9])
+        z = norm.ppf(1 - 1e-4)
+        assert th.threshold(4) == pytest.approx(40.0 + 2.0 * 2.0 * z)
+        assert th.threshold(9) == pytest.approx(90.0 + 3.0 * 2.0 * z)
+        assert th.z == pytest.approx(z)
+
+    def test_monotone_for_small_p(self):
+        th = NormalThresholds(5.0, 3.0, 1e-6, range(1, 100))
+        assert th.is_monotone
+
+    def test_from_data(self, rng):
+        data = rng.poisson(7.0, 5000).astype(float)
+        th = NormalThresholds.from_data(data, 1e-3, [1, 2, 3])
+        assert th.mu == pytest.approx(data.mean())
+        assert th.sigma == pytest.approx(data.std())
+
+    def test_burst_probability_calibration(self, rng):
+        # The fraction of windows above f(w) should be near p for
+        # moderately large p (the central-limit regime).
+        data = rng.poisson(20.0, 200_000).astype(float)
+        p = 1e-2
+        th = NormalThresholds(20.0, np.sqrt(20.0), p, [16])
+        sums = sliding_sum(data, 16)
+        frac = (sums >= th.threshold(16)).mean()
+        assert frac == pytest.approx(p, rel=0.5)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            NormalThresholds(1.0, 1.0, 0.0, [1])
+        with pytest.raises(ValueError):
+            NormalThresholds(1.0, 1.0, 1.0, [1])
+
+    def test_negative_sigma(self):
+        with pytest.raises(ValueError):
+            NormalThresholds(1.0, -1.0, 0.5, [1])
+
+    def test_from_data_too_short(self):
+        with pytest.raises(ValueError):
+            NormalThresholds.from_data(np.array([1.0]), 0.5, [1])
+
+    def test_duplicate_sizes_collapsed(self):
+        th = NormalThresholds(1.0, 1.0, 0.5, [3, 1, 3])
+        assert list(th.window_sizes) == [1, 3]
+
+
+class TestEmpiricalThresholds:
+    def test_quantile_matches_numpy(self, rng):
+        data = rng.exponential(10.0, 5000)
+        p = 0.05
+        th = EmpiricalThresholds(data, p, [4])
+        want = np.quantile(sliding_sum(data, 4), 1 - p)
+        assert th.threshold(4) == pytest.approx(want, rel=1e-6)
+
+    def test_unresolvable_p_extends_tail(self, rng):
+        data = rng.exponential(10.0, 500)
+        th = EmpiricalThresholds(data, 1e-9, [4])
+        # Must exceed the largest observed window sum.
+        assert th.threshold(4) >= sliding_sum(data, 4).max()
+
+    def test_enforced_monotone(self, rng):
+        data = rng.exponential(10.0, 2000)
+        th = EmpiricalThresholds(data, 0.01, range(1, 50))
+        assert th.is_monotone
+
+    def test_window_exceeding_sample_uses_normal_form(self, rng):
+        data = rng.poisson(5.0, 100).astype(float)
+        th = EmpiricalThresholds(data, 0.01, [200])
+        assert th.threshold(200) > 0
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            EmpiricalThresholds(rng.poisson(5.0, 100).astype(float), 0.0, [1])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            EmpiricalThresholds(np.array([1.0]), 0.5, [1])
+
+
+class TestPoissonThresholds:
+    def test_exact_calibration(self):
+        from scipy.stats import poisson
+
+        from repro.core.thresholds import PoissonThresholds
+
+        th = PoissonThresholds(0.25, 1e-5, [1, 4, 16, 64])
+        for w in (1, 4, 16, 64):
+            lam = 0.25 * w
+            f = th.threshold(w)
+            # f is the smallest integer threshold achieving the target.
+            assert poisson.sf(f - 1, lam) <= 1e-5
+            assert poisson.sf(f - 2, lam) > 1e-5
+
+    def test_integer_thresholds(self):
+        from repro.core.thresholds import PoissonThresholds
+
+        th = PoissonThresholds(2.0, 1e-4, range(1, 20))
+        assert np.all(th.values == np.round(th.values))
+        assert th.is_monotone
+
+    def test_converges_to_normal_for_large_counts(self):
+        from repro.core.thresholds import NormalThresholds, PoissonThresholds
+
+        lam, p, w = 50.0, 1e-4, 100
+        exact = PoissonThresholds(lam, p, [w]).threshold(w)
+        approx = NormalThresholds(lam, np.sqrt(lam), p, [w]).threshold(w)
+        assert exact == pytest.approx(approx, rel=0.01)
+
+    def test_small_rate_differs_from_normal(self):
+        # The motivating case: at lam = 0.01 the normal form produces a
+        # sub-one-event "threshold" that every single event trips.
+        from repro.core.thresholds import NormalThresholds, PoissonThresholds
+
+        lam, p = 0.01, 1e-6
+        exact = PoissonThresholds(lam, p, [1]).threshold(1)
+        approx = NormalThresholds(lam, np.sqrt(lam), p, [1]).threshold(1)
+        assert approx < 1.0 <= exact
+
+    def test_from_data(self, rng):
+        from repro.core.thresholds import PoissonThresholds
+
+        data = rng.poisson(3.0, 5000).astype(float)
+        th = PoissonThresholds.from_data(data, 1e-3, [1, 8])
+        assert th.lam == pytest.approx(data.mean())
+
+    def test_validation(self):
+        from repro.core.thresholds import PoissonThresholds
+
+        with pytest.raises(ValueError):
+            PoissonThresholds(0.0, 0.5, [1])
+        with pytest.raises(ValueError):
+            PoissonThresholds(1.0, 0.0, [1])
+        with pytest.raises(ValueError):
+            PoissonThresholds.from_data(np.array([1.0]), 0.5, [1])
+
+    def test_false_positive_rate_respected(self, rng):
+        from repro.core.naive import naive_detect
+        from repro.core.thresholds import PoissonThresholds
+
+        data = rng.poisson(0.5, 100_000).astype(float)
+        th = PoissonThresholds(0.5, 1e-6, [1, 4, 16])
+        bursts = naive_detect(data, th)
+        # ~0.3 expected across 3 sizes x 100k windows; a handful at most.
+        assert len(bursts) <= 5
