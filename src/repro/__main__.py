@@ -9,6 +9,10 @@ Usage::
     # Detect bursts in a stream with a saved spec (CSV out: end,size,value).
     python -m repro detect spec.json stream.csv -o bursts.csv
 
+    # Detect over a directory of streams (one CSV per stream), sharding
+    # the streams across worker processes.
+    python -m repro detect-many spec.json streams/ -o results/ --workers auto
+
     # Show what a spec contains.
     python -m repro inspect spec.json
 """
@@ -52,27 +56,127 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_detect(args: argparse.Namespace) -> int:
-    spec = load_spec(args.spec)
-    detector = spec.build_detector()
-    bursts = []
-    for chunk in CSVSource(args.stream).chunks(1 << 16):
-        bursts.extend(detector.process(chunk))
-    bursts.extend(detector.finish())
-    bursts.sort()
+def _parse_workers(value: str) -> int | str:
+    """``--workers`` values: ``auto``, ``serial``, or a count."""
+    if value in ("auto", "serial"):
+        return value
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be 'auto', 'serial', or an integer, got {value!r}"
+        ) from None
+    if n < 0:
+        raise argparse.ArgumentTypeError("workers must be >= 0")
+    return n
+
+
+def _burst_csv(bursts) -> str:
     lines = ["end,size,value"]
-    lines += [f"{b.end},{b.size},{b.value:g}" for b in bursts]
-    text = "\n".join(lines) + "\n"
+    lines += [f"{b.end},{b.size},{b.value:g}" for b in sorted(bursts)]
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from .runtime import ParallelMultiStreamDetector
+
+    spec = load_spec(args.spec)
+    name = Path(args.stream).stem
+    fleet = ParallelMultiStreamDetector.shared(
+        [name],
+        spec.structure,
+        spec.thresholds,
+        workers=args.workers,
+        aggregate=spec.aggregate,
+    )
+    bursts = []
+    points = 0
+    with fleet:
+        for chunk in CSVSource(args.stream).chunks(1 << 16):
+            points += chunk.size
+            bursts.extend(fleet.process({name: chunk})[name])
+        bursts.extend(fleet.finish()[name])
+        counters = fleet.merged_counters()
+    text = _burst_csv(bursts)
     if args.output:
         Path(args.output).write_text(text)
         print(f"{len(bursts)} bursts -> {args.output}")
     else:
         sys.stdout.write(text)
-    counters = detector.counters
     print(
-        f"# {detector.length} points, {counters.total_operations} "
-        f"operations ({counters.total_operations / max(1, detector.length):.1f}"
+        f"# {points} points, {counters.total_operations} "
+        f"operations ({counters.total_operations / max(1, points):.1f}"
         f"/point)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_detect_many(args: argparse.Namespace) -> int:
+    from .runtime import ParallelMultiStreamDetector
+
+    directory = Path(args.streams)
+    # Skip our own outputs: without -o they land in the stream directory,
+    # and a rerun must not ingest them as streams.
+    paths = sorted(
+        p
+        for p in directory.glob("*.csv")
+        if not p.name.endswith(".bursts.csv")
+    )
+    if not paths:
+        raise SystemExit(f"error: no *.csv streams in {directory}")
+    names = [p.stem for p in paths]
+    if len(set(names)) != len(names):
+        raise SystemExit(f"error: duplicate stream stems in {directory}")
+    spec = load_spec(args.spec)
+    out_dir = Path(args.output) if args.output else directory
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    fleet = ParallelMultiStreamDetector.shared(
+        names,
+        spec.structure,
+        spec.thresholds,
+        workers=args.workers,
+        aggregate=spec.aggregate,
+    )
+    collected: dict[str, list] = {name: [] for name in names}
+    points = {name: 0 for name in names}
+    with fleet:
+        # Round-robin over per-file chunk iterators: memory stays bounded
+        # by one chunk per live stream regardless of file sizes.
+        iters = {
+            name: CSVSource(path).chunks(1 << 16)
+            for name, path in zip(names, paths)
+        }
+        while iters:
+            round_chunks = {}
+            for name in list(iters):
+                chunk = next(iters[name], None)
+                if chunk is None:
+                    del iters[name]
+                else:
+                    round_chunks[name] = chunk
+                    points[name] += chunk.size
+            if not round_chunks:
+                break
+            for name, bursts in fleet.process(round_chunks).items():
+                collected[name].extend(bursts)
+        for name, bursts in fleet.finish().items():
+            collected[name].extend(bursts)
+        counters = fleet.merged_counters()
+    for name in names:
+        out_path = out_dir / f"{name}.bursts.csv"
+        out_path.write_text(_burst_csv(collected[name]))
+        print(
+            f"{name}: {points[name]} points, "
+            f"{len(collected[name])} bursts -> {out_path}"
+        )
+    total_points = sum(points.values())
+    print(
+        f"# {len(names)} streams, {total_points} points, "
+        f"{counters.total_operations} operations "
+        f"({counters.total_operations / max(1, total_points):.1f}/point), "
+        f"workers={fleet.num_workers or 'serial'}",
         file=sys.stderr,
     )
     return 0
@@ -113,7 +217,31 @@ def main(argv: list[str] | None = None) -> int:
     p_detect.add_argument(
         "-o", "--output", default=None, help="bursts CSV (default: stdout)"
     )
+    p_detect.add_argument(
+        "--workers", type=_parse_workers, default="auto",
+        help="worker processes: auto, serial, or a count (default auto; "
+        "a single stream always degrades to serial)",
+    )
     p_detect.set_defaults(func=_cmd_detect)
+
+    p_many = sub.add_parser(
+        "detect-many",
+        help="detect bursts in every *.csv of a directory, in parallel",
+    )
+    p_many.add_argument("spec", help="detector spec JSON from `train`")
+    p_many.add_argument(
+        "streams", help="directory of stream CSVs (one stream per file)"
+    )
+    p_many.add_argument(
+        "-o", "--output", default=None,
+        help="output directory for <stream>.bursts.csv files "
+        "(default: the stream directory)",
+    )
+    p_many.add_argument(
+        "--workers", type=_parse_workers, default="auto",
+        help="worker processes: auto, serial, or a count (default auto)",
+    )
+    p_many.set_defaults(func=_cmd_detect_many)
 
     p_inspect = sub.add_parser("inspect", help="describe a detector spec")
     p_inspect.add_argument("spec")

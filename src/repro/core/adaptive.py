@@ -220,10 +220,14 @@ class AdaptiveDetector:
 
     def total_operations(self) -> int:
         """RAM-model operations summed over all eras."""
-        return sum(era.counters.total_operations for era in self.eras)
+        return self.merged_counters().total_operations
+
+    def merged_counters(self) -> OpCounters:
+        """Per-level counters merged over all eras (levels align bottom-up)."""
+        return OpCounters.merged(era.counters for era in self.eras)
 
     def total_bursts(self) -> int:
-        return sum(era.counters.bursts for era in self.eras)
+        return self.merged_counters().bursts
 
     def process(self, chunk: np.ndarray) -> list[Burst]:
         """Consume a chunk; returns bursts with *global* end indices."""

@@ -210,8 +210,15 @@ class WindowEngine:
         """Aggregate of the window of ``size`` ending at global index ``end``."""
         raise NotImplementedError
 
-    def values(self, ends: np.ndarray, size: int) -> np.ndarray:
-        """Vectorized :meth:`value` for an array of window end indices."""
+    def values(
+        self, ends: np.ndarray, size: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`value` for an array of window end indices.
+
+        ``out``, when given, must be a float64 array of shape
+        ``(len(ends),)``; the result is written there and returned,
+        letting hot callers reuse a preallocated buffer across calls.
+        """
         raise NotImplementedError
 
     def values_grid(self, ends: np.ndarray, sizes: np.ndarray) -> np.ndarray:
@@ -270,7 +277,9 @@ class SumWindowEngine(WindowEngine):
             )
         return float(self._p(end + 1) - self._p(start))
 
-    def values(self, ends: np.ndarray, size: int) -> np.ndarray:
+    def values(
+        self, ends: np.ndarray, size: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
         ends = np.asarray(ends, dtype=np.int64)
         if ends.size == 0:
             return np.empty(0, dtype=np.float64)
@@ -279,7 +288,10 @@ class SumWindowEngine(WindowEngine):
         starts = np.maximum(0, ends + 1 - size)
         if starts.size and starts.min() < self._offset:
             raise IndexError("window reaches behind retained history")
-        return self._p(ends + 1) - self._p(starts)
+        if out is None:
+            return self._p(ends + 1) - self._p(starts)
+        np.subtract(self._p(ends + 1), self._p(starts), out=out)
+        return out
 
     def values_grid(self, ends: np.ndarray, sizes: np.ndarray) -> np.ndarray:
         ends = np.asarray(ends, dtype=np.int64)
@@ -328,13 +340,16 @@ class MaxWindowEngine(WindowEngine):
             self._table.append(np.maximum(prev[:-half], prev[half:]))
             k += 1
 
-    def _range_max(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    def _range_max(
+        self, lo: np.ndarray, hi: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Max of buffer[lo:hi] (local indices, hi exclusive), vectorized."""
         span = hi - lo
         if np.any(span < 1):
             raise ValueError("empty range in range-max query")
         k = np.frexp(span.astype(np.float64))[1] - 1  # floor(log2(span))
-        out = np.empty(lo.shape, dtype=np.float64)
+        if out is None:
+            out = np.empty(lo.shape, dtype=np.float64)
         for kk in np.unique(k):
             mask = k == kk
             tab = self._table[kk]
@@ -353,7 +368,9 @@ class MaxWindowEngine(WindowEngine):
         hi = np.array([end + 1 - self._offset])
         return float(self._range_max(lo, hi)[0])
 
-    def values(self, ends: np.ndarray, size: int) -> np.ndarray:
+    def values(
+        self, ends: np.ndarray, size: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
         ends = np.asarray(ends, dtype=np.int64)
         if ends.size == 0:
             return np.empty(0, dtype=np.float64)
@@ -362,7 +379,9 @@ class MaxWindowEngine(WindowEngine):
         starts = np.maximum(0, ends + 1 - size)
         if starts.min() < self._offset:
             raise IndexError("window reaches behind retained history")
-        return self._range_max(starts - self._offset, ends + 1 - self._offset)
+        return self._range_max(
+            starts - self._offset, ends + 1 - self._offset, out=out
+        )
 
     def values_grid(self, ends: np.ndarray, sizes: np.ndarray) -> np.ndarray:
         ends = np.asarray(ends, dtype=np.int64)

@@ -30,6 +30,27 @@ __all__ = ["ChunkedDetector", "DEFAULT_CHUNK"]
 DEFAULT_CHUNK = 1 << 16
 
 
+class _LevelScratch:
+    """Reusable per-level work buffers for :meth:`ChunkedDetector.process`.
+
+    One instance per active SAT level, sized for chunks up to a given
+    capacity and grown only when a larger chunk arrives — the steady
+    state performs node updates with zero per-chunk allocations for the
+    ends/values/mask arrays (alarm handling still allocates, but alarms
+    are rare by design).
+    """
+
+    __slots__ = ("iota", "ends", "vals", "mask")
+
+    def __init__(self, shift: int, capacity: int) -> None:
+        # Nodes of this level ending inside a chunk of `capacity` points.
+        n = capacity // shift + 2
+        self.iota = np.arange(n, dtype=np.int64) * shift
+        self.ends = np.empty(n, dtype=np.int64)
+        self.vals = np.empty(n, dtype=np.float64)
+        self.mask = np.empty(n, dtype=bool)
+
+
 class ChunkedDetector:
     """Elastic burst detector over a SAT, vectorized per chunk.
 
@@ -60,6 +81,21 @@ class ChunkedDetector:
         self._check_size_one = 1 in thresholds
         self._f1 = thresholds.threshold(1) if self._check_size_one else None
         self._finished = False
+        # Per-level scratch buffers, lazily sized to the largest chunk seen.
+        self._scratch: list[_LevelScratch] = []
+        self._mask0 = np.empty(0, dtype=bool)
+        self._scratch_capacity = 0
+
+    def _grow_scratch(self, chunk_size: int) -> None:
+        # Round up so a stream of slightly varying chunk lengths settles
+        # into one allocation instead of regrowing every few chunks (at
+        # most log2 regrows ever happen).
+        capacity = 1 << max(10, int(chunk_size - 1).bit_length())
+        self._scratch = [
+            _LevelScratch(plan.shift, capacity) for plan in self.plans
+        ]
+        self._mask0 = np.empty(capacity, dtype=bool)
+        self._scratch_capacity = capacity
 
     @property
     def length(self) -> int:
@@ -86,6 +122,8 @@ class ChunkedDetector:
         if self._finished:
             raise RuntimeError("detector already finished; create a new one")
         chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.size > self._scratch_capacity:
+            self._grow_scratch(chunk.size)
         start = self._engine.length
         self._engine.append(chunk)
         end = start + chunk.size
@@ -96,24 +134,34 @@ class ChunkedDetector:
         counters.updates[0] += chunk.size
         if self._check_size_one:
             counters.filter_comparisons[0] += chunk.size
-            hits = np.nonzero(chunk >= self._f1)[0]
+            mask0 = np.greater_equal(
+                chunk, self._f1, out=self._mask0[: chunk.size]
+            )
+            hits = np.nonzero(mask0)[0]
             for idx in hits:
                 out.append(Burst(start + int(idx), 1, float(chunk[idx])))
                 counters.bursts += 1
 
-        # Levels 1..L: batch-update all nodes ending inside this chunk.
-        for plan in self.plans:
+        # Levels 1..L: batch-update all nodes ending inside this chunk,
+        # reusing the level's preallocated ends/values/mask buffers.
+        for plan, scratch in zip(self.plans, self._scratch):
             s = plan.shift
             first = ((start + s) // s) * s - 1  # first node end >= start
-            ends = np.arange(first, end, s, dtype=np.int64)
-            if ends.size == 0:
+            if first >= end:
                 continue
-            values = self._engine.values(ends, plan.size)
-            counters.updates[plan.level] += ends.size
+            m = (end - first + s - 1) // s  # len(range(first, end, s))
+            ends = np.add(scratch.iota[:m], first, out=scratch.ends[:m])
+            values = self._engine.values(
+                ends, plan.size, out=scratch.vals[:m]
+            )
+            counters.updates[plan.level] += m
             if not plan.active:
                 continue
-            counters.filter_comparisons[plan.level] += ends.size
-            alarm_idx = np.nonzero(values >= plan.min_threshold)[0]
+            counters.filter_comparisons[plan.level] += m
+            alarm_mask = np.greater_equal(
+                values, plan.min_threshold, out=scratch.mask[:m]
+            )
+            alarm_idx = np.nonzero(alarm_mask)[0]
             counters.alarms[plan.level] += alarm_idx.size
             if alarm_idx.size == 0:
                 continue

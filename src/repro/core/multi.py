@@ -15,8 +15,9 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from .chunked import ChunkedDetector
+from .chunked import DEFAULT_CHUNK, ChunkedDetector
 from .events import Burst, BurstSet
+from .opcount import OpCounters
 from .search import SearchParams, train_structure
 from .structure import SATStructure
 from .thresholds import NormalThresholds, ThresholdModel
@@ -88,8 +89,16 @@ class MultiStreamDetector:
 
     def total_operations(self) -> int:
         """RAM-model operations summed over all streams."""
-        return sum(
-            d.counters.total_operations for d in self._detectors.values()
+        return self.merged_counters().total_operations
+
+    def merged_counters(self) -> OpCounters:
+        """Per-level counters merged over all streams.
+
+        Levels align from the bottom; streams with shallower structures
+        contribute zero to the levels they lack (totals stay exact).
+        """
+        return OpCounters.merged(
+            d.counters for d in self._detectors.values()
         )
 
     # -- feeding ------------------------------------------------------------
@@ -124,7 +133,7 @@ class MultiStreamDetector:
     def detect(
         self,
         data: Mapping[str, np.ndarray],
-        chunk_size: int = 1 << 16,
+        chunk_size: int = DEFAULT_CHUNK,
     ) -> dict[str, BurstSet]:
         """Run every stream to completion; returns a BurstSet per stream."""
         data = {k: np.asarray(v, dtype=np.float64) for k, v in data.items()}

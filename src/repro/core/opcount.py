@@ -12,6 +12,8 @@ probability and density diagnostics of §5.1 can be computed from a run.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 __all__ = ["OpCounters"]
@@ -114,6 +116,32 @@ class OpCounters:
         self.search_cells += other.search_cells
         self.bursts += other.bursts
         return self
+
+    def __iadd__(self, other: "OpCounters") -> "OpCounters":
+        """``counters += other`` — alias of :meth:`merge`."""
+        return self.merge(other)
+
+    @classmethod
+    def merged(cls, counters: "Iterable[OpCounters]") -> "OpCounters":
+        """Merge counters from runs over possibly different structures.
+
+        Levels are aligned from the bottom (level 0 with level 0, and so
+        on); a shallower structure simply contributes zero to the levels
+        it does not have.  Per-level entries are exact sums of the runs
+        that have that level, and every total is the exact sum over all
+        runs — this is how the parallel runtime and the multi-stream
+        managers aggregate RAM-model accounting across detectors.
+        """
+        items = list(counters)
+        out = cls(max((c.num_levels for c in items), default=0))
+        for c in items:
+            n = c.updates.size
+            out.updates[:n] += c.updates
+            out.filter_comparisons[:n] += c.filter_comparisons
+            out.alarms[:n] += c.alarms
+            out.search_cells[:n] += c.search_cells
+            out.bursts += c.bursts
+        return out
 
     def as_dict(self) -> dict:
         """Totals as a plain dict (for experiment tables)."""

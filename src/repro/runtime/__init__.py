@@ -1,0 +1,36 @@
+"""Parallel multi-stream runtime: shard detection work across cores.
+
+The paper's flagship application (§5.4) runs one elastic burst detector
+per stock over thousands of parallel streams.  Streams share no state,
+so both detection and per-stream structure training are embarrassingly
+parallel; this package supplies the substrate:
+
+* :mod:`repro.runtime.shm` — a ring of shared-memory ``float64``
+  buffers; chunks are written once by the parent and mapped zero-copy by
+  workers (stream data is never pickled);
+* :mod:`repro.runtime.pool` — persistent worker processes with
+  deterministic routing, remote-traceback error propagation, and orderly
+  shutdown;
+* :mod:`repro.runtime.worker` — the per-process command loop owning a
+  shard of :class:`~repro.core.chunked.ChunkedDetector` instances;
+* :mod:`repro.runtime.parallel` —
+  :class:`~repro.runtime.parallel.ParallelMultiStreamDetector`, the
+  drop-in parallel counterpart of
+  :class:`~repro.core.multi.MultiStreamDetector`: identical bursts,
+  identical per-stream operation counts, ``workers="auto" | int |
+  "serial"`` backend selection with graceful serial fallback.
+"""
+
+from .parallel import ParallelMultiStreamDetector
+from .pool import WorkerError, WorkerPool, resolve_workers
+from .shm import ChunkReader, ChunkRef, SharedChunkRing
+
+__all__ = [
+    "ParallelMultiStreamDetector",
+    "WorkerError",
+    "WorkerPool",
+    "resolve_workers",
+    "ChunkRef",
+    "ChunkReader",
+    "SharedChunkRing",
+]

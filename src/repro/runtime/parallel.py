@@ -1,0 +1,357 @@
+"""Parallel multi-stream detection: the public face of the runtime.
+
+:class:`ParallelMultiStreamDetector` has the same ``process`` /
+``finish`` / ``detect`` shape as
+:class:`repro.core.multi.MultiStreamDetector`, but shards its streams
+across a persistent :class:`~repro.runtime.pool.WorkerPool` and fans
+chunks out through a :class:`~repro.runtime.shm.SharedChunkRing`.
+Detection over independent streams is embarrassingly parallel — no state
+is shared between streams — so results and per-stream operation counts
+are *identical* to the serial manager's, merely computed on more cores.
+
+Backend selection: ``workers="auto"`` sizes the pool to
+``min(cores, streams)`` and silently degrades to the serial manager when
+that leaves fewer than two workers; ``workers=<int>`` forces a pool of
+exactly that many processes; ``workers="serial"`` forces the in-process
+path.  The serial path is byte-for-byte the existing
+:class:`MultiStreamDetector`, wrapped so callers can switch backends
+without touching call sites.
+
+Per-stream training (the paper's §5.4 portfolio setup) is where
+parallelism pays most: fitting :class:`NormalThresholds` and running the
+best-first structure search per stream dominates setup cost, and each
+stream's search is independent, so :meth:`per_stream` ships training
+data through shared memory and trains every shard concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..core.aggregates import SUM, AggregateFunction
+from ..core.chunked import DEFAULT_CHUNK
+from ..core.events import Burst, BurstSet
+from ..core.multi import MultiStreamDetector
+from ..core.opcount import OpCounters
+from ..core.search import SearchParams
+from ..core.structure import SATStructure
+from ..core.thresholds import ThresholdModel
+from .pool import WorkerPool, resolve_workers
+from .shm import SharedChunkRing
+
+__all__ = ["ParallelMultiStreamDetector"]
+
+
+class ParallelMultiStreamDetector:
+    """One elastic burst detector per stream, sharded across processes.
+
+    Construct with :meth:`shared` or :meth:`per_stream`; both accept
+    ``workers="auto" | int | "serial"``.  Use as a context manager (or
+    call :meth:`close`) when not driving the detector to completion via
+    :meth:`detect` / :meth:`finish`, so worker processes and shared
+    memory are always reclaimed.
+    """
+
+    def __init__(
+        self,
+        names: list[str],
+        pool: WorkerPool | None,
+        ring: SharedChunkRing | None,
+        owners: dict[str, int],
+        serial: MultiStreamDetector | None,
+        structures: dict[str, SATStructure] | None = None,
+    ) -> None:
+        self._names = names
+        self._pool = pool
+        self._ring = ring
+        self._owners = owners
+        self._serial = serial
+        self._structures = structures or {}
+        self._counters: dict[str, OpCounters] | None = None
+        self._finished = False
+        self._closed = False
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def shared(
+        cls,
+        names: Iterable[str],
+        structure: SATStructure,
+        thresholds: ThresholdModel,
+        *,
+        workers: int | str = "auto",
+        aggregate: AggregateFunction = SUM,
+        refine_filter: bool = True,
+    ) -> "ParallelMultiStreamDetector":
+        """Same structure and thresholds for every stream."""
+        names = cls._check_names(names)
+        n_workers = resolve_workers(workers, len(names))
+        if n_workers == 0:
+            serial = MultiStreamDetector.shared(names, structure, thresholds)
+            return cls(names, None, None, {}, serial)
+        pool = WorkerPool(n_workers)
+        try:
+            owners = {
+                name: i % n_workers for i, name in enumerate(names)
+            }
+            for name in names:
+                pool.send(
+                    owners[name],
+                    (
+                        "build",
+                        name,
+                        structure,
+                        thresholds,
+                        aggregate.name,
+                        refine_filter,
+                    ),
+                )
+            for name in names:  # ack in send order per worker
+                pool.recv(owners[name])
+        except Exception:
+            pool.close()
+            raise
+        return cls(names, pool, SharedChunkRing(), owners, None)
+
+    @classmethod
+    def per_stream(
+        cls,
+        training: Mapping[str, np.ndarray],
+        burst_probability: float,
+        window_sizes,
+        search_params: SearchParams | None = None,
+        *,
+        workers: int | str = "auto",
+        aggregate: AggregateFunction = SUM,
+    ) -> "ParallelMultiStreamDetector":
+        """Fit thresholds and adapt a structure to each stream, in parallel.
+
+        Training data is written to shared memory once per stream; each
+        worker fits and searches its own shard concurrently — for large
+        portfolios the structure search dominates setup cost, and it
+        scales near-linearly with cores.
+        """
+        names = cls._check_names(training)
+        n_workers = resolve_workers(workers, len(names))
+        if n_workers == 0:
+            serial = MultiStreamDetector.per_stream(
+                training, burst_probability, window_sizes, search_params
+            )
+            return cls(names, None, None, {}, serial)
+        sizes = tuple(int(w) for w in window_sizes)
+        pool = WorkerPool(n_workers)
+        ring = SharedChunkRing()
+        try:
+            owners = {name: i % n_workers for i, name in enumerate(names)}
+            refs = {}
+            for name in names:
+                refs[name] = ring.put(
+                    np.asarray(training[name], dtype=np.float64)
+                )
+                pool.send(
+                    owners[name],
+                    (
+                        "train",
+                        name,
+                        refs[name],
+                        float(burst_probability),
+                        sizes,
+                        search_params,
+                        aggregate.name,
+                    ),
+                )
+            structures = {}
+            for name in names:
+                _, got_name, structure = pool.recv(owners[name])
+                structures[got_name] = structure
+                ring.release(refs[got_name])
+        except Exception:
+            pool.close()
+            ring.close()
+            raise
+        return cls(names, pool, ring, owners, None, structures)
+
+    @staticmethod
+    def _check_names(names) -> list[str]:
+        names = list(names)
+        if not names:
+            raise ValueError("at least one stream is required")
+        if len(set(names)) != len(names):
+            raise ValueError("stream names must be unique")
+        return names
+
+    # -- access -----------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Stream names, sorted."""
+        return tuple(sorted(self._names))
+
+    @property
+    def num_workers(self) -> int:
+        """Worker processes backing this detector (0 = serial)."""
+        return self._pool.num_workers if self._pool else 0
+
+    def structure(self, name: str) -> SATStructure:
+        """The structure detecting ``name`` (per-stream-trained mode)."""
+        if self._serial is not None:
+            return self._serial.detector(name).structure
+        if name not in self._owners:
+            raise KeyError(name)
+        if name not in self._structures:
+            raise KeyError(
+                f"no per-stream structure recorded for {name!r} "
+                "(shared mode shares one structure)"
+            )
+        return self._structures[name]
+
+    def counters(self, name: str) -> OpCounters:
+        """Operation counters of one stream's detector."""
+        if self._serial is not None:
+            return self._serial.detector(name).counters
+        if name not in self._owners:
+            raise KeyError(name)
+        return self._gather_counters()[name]
+
+    def merged_counters(self) -> OpCounters:
+        """Per-level counters merged over all streams and workers.
+
+        Levels are aligned from the bottom; totals are exact regardless
+        of per-stream structure depth (see :meth:`OpCounters.merged`).
+        """
+        if self._serial is not None:
+            return self._serial.merged_counters()
+        return OpCounters.merged(self._gather_counters().values())
+
+    def total_operations(self) -> int:
+        """RAM-model operations summed over all streams and workers."""
+        if self._serial is not None:
+            return self._serial.total_operations()
+        return self.merged_counters().total_operations
+
+    def _gather_counters(self) -> dict[str, OpCounters]:
+        if self._counters is not None:
+            return self._counters
+        counters: dict[str, OpCounters] = {}
+        try:
+            for w in self._worker_ids():
+                self._pool.send(w, ("counters",))
+            for w in self._worker_ids():
+                counters.update(self._pool.recv(w)[1])
+        except Exception:
+            self.close()
+            raise
+        if self._finished:
+            self._counters = counters
+        return counters
+
+    def _worker_ids(self) -> list[int]:
+        return sorted(set(self._owners.values()))
+
+    # -- feeding ------------------------------------------------------------
+    def process(
+        self, chunks: Mapping[str, np.ndarray]
+    ) -> dict[str, list[Burst]]:
+        """Feed one chunk per stream; returns new bursts per stream.
+
+        Chunks are copied once into shared-memory slots; workers map the
+        same pages, so no stream data crosses a pipe.  Streams absent
+        from ``chunks`` receive nothing this round.
+        """
+        if self._finished:
+            raise RuntimeError("detector already finished; create a new one")
+        if self._serial is not None:
+            return self._serial.process(chunks)
+        unknown = set(chunks) - set(self._owners)
+        if unknown:
+            raise KeyError(f"unknown streams: {sorted(unknown)}")
+        per_worker: dict[int, list] = {}
+        refs = []
+        try:
+            for name, chunk in chunks.items():
+                ref = self._ring.put(np.asarray(chunk, dtype=np.float64))
+                refs.append(ref)
+                per_worker.setdefault(self._owners[name], []).append(
+                    (name, ref)
+                )
+            for w in sorted(per_worker):
+                self._pool.send(w, ("process", per_worker[w]))
+            found: dict[str, list[Burst]] = {}
+            for w in sorted(per_worker):
+                for name, bursts in self._pool.recv(w)[1]:
+                    found[name] = bursts
+        except Exception:
+            self.close()
+            raise
+        for ref in refs:
+            self._ring.release(ref)
+        return {name: found[name] for name in chunks}
+
+    def finish(self) -> dict[str, list[Burst]]:
+        """Flush every stream, collect counters, and shut the pool down."""
+        if self._finished:
+            raise RuntimeError("finish() already called")
+        self._finished = True
+        if self._serial is not None:
+            return self._serial.finish()
+        tails: dict[str, list[Burst]] = {}
+        counters: dict[str, OpCounters] = {}
+        try:
+            for w in self._worker_ids():
+                self._pool.send(w, ("finish",))
+            for w in self._worker_ids():
+                _, worker_tails, worker_counters = self._pool.recv(w)
+                tails.update(worker_tails)
+                counters.update(worker_counters)
+        finally:
+            self.close()
+        self._counters = counters
+        return {name: tails[name] for name in self._names}
+
+    def detect(
+        self,
+        data: Mapping[str, np.ndarray],
+        chunk_size: int = DEFAULT_CHUNK,
+    ) -> dict[str, BurstSet]:
+        """Run every stream to completion; returns a BurstSet per stream."""
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        data = {k: np.asarray(v, dtype=np.float64) for k, v in data.items()}
+        known = set(self._owners) if self._serial is None else set(
+            self._serial.names
+        )
+        unknown = set(data) - known
+        if unknown:
+            raise KeyError(f"unknown streams: {sorted(unknown)}")
+        collected: dict[str, list[Burst]] = {name: [] for name in data}
+        longest = max((v.size for v in data.values()), default=0)
+        for lo in range(0, longest, chunk_size):
+            round_chunks = {
+                name: series[lo : lo + chunk_size]
+                for name, series in data.items()
+                if lo < series.size
+            }
+            for name, bursts in self.process(round_chunks).items():
+                collected[name].extend(bursts)
+        for name, bursts in self.finish().items():
+            if name in collected:
+                collected[name].extend(bursts)
+        return {name: BurstSet(bursts) for name, bursts in collected.items()}
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Shut down workers and release shared memory (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+        if self._ring is not None:
+            self._ring.close()
+
+    def __enter__(self) -> "ParallelMultiStreamDetector":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

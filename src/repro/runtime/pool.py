@@ -1,0 +1,170 @@
+"""Worker-pool plumbing: process lifecycle, routing, failure handling.
+
+:class:`WorkerPool` owns N persistent worker processes, each driven by
+:func:`repro.runtime.worker.worker_main` over its own duplex pipe.  One
+pipe per worker keeps routing deterministic (replies are collected in
+worker order, giving reproducible merges) and isolates a failed worker's
+garbage from the others' channels.
+
+Failure model: a command that raises inside a worker comes back as an
+``("error", ...)`` reply and is re-raised here as :class:`WorkerError`
+carrying the remote traceback; a worker that dies outright (killed,
+segfaulted) is detected by liveness polling in :meth:`recv` instead of
+hanging the parent forever.  :meth:`close` always tries the polite
+``stop`` first and escalates to ``terminate`` only for stragglers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+from .worker import worker_main
+
+__all__ = ["WorkerError", "WorkerPool", "resolve_workers"]
+
+#: Seconds between liveness checks while waiting on a worker reply.
+_POLL_INTERVAL = 0.1
+
+
+class WorkerError(RuntimeError):
+    """A worker failed; carries the remote traceback in ``str(exc)``."""
+
+
+def resolve_workers(workers: int | str, n_streams: int) -> int:
+    """Resolve a ``workers`` spec to a worker-process count (0 = serial).
+
+    ``"serial"`` (or 0) forces in-process execution.  ``"auto"`` uses one
+    worker per core, capped at the stream count, and degrades to serial
+    when that leaves fewer than two workers — on a single-core box the
+    pool's IPC overhead buys nothing.  An explicit integer is honoured
+    as-is (capped at the stream count) so tests and benchmarks can force
+    a pool even where ``auto`` would not.
+    """
+    if workers == "serial":
+        return 0
+    if workers == "auto":
+        n = min(os.cpu_count() or 1, n_streams)
+        return n if n >= 2 else 0
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(
+            f"workers must be 'auto', 'serial', or an int, got {workers!r}"
+        )
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    return min(workers, max(1, n_streams))
+
+
+def _default_context() -> mp.context.BaseContext:
+    # fork is markedly cheaper and inherits the imported library; spawn
+    # is the portable fallback (Windows, macOS default).
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class WorkerPool:
+    """N persistent workers, one duplex pipe each."""
+
+    def __init__(
+        self, n_workers: int, context: mp.context.BaseContext | None = None
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("a pool needs at least one worker")
+        ctx = context or _default_context()
+        self._procs: list[mp.process.BaseProcess] = []
+        self._conns = []
+        self._closed = False
+        try:
+            for i in range(n_workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(child_conn, i),
+                    name=f"repro-worker-{i}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()  # parent keeps only its end
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except Exception:
+            self.close()
+            raise
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._procs)
+
+    # -- messaging ---------------------------------------------------------
+    def send(self, worker: int, message: tuple) -> None:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        try:
+            self._conns[worker].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerError(
+                f"worker {worker} is gone (exitcode="
+                f"{self._procs[worker].exitcode})"
+            ) from exc
+
+    def recv(self, worker: int) -> tuple:
+        """Next reply from ``worker``; raises :class:`WorkerError` on
+        a remote exception or a dead worker."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        conn, proc = self._conns[worker], self._procs[worker]
+        while True:
+            if conn.poll(_POLL_INTERVAL):
+                break
+            if not proc.is_alive():
+                # Drain anything flushed before death, then give up.
+                if conn.poll(0):
+                    break
+                raise WorkerError(
+                    f"worker {worker} died (exitcode={proc.exitcode})"
+                )
+        try:
+            reply = conn.recv()
+        except EOFError as exc:
+            raise WorkerError(f"worker {worker} closed its pipe") from exc
+        if reply and reply[0] == "error":
+            _, err, tb = reply
+            raise WorkerError(
+                f"worker {worker} raised {err}\n--- remote traceback ---\n{tb}"
+            )
+        return reply
+
+    def request(self, worker: int, message: tuple) -> tuple:
+        """``send`` + ``recv`` for one worker."""
+        self.send(worker, message)
+        return self.recv(worker)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Stop all workers: polite ``stop``, then terminate stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn, proc in zip(self._conns, self._procs):
+            try:
+                if proc.is_alive():
+                    conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=join_timeout)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,199 @@
+"""Zero-copy chunk transport over POSIX shared memory.
+
+The parallel runtime never pickles stream data.  The parent process owns
+a :class:`SharedChunkRing` — a recycling pool of ``float64`` shared-memory
+segments — and writes each round's chunks into free slots; workers receive
+only a tiny :class:`ChunkRef` (slot id, segment name, element count) and
+map the same physical pages as a NumPy array through
+:class:`ChunkReader`.  A slot is reused only after the round that wrote
+it has been fully acknowledged, so readers never observe a partially
+overwritten buffer.
+
+Slot capacities are rounded up to powers of two so a ring serving chunks
+of a stable size settles into a fixed set of segments and stops
+allocating entirely.  Segments are unlinked when the ring closes; the
+ring also installs a ``weakref.finalize`` so abandoned rings do not leak
+``/dev/shm`` segments for the life of the machine.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ChunkRef", "SharedChunkRing", "ChunkReader"]
+
+_FLOAT = np.dtype(np.float64)
+
+#: Smallest slot capacity (elements); avoids churning tiny segments.
+_MIN_SLOT = 1 << 12
+
+
+@dataclass(frozen=True)
+class ChunkRef:
+    """A picklable handle to one chunk living in shared memory."""
+
+    slot: int
+    name: str
+    count: int
+
+
+def _round_capacity(n: int) -> int:
+    cap = _MIN_SLOT
+    while cap < n:
+        cap <<= 1
+    return cap
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    Python < 3.13 registers every attachment with the resource tracker,
+    which then "helpfully" unlinks segments still owned by the parent
+    when a worker exits; ``track=False`` (3.13+) or an explicit
+    unregister (earlier) keeps ownership with the creating process.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        # Suppress registration during attach.  Unregistering afterwards
+        # would be wrong under fork, where workers share the parent's
+        # tracker process: it would cancel the parent's own registration.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedChunkRing:
+    """Parent-side pool of reusable shared-memory chunk slots."""
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._capacities: list[int] = []
+        self._free: set[int] = set()
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, SharedChunkRing._release_segments, self._segments
+        )
+
+    # -- write side --------------------------------------------------------
+    def put(self, values: np.ndarray) -> ChunkRef:
+        """Copy ``values`` into a free slot; returns its :class:`ChunkRef`.
+
+        The slot stays owned by the caller until :meth:`release` — the
+        chunk's pages are guaranteed stable for readers until then.
+        """
+        if self._closed:
+            raise RuntimeError("ring is closed")
+        values = np.ascontiguousarray(values, dtype=_FLOAT)
+        n = values.size
+        slot = self._take_slot(n)
+        view = np.ndarray((n,), dtype=_FLOAT, buffer=self._segments[slot].buf)
+        np.copyto(view, values)
+        return ChunkRef(slot, self._segments[slot].name, n)
+
+    def release(self, ref: ChunkRef) -> None:
+        """Return a slot to the free pool (chunk fully consumed)."""
+        if not self._closed:
+            self._free.add(ref.slot)
+
+    def _take_slot(self, n: int) -> int:
+        # Smallest free slot that fits; else grow the smallest free slot,
+        # else append a fresh one.
+        best = -1
+        for slot in self._free:
+            cap = self._capacities[slot]
+            if cap >= n and (best < 0 or cap < self._capacities[best]):
+                best = slot
+        if best >= 0:
+            self._free.discard(best)
+            return best
+        cap = _round_capacity(n)
+        if self._free:
+            # All free slots are too small: regrow one in place so the
+            # ring's slot count stays bounded by the per-round fan-out.
+            slot = self._free.pop()
+            self._segments[slot].close()
+            self._segments[slot].unlink()
+            self._segments[slot] = shared_memory.SharedMemory(
+                create=True, size=cap * _FLOAT.itemsize
+            )
+            self._capacities[slot] = cap
+            return slot
+        self._segments.append(
+            shared_memory.SharedMemory(create=True, size=cap * _FLOAT.itemsize)
+        )
+        self._capacities.append(cap)
+        return len(self._segments) - 1
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        self._release_segments(self._segments)
+        self._segments.clear()
+        self._capacities.clear()
+        self._free.clear()
+
+    @staticmethod
+    def _release_segments(segments) -> None:
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "SharedChunkRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ChunkReader:
+    """Worker-side view factory over the parent's shared segments.
+
+    Attachments are cached per segment name: a steady-state ring maps
+    each physical segment exactly once per worker, after which
+    :meth:`view` is just an ``np.ndarray`` constructor over existing
+    pages — no syscalls, no copies.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def view(self, ref: ChunkRef) -> np.ndarray:
+        """A zero-copy float64 view of the chunk behind ``ref``.
+
+        The view is only valid until the parent is told the chunk was
+        consumed; consumers must not retain it past that point.
+        """
+        shm = self._segments.get(ref.name)
+        if shm is None:
+            shm = _attach(ref.name)
+            self._segments[ref.name] = shm
+        return np.ndarray((ref.count,), dtype=_FLOAT, buffer=shm.buf)
+
+    def close(self) -> None:
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._segments.clear()

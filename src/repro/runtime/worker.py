@@ -1,0 +1,102 @@
+"""The persistent worker process: a shard of detectors behind a pipe.
+
+Each worker owns the :class:`~repro.core.chunked.ChunkedDetector` (and,
+in per-stream mode, the threshold fitting and structure training) for a
+fixed subset of streams.  Commands arrive as small tuples over a duplex
+pipe; stream data arrives out-of-band through shared memory
+(:mod:`repro.runtime.shm`), so the pipe only ever carries configuration,
+:class:`ChunkRef` handles, bursts, and counters.
+
+Protocol (request -> reply):
+
+* ``("build", name, structure, thresholds, aggregate_name, refine)``
+  -> ``("built", name)``
+* ``("train", name, ref, burst_probability, window_sizes, params,
+  aggregate_name)`` -> ``("trained", name, structure)``
+* ``("process", [(name, ref), ...])`` -> ``("bursts", [(name, bursts)])``
+* ``("finish",)`` -> ``("finished", [(name, bursts)], {name: counters})``
+* ``("counters",)`` -> ``("counters", {name: counters})``
+* ``("stop",)`` -> worker exits (no reply)
+
+Any exception inside a command is answered with ``("error", repr,
+traceback_text)``; the worker stays alive so the parent can still shut
+it down in an orderly way.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from ..core.aggregates import aggregate_by_name
+from ..core.chunked import ChunkedDetector
+from ..core.search import train_structure
+from ..core.thresholds import NormalThresholds
+from .shm import ChunkReader
+
+__all__ = ["worker_main"]
+
+
+def worker_main(conn, worker_id: int) -> None:
+    """Run the worker loop until a ``stop`` command or EOF."""
+    reader = ChunkReader()
+    detectors: dict[str, ChunkedDetector] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            cmd = msg[0]
+            if cmd == "stop":
+                break
+            try:
+                conn.send(_dispatch(cmd, msg, detectors, reader))
+            except Exception as exc:  # propagate, keep the loop alive
+                conn.send(
+                    ("error", repr(exc), traceback.format_exc())
+                )
+    finally:
+        reader.close()
+        conn.close()
+
+
+def _dispatch(cmd, msg, detectors, reader):
+    if cmd == "build":
+        _, name, structure, thresholds, aggregate_name, refine = msg
+        detectors[name] = ChunkedDetector(
+            structure,
+            thresholds,
+            aggregate_by_name(aggregate_name),
+            refine_filter=refine,
+        )
+        return ("built", name)
+    if cmd == "train":
+        _, name, ref, probability, window_sizes, params, agg_name = msg
+        data = reader.view(ref)
+        thresholds = NormalThresholds.from_data(
+            data, probability, window_sizes
+        )
+        structure = train_structure(data, thresholds, params=params)
+        detectors[name] = ChunkedDetector(
+            structure, thresholds, aggregate_by_name(agg_name)
+        )
+        return ("trained", name, structure)
+    if cmd == "process":
+        _, work = msg
+        results = []
+        for name, ref in work:
+            chunk = reader.view(ref)
+            results.append((name, detectors[name].process(chunk)))
+        return ("bursts", results)
+    if cmd == "finish":
+        _, = msg
+        tails = [
+            (name, detectors[name].finish()) for name in sorted(detectors)
+        ]
+        counters = {
+            name: det.counters for name, det in detectors.items()
+        }
+        return ("finished", tails, counters)
+    if cmd == "counters":
+        return ("counters", {n: d.counters for n, d in detectors.items()})
+    raise ValueError(f"unknown worker command {cmd!r}")

@@ -16,8 +16,10 @@ The implementation is the classic one: timestamped buckets whose sizes
 are powers of two; at most ``ceil(k/2) + 2`` buckets of each size (the
 two oldest of a size merge when the bound is exceeded); buckets whose
 timestamp leaves the window expire.  The estimate counts all live buckets
-fully except the oldest, which contributes half its size — giving the
-``1/k`` guarantee (property-tested).
+fully except the oldest, which contributes its timestamped event (always
+inside the window, or the bucket would have expired) plus half of its
+remaining ``size - 1`` events — giving the ``1/k`` guarantee
+(property-tested).
 """
 
 from __future__ import annotations
@@ -113,8 +115,14 @@ class ExponentialHistogram:
         self._expire()
         if not self._buckets:
             return 0.0
+        # The oldest bucket's timestamped (most recent) event is provably
+        # inside the window — expiry would have removed the bucket
+        # otherwise — so only its remaining `size - 1` events are
+        # uncertain and get the classic half-count.  Halving the full
+        # bucket undercounts by up to half an event too much and breaks
+        # the 1/k bound for short windows.
         oldest_size = self._buckets[-1][1]
-        return self._total - oldest_size / 2.0
+        return self._total - (oldest_size - 1) / 2.0
 
     def bucket_sizes(self) -> list[int]:
         """Live bucket sizes, newest first (diagnostic)."""

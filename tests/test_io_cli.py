@@ -178,3 +178,46 @@ class TestCLI:
             cli_main(
                 ["train", str(empty), "--max-window", "8", "-o", "x.json"]
             )
+
+    def test_detect_many_matches_detect(self, stream_files, tmp_path, rng):
+        train_path, live_path, _ = stream_files
+        spec_path = tmp_path / "spec.json"
+        cli_main(
+            ["train", str(train_path), "--max-window", "24",
+             "-o", str(spec_path)]
+        )
+        streams = tmp_path / "streams"
+        streams.mkdir()
+        other = rng.poisson(5.0, 4321).astype(float)
+        (streams / "a.csv").write_text(live_path.read_text())
+        (streams / "b.csv").write_text(
+            "\n".join(f"{x:g}" for x in other) + "\n"
+        )
+        single = tmp_path / "single.csv"
+        cli_main(
+            ["detect", str(spec_path), str(streams / "a.csv"),
+             "-o", str(single), "--workers", "serial"]
+        )
+        assert cli_main(
+            ["detect-many", str(spec_path), str(streams),
+             "--workers", "serial"]
+        ) == 0
+        assert (
+            (streams / "a.bursts.csv").read_text() == single.read_text()
+        )
+        # Outputs default into the stream directory; a rerun must not
+        # ingest its own *.bursts.csv files as streams.
+        assert cli_main(
+            ["detect-many", str(spec_path), str(streams),
+             "--workers", "serial"]
+        ) == 0
+        assert not (streams / "a.bursts.bursts.csv").exists()
+
+    def test_detect_many_empty_dir_fails(self, tmp_path):
+        (tmp_path / "spec.json").write_text("{}")
+        empty = tmp_path / "none"
+        empty.mkdir()
+        with pytest.raises(SystemExit, match="no .*csv streams"):
+            cli_main(
+                ["detect-many", str(tmp_path / "spec.json"), str(empty)]
+            )
