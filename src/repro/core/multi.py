@@ -15,6 +15,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from .aggregates import SUM, AggregateFunction
 from .chunked import DEFAULT_CHUNK, ChunkedDetector
 from .events import Burst, BurstSet
 from .opcount import OpCounters
@@ -47,11 +48,19 @@ class MultiStreamDetector:
         names: Iterable[str],
         structure: SATStructure,
         thresholds: ThresholdModel,
+        *,
+        aggregate: AggregateFunction = SUM,
+        refine_filter: bool = True,
     ) -> "MultiStreamDetector":
         """Same structure and thresholds for every stream."""
         return cls(
             {
-                name: ChunkedDetector(structure, thresholds)
+                name: ChunkedDetector(
+                    structure,
+                    thresholds,
+                    aggregate,
+                    refine_filter=refine_filter,
+                )
                 for name in names
             }
         )
@@ -63,6 +72,9 @@ class MultiStreamDetector:
         burst_probability: float,
         window_sizes,
         search_params: SearchParams | None = None,
+        *,
+        aggregate: AggregateFunction = SUM,
+        refine_filter: bool = True,
     ) -> "MultiStreamDetector":
         """Fit thresholds and adapt a structure to each stream."""
         detectors = {}
@@ -74,7 +86,9 @@ class MultiStreamDetector:
             structure = train_structure(
                 data, thresholds, params=search_params
             )
-            detectors[name] = ChunkedDetector(structure, thresholds)
+            detectors[name] = ChunkedDetector(
+                structure, thresholds, aggregate, refine_filter=refine_filter
+            )
         return cls(detectors)
 
     # -- access -----------------------------------------------------------

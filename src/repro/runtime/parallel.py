@@ -43,6 +43,13 @@ from .shm import SharedChunkRing
 
 __all__ = ["ParallelMultiStreamDetector"]
 
+#: Build/train commands allowed in a worker's pipe before the parent
+#: stops to collect an ack.  Replies (acks, pickled trained structures)
+#: are produced per command; letting them pile up unread can fill the
+#: ~64KB pipe buffer at portfolio scale, blocking the worker's send and
+#: therefore its request drain — a deadlock with the sending parent.
+_MAX_INFLIGHT = 32
+
 
 class ParallelMultiStreamDetector:
     """One elastic burst detector per stream, sharded across processes.
@@ -89,16 +96,27 @@ class ParallelMultiStreamDetector:
         names = cls._check_names(names)
         n_workers = resolve_workers(workers, len(names))
         if n_workers == 0:
-            serial = MultiStreamDetector.shared(names, structure, thresholds)
+            serial = MultiStreamDetector.shared(
+                names,
+                structure,
+                thresholds,
+                aggregate=aggregate,
+                refine_filter=refine_filter,
+            )
             return cls(names, None, None, {}, serial)
         pool = WorkerPool(n_workers)
         try:
             owners = {
                 name: i % n_workers for i, name in enumerate(names)
             }
+            inflight = {w: 0 for w in range(n_workers)}
             for name in names:
+                w = owners[name]
+                if inflight[w] >= _MAX_INFLIGHT:
+                    pool.recv(w)  # acks arrive in send order per worker
+                    inflight[w] -= 1
                 pool.send(
-                    owners[name],
+                    w,
                     (
                         "build",
                         name,
@@ -108,8 +126,10 @@ class ParallelMultiStreamDetector:
                         refine_filter,
                     ),
                 )
-            for name in names:  # ack in send order per worker
-                pool.recv(owners[name])
+                inflight[w] += 1
+            for w, pending in inflight.items():
+                for _ in range(pending):
+                    pool.recv(w)
         except Exception:
             pool.close()
             raise
@@ -125,6 +145,7 @@ class ParallelMultiStreamDetector:
         *,
         workers: int | str = "auto",
         aggregate: AggregateFunction = SUM,
+        refine_filter: bool = True,
     ) -> "ParallelMultiStreamDetector":
         """Fit thresholds and adapt a structure to each stream, in parallel.
 
@@ -137,7 +158,12 @@ class ParallelMultiStreamDetector:
         n_workers = resolve_workers(workers, len(names))
         if n_workers == 0:
             serial = MultiStreamDetector.per_stream(
-                training, burst_probability, window_sizes, search_params
+                training,
+                burst_probability,
+                window_sizes,
+                search_params,
+                aggregate=aggregate,
+                refine_filter=refine_filter,
             )
             return cls(names, None, None, {}, serial)
         sizes = tuple(int(w) for w in window_sizes)
@@ -146,12 +172,27 @@ class ParallelMultiStreamDetector:
         try:
             owners = {name: i % n_workers for i, name in enumerate(names)}
             refs = {}
+            structures = {}
+
+            def drain_one(w: int) -> None:
+                _, got_name, structure = pool.recv(w)
+                structures[got_name] = structure
+                ring.release(refs[got_name])
+
+            # Interleave sends with receives: the in-flight bound keeps
+            # reply pipes from filling AND caps ring memory at
+            # workers * _MAX_INFLIGHT live training arrays.
+            inflight = {w: 0 for w in range(n_workers)}
             for name in names:
+                w = owners[name]
+                if inflight[w] >= _MAX_INFLIGHT:
+                    drain_one(w)
+                    inflight[w] -= 1
                 refs[name] = ring.put(
                     np.asarray(training[name], dtype=np.float64)
                 )
                 pool.send(
-                    owners[name],
+                    w,
                     (
                         "train",
                         name,
@@ -160,13 +201,13 @@ class ParallelMultiStreamDetector:
                         sizes,
                         search_params,
                         aggregate.name,
+                        refine_filter,
                     ),
                 )
-            structures = {}
-            for name in names:
-                _, got_name, structure = pool.recv(owners[name])
-                structures[got_name] = structure
-                ring.release(refs[got_name])
+                inflight[w] += 1
+            for w, pending in inflight.items():
+                for _ in range(pending):
+                    drain_one(w)
         except Exception:
             pool.close()
             ring.close()

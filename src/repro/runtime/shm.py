@@ -34,11 +34,18 @@ _MIN_SLOT = 1 << 12
 
 @dataclass(frozen=True)
 class ChunkRef:
-    """A picklable handle to one chunk living in shared memory."""
+    """A picklable handle to one chunk living in shared memory.
+
+    ``retired`` carries every segment name the ring has unlinked so far
+    (regrown slots — rare, at most ~log2 of the capacity range per
+    slot): readers drop their cached attachments to those segments, so
+    dead pages are not kept mapped in workers for the life of the run.
+    """
 
     slot: int
     name: str
     count: int
+    retired: tuple = ()
 
 
 def _round_capacity(n: int) -> int:
@@ -79,6 +86,7 @@ class SharedChunkRing:
         self._segments: list[shared_memory.SharedMemory] = []
         self._capacities: list[int] = []
         self._free: set[int] = set()
+        self._retired: tuple[str, ...] = ()
         self._closed = False
         self._finalizer = weakref.finalize(
             self, SharedChunkRing._release_segments, self._segments
@@ -98,7 +106,7 @@ class SharedChunkRing:
         slot = self._take_slot(n)
         view = np.ndarray((n,), dtype=_FLOAT, buffer=self._segments[slot].buf)
         np.copyto(view, values)
-        return ChunkRef(slot, self._segments[slot].name, n)
+        return ChunkRef(slot, self._segments[slot].name, n, self._retired)
 
     def release(self, ref: ChunkRef) -> None:
         """Return a slot to the free pool (chunk fully consumed)."""
@@ -121,6 +129,7 @@ class SharedChunkRing:
             # All free slots are too small: regrow one in place so the
             # ring's slot count stays bounded by the per-round fan-out.
             slot = self._free.pop()
+            self._retired = self._retired + (self._segments[slot].name,)
             self._segments[slot].close()
             self._segments[slot].unlink()
             self._segments[slot] = shared_memory.SharedMemory(
@@ -184,6 +193,13 @@ class ChunkReader:
         The view is only valid until the parent is told the chunk was
         consumed; consumers must not retain it past that point.
         """
+        # Drop attachments to segments the ring has since unlinked, so a
+        # regrown slot's old pages are actually freed in this process
+        # instead of staying mapped until shutdown.
+        for name in ref.retired:
+            stale = self._segments.pop(name, None)
+            if stale is not None:
+                stale.close()
         shm = self._segments.get(ref.name)
         if shm is None:
             shm = _attach(ref.name)

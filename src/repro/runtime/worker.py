@@ -12,7 +12,7 @@ Protocol (request -> reply):
 * ``("build", name, structure, thresholds, aggregate_name, refine)``
   -> ``("built", name)``
 * ``("train", name, ref, burst_probability, window_sizes, params,
-  aggregate_name)`` -> ``("trained", name, structure)``
+  aggregate_name, refine)`` -> ``("trained", name, structure)``
 * ``("process", [(name, ref), ...])`` -> ``("bursts", [(name, bursts)])``
 * ``("finish",)`` -> ``("finished", [(name, bursts)], {name: counters})``
 * ``("counters",)`` -> ``("counters", {name: counters})``
@@ -71,14 +71,17 @@ def _dispatch(cmd, msg, detectors, reader):
         )
         return ("built", name)
     if cmd == "train":
-        _, name, ref, probability, window_sizes, params, agg_name = msg
+        _, name, ref, probability, window_sizes, params, agg_name, refine = msg
         data = reader.view(ref)
         thresholds = NormalThresholds.from_data(
             data, probability, window_sizes
         )
         structure = train_structure(data, thresholds, params=params)
         detectors[name] = ChunkedDetector(
-            structure, thresholds, aggregate_by_name(agg_name)
+            structure,
+            thresholds,
+            aggregate_by_name(agg_name),
+            refine_filter=refine,
         )
         return ("trained", name, structure)
     if cmd == "process":

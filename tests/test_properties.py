@@ -224,7 +224,13 @@ def test_generate_children_produces_valid_growing_states(structure, data):
     from repro.core.search.state import generate_children
 
     max_window = data.draw(st.integers(structure.coverage + 1, 64))
-    max_size = data.draw(st.integers(structure.top.size, 2 * max_window))
+    # A small max_window draw can leave 2*max_window below top.size;
+    # max_size must still be a valid (possibly fruitless) bound.
+    max_size = data.draw(
+        st.integers(
+            structure.top.size, max(2 * max_window, structure.top.size)
+        )
+    )
     children = generate_children(
         structure, max_size=max_size, min_size=0, max_window=max_window
     )
@@ -250,8 +256,9 @@ def test_generate_children_min_size_is_resumable(structure, data):
     from repro.core.search.state import generate_children
 
     max_window = data.draw(st.integers(structure.coverage + 1, 48))
-    mid = data.draw(st.integers(structure.top.size, 2 * max_window))
-    high = data.draw(st.integers(mid, 2 * max_window))
+    hi = max(2 * max_window, structure.top.size)
+    mid = data.draw(st.integers(structure.top.size, hi))
+    high = data.draw(st.integers(mid, hi))
     one_pass = generate_children(
         structure, max_size=high, min_size=0, max_window=max_window
     )

@@ -11,6 +11,7 @@ shuts down cleanly afterwards, and shared-memory segments never leak.
 import numpy as np
 import pytest
 
+from repro.core.aggregates import MAX
 from repro.core.multi import MultiStreamDetector
 from repro.core.opcount import OpCounters
 from repro.core.sbt import shifted_binary_tree
@@ -146,6 +147,122 @@ class TestPerStreamEquivalence:
         )
 
 
+class TestAggregatePlumbing:
+    """Non-SUM aggregates must survive every backend, incl. the serial
+    fallback (which once silently rebuilt detectors with SUM)."""
+
+    def test_shared_max_identical_across_backends(
+        self, streams, shared_setup
+    ):
+        structure, thresholds = shared_setup
+        reference = MultiStreamDetector.shared(
+            streams, structure, thresholds, aggregate=MAX
+        )
+        expected = reference.detect(streams, chunk_size=600)
+        pooled = ParallelMultiStreamDetector.shared(
+            streams, structure, thresholds, workers=2, aggregate=MAX
+        )
+        fallback = ParallelMultiStreamDetector.shared(
+            streams, structure, thresholds, workers="serial", aggregate=MAX
+        )
+        got_pool = pooled.detect(streams, chunk_size=600)
+        got_fallback = fallback.detect(streams, chunk_size=600)
+        for name in streams:
+            assert tuple(got_pool[name]) == tuple(expected[name]), name
+            assert tuple(got_fallback[name]) == tuple(expected[name]), name
+        assert_counters_equal(
+            pooled.merged_counters(), reference.merged_counters()
+        )
+        assert_counters_equal(
+            fallback.merged_counters(), reference.merged_counters()
+        )
+        # Sanity: MAX genuinely differs from SUM on this workload, so
+        # the equalities above would catch a dropped aggregate.
+        sum_results = MultiStreamDetector.shared(
+            streams, structure, thresholds
+        ).detect(streams, chunk_size=600)
+        assert any(
+            tuple(sum_results[n]) != tuple(expected[n]) for n in streams
+        )
+
+    def test_per_stream_max_backends_agree(self, streams):
+        training = {name: s[:1200] for name, s in streams.items()}
+        pooled = ParallelMultiStreamDetector.per_stream(
+            training, 1e-3, all_sizes(16), FAST, workers=2, aggregate=MAX
+        )
+        fallback = ParallelMultiStreamDetector.per_stream(
+            training,
+            1e-3,
+            all_sizes(16),
+            FAST,
+            workers="serial",
+            aggregate=MAX,
+        )
+        got_pool = pooled.detect(streams)
+        got_fallback = fallback.detect(streams)
+        for name in streams:
+            assert tuple(got_pool[name]) == tuple(got_fallback[name]), name
+        assert_counters_equal(
+            pooled.merged_counters(), fallback.merged_counters()
+        )
+
+    def test_refine_filter_off_matches_serial(self, streams, shared_setup):
+        structure, thresholds = shared_setup
+        reference = MultiStreamDetector.shared(
+            streams, structure, thresholds, refine_filter=False
+        )
+        fleet = ParallelMultiStreamDetector.shared(
+            streams, structure, thresholds, workers=2, refine_filter=False
+        )
+        expected = reference.detect(streams, chunk_size=600)
+        got = fleet.detect(streams, chunk_size=600)
+        for name in streams:
+            assert tuple(got[name]) == tuple(expected[name]), name
+        # The ablation switch changes filter work, so counters prove it
+        # actually reached the workers.
+        assert_counters_equal(
+            fleet.merged_counters(), reference.merged_counters()
+        )
+
+
+class TestInflightBound:
+    def test_many_streams_with_tiny_window(
+        self, shared_setup, rng, monkeypatch
+    ):
+        # Force the sliding window to engage many times over: with the
+        # bound at 2 and 25 streams on 2 workers, setup must interleave
+        # sends and acks or it would not terminate correctly.
+        import repro.runtime.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "_MAX_INFLIGHT", 2)
+        structure, thresholds = shared_setup
+        streams = {
+            f"s{i:02d}": rng.poisson(5.0, 120).astype(float)
+            for i in range(25)
+        }
+        serial = MultiStreamDetector.shared(streams, structure, thresholds)
+        fleet = ParallelMultiStreamDetector.shared(
+            streams, structure, thresholds, workers=2
+        )
+        assert fleet.detect(streams) == serial.detect(streams)
+
+    def test_per_stream_training_with_tiny_window(self, rng, monkeypatch):
+        import repro.runtime.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "_MAX_INFLIGHT", 1)
+        training = {
+            f"s{i}": rng.poisson(6.0, 300).astype(float) for i in range(7)
+        }
+        serial = MultiStreamDetector.per_stream(
+            training, 1e-3, all_sizes(8), search_params=FAST
+        )
+        fleet = ParallelMultiStreamDetector.per_stream(
+            training, 1e-3, all_sizes(8), FAST, workers=2
+        )
+        data = {name: rng.poisson(6.0, 500).astype(float) for name in training}
+        assert fleet.detect(data) == serial.detect(data)
+
+
 class TestBackendSelection:
     def test_serial_fallback_is_serial(self, streams, shared_setup):
         structure, thresholds = shared_setup
@@ -222,6 +339,30 @@ class TestChunkRing:
             reader = ChunkReader()
             try:
                 assert np.array_equal(reader.view(ref), data)
+            finally:
+                reader.close()
+
+    def test_regrow_evicts_stale_reader_attachments(self):
+        from repro.runtime import ChunkReader
+
+        with SharedChunkRing() as ring:
+            reader = ChunkReader()
+            try:
+                small = ring.put(np.arange(10.0))
+                old_name = small.name
+                reader.view(small)  # cache the attachment
+                assert old_name in reader._segments
+                ring.release(small)
+                # Too big for the free slot: the ring regrows it in
+                # place, unlinking the old segment.
+                big = ring.put(np.arange(float(1 << 13)))
+                assert big.slot == small.slot
+                assert old_name in big.retired
+                view = reader.view(big)
+                # The reader dropped the dead segment, not just any.
+                assert old_name not in reader._segments
+                assert big.name in reader._segments
+                assert np.array_equal(view, np.arange(float(1 << 13)))
             finally:
                 reader.close()
 
