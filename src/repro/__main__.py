@@ -67,8 +67,13 @@ def _parse_workers(value: str) -> int | str:
         raise argparse.ArgumentTypeError(
             f"workers must be 'auto', 'serial', or an integer, got {value!r}"
         ) from None
-    if n < 0:
-        raise argparse.ArgumentTypeError("workers must be >= 0")
+    if n <= 0:
+        # 0 used to silently mean serial; insist on the explicit
+        # spelling so a typo'd count never changes the backend quietly.
+        raise argparse.ArgumentTypeError(
+            f"workers must be a positive count, got {n} "
+            "(use 'serial' for in-process execution)"
+        )
     return n
 
 

@@ -83,7 +83,7 @@ class DriftMonitor:
         reference_sigma: float,
         tolerance: float,
         window_points: int = 10_000,
-    ):
+    ) -> None:
         if window_points < 1:
             raise ValueError("window_points must be >= 1")
         self.reference_mu = float(reference_mu)

@@ -136,7 +136,7 @@ def sliding_max(data: np.ndarray, size: int) -> np.ndarray:
     # backward within blocks, then combine the two scans across each
     # window's block boundary.
     pad = (-n) % size
-    padded = np.concatenate((data, np.full(pad, -np.inf)))
+    padded = np.concatenate((data, np.full(pad, -np.inf, dtype=np.float64)))
     blocks = padded.reshape(-1, size)
     fwd = np.maximum.accumulate(blocks, axis=1).ravel()
     bwd = np.maximum.accumulate(blocks[:, ::-1], axis=1)[:, ::-1].ravel()

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from .aggregates import SUM, AggregateFunction
-from .dsr import build_plans, find_triggered, search_dsr
+from .dsr import LevelPlan, build_plans, find_triggered, search_dsr
 from .events import Burst, BurstSet
 from .opcount import OpCounters
 from .structure import SATStructure
@@ -196,7 +196,7 @@ class ChunkedDetector:
 
     def _search_alarms_batched(
         self,
-        plan,
+        plan: LevelPlan,
         alarm_ends: np.ndarray,
         alarm_values: np.ndarray,
         out: list[Burst],

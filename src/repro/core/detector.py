@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from .aggregates import SUM, AggregateFunction
-from .dsr import build_plans, find_triggered, search_dsr
+from .dsr import LevelPlan, build_plans, find_triggered, search_dsr
 from .events import Burst, BurstSet
 from .opcount import OpCounters
 from .structure import SATStructure
@@ -102,7 +102,9 @@ class StreamingDetector:
                 continue
             self._node(plan, t, plan.shift, out)
 
-    def _node(self, plan, t: int, span: int, out: list[Burst]) -> None:
+    def _node(
+        self, plan: LevelPlan, t: int, span: int, out: list[Burst]
+    ) -> None:
         counters = self.counters
         value = self._engine.value(t, plan.size)
         counters.updates[plan.level] += 1

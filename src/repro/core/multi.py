@@ -70,7 +70,7 @@ class MultiStreamDetector:
         cls,
         training: Mapping[str, np.ndarray],
         burst_probability: float,
-        window_sizes,
+        window_sizes: Iterable[int],
         search_params: SearchParams | None = None,
         *,
         aggregate: AggregateFunction = SUM,

@@ -96,7 +96,9 @@ def overlap(c1: Cell, c2: Cell) -> Cell | None:
 class AggregationPyramid:
     """Streaming aggregation pyramid over the last ``window`` points."""
 
-    def __init__(self, window: int, aggregate: AggregateFunction = SUM):
+    def __init__(
+        self, window: int, aggregate: AggregateFunction = SUM
+    ) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = int(window)
@@ -202,7 +204,9 @@ class AggregationPyramid:
         ]
 
 
-def pyramid_detect(data: np.ndarray, thresholds: ThresholdModel):
+def pyramid_detect(
+    data: np.ndarray, thresholds: ThresholdModel
+) -> tuple[BurstSet, int]:
     """Detect bursts with the *dense* aggregation pyramid (paper §2.1).
 
     Maintains every pyramid cell up to the maximum window size of

@@ -118,7 +118,9 @@ class BestFirstSearch:
         """Execute the search; returns the best final structure found."""
         params = self.params
         maxw = self.max_window
-        started = time.perf_counter()
+        # Diagnostic only: elapsed_seconds reports search effort, it
+        # never influences which structure is chosen.
+        started = time.perf_counter()  # repro: noqa[RL005]
         counter = itertools.count()
 
         root = initial_state()
@@ -136,7 +138,7 @@ class BestFirstSearch:
                 finals_seen=1,
                 states_generated=1,
                 states_expanded=0,
-                elapsed_seconds=time.perf_counter() - started,
+                elapsed_seconds=time.perf_counter() - started,  # repro: noqa[RL005]
             )
 
         frontier: list[SearchState] = []
@@ -235,7 +237,7 @@ class BestFirstSearch:
             finals_seen=len(finals),
             states_generated=generated,
             states_expanded=expanded,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=time.perf_counter() - started,  # repro: noqa[RL005]
             history=history,
         )
 

@@ -66,7 +66,7 @@ class SATStructure:
     ``levels`` without it to :meth:`from_pairs`, which prepends it.
     """
 
-    def __init__(self, levels: Sequence[Level]):
+    def __init__(self, levels: Sequence[Level]) -> None:
         levels = tuple(levels)
         if not levels:
             raise StructureError("a SAT needs at least level 0")

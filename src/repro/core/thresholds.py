@@ -62,7 +62,9 @@ def stepped_sizes(step: int, max_window: int) -> tuple[int, ...]:
 class ThresholdModel:
     """Base class: a sorted window-size grid with a threshold per size."""
 
-    def __init__(self, window_sizes: Sequence[int], thresholds: Sequence[float]):
+    def __init__(
+        self, window_sizes: Sequence[int], thresholds: Sequence[float]
+    ) -> None:
         ws = np.asarray(window_sizes, dtype=np.int64)
         if ws.size == 0:
             raise ValueError("at least one window size is required")
@@ -144,7 +146,7 @@ class ThresholdModel:
 class FixedThresholds(ThresholdModel):
     """Thresholds given explicitly as a ``{size: threshold}`` mapping."""
 
-    def __init__(self, table: Mapping[int, float]):
+    def __init__(self, table: Mapping[int, float]) -> None:
         if not table:
             raise ValueError("threshold table must not be empty")
         sizes = sorted(table)
@@ -167,7 +169,7 @@ class NormalThresholds(ThresholdModel):
         sigma: float,
         burst_probability: float,
         window_sizes: Iterable[int],
-    ):
+    ) -> None:
         if sigma < 0:
             raise ValueError("sigma must be non-negative")
         if not 0 < burst_probability < 1:
@@ -217,7 +219,7 @@ class PoissonThresholds(ThresholdModel):
         lam: float,
         burst_probability: float,
         window_sizes: Iterable[int],
-    ):
+    ) -> None:
         if lam <= 0:
             raise ValueError("lam must be positive")
         if not 0 < burst_probability < 1:
@@ -261,7 +263,7 @@ class EmpiricalThresholds(ThresholdModel):
         data: np.ndarray,
         burst_probability: float,
         window_sizes: Iterable[int],
-    ):
+    ) -> None:
         from .aggregates import sliding_sum  # local import to avoid a cycle
 
         data = np.asarray(data, dtype=np.float64)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
@@ -18,6 +19,9 @@ from ..core.aggregates import AggregateFunction, aggregate_by_name
 from ..core.chunked import ChunkedDetector
 from ..core.structure import SATStructure
 from ..core.thresholds import FixedThresholds, ThresholdModel
+
+if TYPE_CHECKING:
+    from ..core.search import SearchParams
 
 __all__ = ["DetectorSpec", "save_spec", "load_spec"]
 
@@ -31,7 +35,7 @@ class DetectorSpec:
     structure: SATStructure
     thresholds: ThresholdModel
     aggregate_name: str = "sum"
-    provenance: dict = field(default_factory=dict)
+    provenance: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         aggregate_by_name(self.aggregate_name)  # validate early
@@ -50,7 +54,7 @@ class DetectorSpec:
         return ChunkedDetector(self.structure, self.thresholds, self.aggregate)
 
     # -- serialization -----------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "format": _FORMAT,
             "structure": self.structure.to_dict(),
@@ -63,7 +67,7 @@ class DetectorSpec:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "DetectorSpec":
+    def from_dict(cls, payload: dict[str, Any]) -> "DetectorSpec":
         if payload.get("format") != _FORMAT:
             raise ValueError(
                 f"not a detector spec (format={payload.get('format')!r})"
@@ -92,9 +96,9 @@ class DetectorSpec:
         cls,
         training_data: np.ndarray,
         burst_probability: float,
-        window_sizes,
+        window_sizes: Iterable[int],
         threshold_kind: str = "normal",
-        search_params=None,
+        search_params: "SearchParams | None" = None,
     ) -> "DetectorSpec":
         """Fit thresholds and adapt a structure in one step.
 
@@ -105,6 +109,14 @@ class DetectorSpec:
         from ..core.thresholds import EmpiricalThresholds, NormalThresholds
 
         training_data = np.asarray(training_data, dtype=np.float64)
+        sizes = np.asarray(list(window_sizes), dtype=np.int64)
+        # Threshold models normalize their grid (sort + dedup), so an
+        # out-of-order grid would be silently "repaired" here.  At the
+        # spec boundary that repair hides caller typos; insist on the
+        # canonical form instead.
+        if sizes.size and np.any(np.diff(sizes) <= 0):
+            raise ValueError("window sizes must be strictly increasing")
+        window_sizes = sizes
         if threshold_kind == "normal":
             thresholds: ThresholdModel = NormalThresholds.from_data(
                 training_data, burst_probability, window_sizes

@@ -1,0 +1,31 @@
+"""repro-lint: project-invariant static analysis for the detection core.
+
+The paper's correctness story rests on contracts the code can only state
+informally — aggregates must stay monotonic/associative, SAT detection
+must remain filter-then-verify exact, and the shared-memory runtime must
+never leak segments or deadlock its command pipes.  This package turns
+those contracts into machine-checked AST rules (`RL001`..`RL006`), each
+derived from a real past bug or review finding; see ``DESIGN.md``
+("Static analysis layer") for the incident behind every rule.
+
+Run it as ``python -m repro.lint [paths]``; findings are reported as
+``path:line:col: RLxxx message`` (or JSON with ``--format json``) and the
+exit status is non-zero when any finding survives suppression.  A finding
+is suppressed by a ``# repro: noqa[RL001]`` comment on its line (bare
+``# repro: noqa`` suppresses every rule on the line — use sparingly).
+"""
+
+from __future__ import annotations
+
+from .engine import Finding, LintModule, Rule, lint_paths, lint_source
+from .rules import ALL_RULES, rule_by_code
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "Rule",
+    "ALL_RULES",
+    "rule_by_code",
+    "lint_paths",
+    "lint_source",
+]

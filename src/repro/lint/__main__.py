@@ -1,0 +1,83 @@
+"""CLI entry point: ``python -m repro.lint [paths] [--format text|json]``.
+
+Exit status: 0 when the tree is clean, 1 when findings survive
+suppression, 2 on usage errors.  ``--list-rules`` prints every rule with
+the invariant it encodes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .engine import lint_paths, render_json, render_text
+from .rules import ALL_RULES
+
+
+def _default_paths() -> list[str]:
+    # `python -m repro.lint` from the repo root lints the source tree.
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project-invariant AST checks for the detection core "
+        "and parallel runtime.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule and the invariant it encodes, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code} {rule.name}: {rule.invariant}")
+        return 0
+
+    rules = list(ALL_RULES)
+    if args.select:
+        wanted = {code.strip() for code in args.select.split(",")}
+        unknown = wanted - {rule.code for rule in ALL_RULES}
+        if unknown:
+            parser.error(f"unknown rule codes: {sorted(unknown)}")
+        rules = [rule for rule in ALL_RULES if rule.code in wanted]
+
+    paths = args.paths or _default_paths()
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such path: {missing}")
+
+    findings = lint_paths(paths, rules)
+    report = (
+        render_json(findings)
+        if args.format == "json"
+        else render_text(findings)
+    )
+    print(report)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

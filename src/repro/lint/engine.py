@@ -1,0 +1,249 @@
+"""The rule engine: file walking, AST parsing, suppression, reporting.
+
+A :class:`Rule` inspects one parsed module and yields :class:`Finding`
+records.  The engine owns everything rules should not care about:
+discovering files, parsing them once, normalizing paths for scoping,
+collecting ``# repro: noqa[...]`` suppressions from the token stream, and
+sorting/serializing the surviving findings.
+
+Scoping convention: rules match against a module's *posix-normalized*
+path (e.g. ``src/repro/runtime/pool.py``), so a rule scoped to
+``repro/runtime/`` fires both on the real tree and on test fixtures laid
+out as ``tests/lint_fixtures/repro/runtime/<case>.py`` — the fixture
+tree mirrors the package layout precisely so scoping itself is under
+test.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["Finding", "LintModule", "Rule", "lint_paths", "lint_source"]
+
+#: ``# repro: noqa`` (all rules) or ``# repro: noqa[RL001,RL002]``.
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)\])?"
+)
+
+#: Rule code for files the engine itself cannot analyze (syntax errors).
+PARSE_ERROR = "RL000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The canonical one-line text form, ``path:line:col: CODE msg``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly representation (``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class LintModule:
+    """One parsed source file, as seen by rules.
+
+    ``path`` is the path as reported in findings; ``scope_path`` is its
+    posix form used for rule scoping.  ``tree`` is the parsed AST and
+    ``suppressions`` maps line number to the set of suppressed rule codes
+    (the empty set meaning *all* rules are suppressed on that line).
+    """
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.scope_path = Path(path).as_posix()
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = _collect_suppressions(source)
+
+    def in_dir(self, *parts: str) -> bool:
+        """Whether the module lives under ``<parts[0]>/<parts[1]>/...``.
+
+        Matches anywhere in the path, so ``in_dir("repro", "runtime")``
+        is true for both ``src/repro/runtime/pool.py`` and a fixture at
+        ``tests/lint_fixtures/repro/runtime/bad.py``.
+        """
+        needle = "/" + "/".join(parts) + "/"
+        return needle in "/" + self.scope_path
+
+    @property
+    def basename(self) -> str:
+        """File name without directories (e.g. ``pool.py``)."""
+        return self.scope_path.rsplit("/", 1)[-1]
+
+    def finding(self, node: ast.AST, rule: "Rule", message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``'s position."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule.code,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for one project-invariant check.
+
+    Subclasses set ``code`` (``RLxxx``), ``name`` (a short slug), and
+    ``invariant`` (the one-line contract the rule encodes), restrict
+    themselves via :meth:`applies_to`, and yield findings from
+    :meth:`check`.
+    """
+
+    code: str = ""
+    name: str = ""
+    invariant: str = ""
+
+    def applies_to(self, module: LintModule) -> bool:
+        """Whether this rule scopes to ``module`` (default: every file)."""
+        return True
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        """Yield every violation found in ``module``."""
+        raise NotImplementedError
+
+    def run(self, module: LintModule) -> Iterator[Finding]:
+        """Scope-check, then filter findings through noqa suppressions."""
+        if not self.applies_to(module):
+            return
+        for finding in self.check(module):
+            if not _suppressed(module, finding):
+                yield finding
+
+
+def _collect_suppressions(source: str) -> dict[int, set[str]]:
+    """Line -> suppressed rule codes (empty set = all rules).
+
+    Suppressions are read from the token stream, not from raw lines, so
+    a ``# repro: noqa`` inside a string literal does not suppress
+    anything.  A file that cannot be tokenized yields no suppressions
+    (it will surface as a parse error anyway).
+    """
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA.search(tok.string)
+            if not match:
+                continue
+            codes = match.group("codes")
+            line = tok.start[0]
+            if codes is None:
+                out[line] = set()
+            else:
+                existing = out.get(line)
+                if existing is None or existing:
+                    parsed = {c.strip() for c in codes.split(",")}
+                    out[line] = (existing or set()) | parsed
+    except tokenize.TokenizeError:
+        return {}
+    return out
+
+
+def _suppressed(module: LintModule, finding: Finding) -> bool:
+    codes = module.suppressions.get(finding.line)
+    if codes is None:
+        return False
+    return not codes or finding.rule in codes
+
+
+def _iter_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if any(part.startswith(".") for part in sub.parts):
+                    continue
+                yield sub
+        else:
+            yield path
+
+
+def lint_source(
+    source: str, path: str, rules: Iterable[Rule]
+) -> list[Finding]:
+    """Lint one in-memory module; parse errors become ``RL000`` findings."""
+    try:
+        module = LintModule(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule=PARSE_ERROR,
+                message=f"cannot parse file: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.run(module))
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str | Path], rules: Iterable[Rule]
+) -> list[Finding]:
+    """Lint every ``*.py`` file under ``paths`` with ``rules``, sorted."""
+    rules = list(rules)
+    findings: list[Finding] = []
+    for path in _iter_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=1,
+                    rule=PARSE_ERROR,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, str(path), rules))
+    return sorted(findings)
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """The human-readable report (one line per finding plus a summary)."""
+    lines = [f.format() for f in findings]
+    n = len(findings)
+    lines.append(f"{n} finding{'s' if n != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """The machine-readable report (``--format json``)."""
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+        },
+        indent=2,
+        sort_keys=True,
+    )

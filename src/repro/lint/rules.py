@@ -1,0 +1,560 @@
+"""The project-invariant rules, each derived from a real past bug.
+
+Every rule documents its ``invariant`` — the contract from the paper or
+from a PR-2 review incident that it encodes.  Scoping follows the
+package layout (see :class:`~repro.lint.engine.LintModule.in_dir`):
+runtime rules fire under ``repro/runtime/``, detection-core rules under
+``repro/core/``, and so on, which also makes the rules testable against
+fixture trees that mirror those directories.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .engine import Finding, LintModule, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "rule_by_code",
+    "SharedMemoryLifecycle",
+    "BoundedSendLoops",
+    "OpCountersRouting",
+    "AggregateRegistryOnly",
+    "NoWallClockInCore",
+    "ExplicitDtypes",
+]
+
+
+def _dotted(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute chains; unrenderable bases become ``?``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif parts:
+        parts.append("?")
+    else:
+        return ""
+    return ".".join(reversed(parts))
+
+
+def _terminal_name(func: ast.AST) -> str:
+    """The called name: ``f`` for ``f(...)``, ``c`` for ``a.b.c(...)``."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+class _Parents:
+    """Child -> parent AST map plus ancestor queries for one module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._parent: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parent[child] = parent
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        while node in self._parent:
+            node = self._parent[node]
+            yield node
+
+    def nearest(self, node: ast.AST, *types: type) -> ast.AST | None:
+        for anc in self.ancestors(node):
+            if isinstance(anc, types):
+                return anc
+        return None
+
+    def in_finally(self, node: ast.AST) -> bool:
+        """Whether ``node`` sits inside some ``try``'s ``finally`` block."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, ast.Try):
+                for stmt in anc.finalbody:
+                    if node is stmt or any(
+                        node is sub for sub in ast.walk(stmt)
+                    ):
+                        return True
+        return False
+
+
+_SHM_RECEIVER = re.compile(r"ring|shm|segment", re.IGNORECASE)
+_PROC_RECEIVER = re.compile(r"pool|proc|worker", re.IGNORECASE)
+
+
+class SharedMemoryLifecycle(Rule):
+    """RL001 — every SharedMemory segment is released on all paths.
+
+    Incident: PR 2's review found stale shared-memory attachments kept
+    mapped in workers for the life of a run, and a shutdown path where a
+    failed worker join could skip unlinking ``/dev/shm`` segments — each
+    leaked segment outlives the process until reboot.
+    """
+
+    code = "RL001"
+    name = "shared-memory-lifecycle"
+    invariant = (
+        "every SharedMemory create/attach is closed (and unlinked by its "
+        "owner) on all paths, including exception paths"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        parents = _Parents(module.tree)
+        yield from self._check_ownership(module, parents)
+        yield from self._check_release_order(module, parents)
+
+    # -- part (a): creation/attachment sites must have an owner ---------
+    def _check_ownership(
+        self, module: LintModule, parents: _Parents
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _terminal_name(node.func) != "SharedMemory":
+                continue
+            if self._ownership_transferred(node, parents):
+                continue
+            creates = self._creates_segment(node)
+            owner = parents.nearest(node, ast.ClassDef)
+            if owner is None:
+                yield module.finding(
+                    node,
+                    self,
+                    "SharedMemory segment with no owner: return it, use a "
+                    "`with` block, or hold it in a class with a close() "
+                    "method",
+                )
+                continue
+            assert isinstance(owner, ast.ClassDef)
+            problem = self._owner_contract_gap(owner, creates)
+            if problem:
+                yield module.finding(
+                    node,
+                    self,
+                    f"SharedMemory owner class {owner.name!r} {problem}",
+                )
+
+    @staticmethod
+    def _ownership_transferred(node: ast.Call, parents: _Parents) -> bool:
+        for anc in parents.ancestors(node):
+            if isinstance(anc, ast.Return):
+                return True  # caller takes ownership
+            if isinstance(anc, ast.withitem):
+                return True  # context manager releases it
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+        return False
+
+    @staticmethod
+    def _creates_segment(node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg == "create":
+                return not (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                )
+        return False
+
+    @staticmethod
+    def _owner_contract_gap(owner: ast.ClassDef, creates: bool) -> str | None:
+        has_close_method = any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "close"
+            for stmt in owner.body
+        )
+        calls = {
+            _terminal_name(sub.func)
+            for sub in ast.walk(owner)
+            if isinstance(sub, ast.Call)
+        }
+        if not has_close_method or "close" not in calls:
+            return "must define a close() method that closes its segments"
+        if creates and "unlink" not in calls:
+            return (
+                "creates segments but never unlink()s them; the creating "
+                "process owns the /dev/shm entry"
+            )
+        if creates and "finalize" not in calls:
+            return (
+                "creates segments without a weakref.finalize guard; an "
+                "abandoned instance would leak /dev/shm segments until "
+                "reboot"
+            )
+        return None
+
+    # -- part (b): releases must survive earlier cleanup failing --------
+    def _check_release_order(
+        self, module: LintModule, parents: _Parents
+    ) -> Iterator[Finding]:
+        funcs = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for func in funcs:
+            shm_closes: list[ast.Call] = []
+            proc_closes: list[ast.Call] = []
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _terminal_name(node.func) not in (
+                    "close",
+                    "terminate",
+                    "join",
+                ):
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                receiver = _dotted(node.func.value)
+                if _SHM_RECEIVER.search(receiver):
+                    shm_closes.append(node)
+                elif _PROC_RECEIVER.search(receiver):
+                    proc_closes.append(node)
+            if not shm_closes or not proc_closes:
+                continue
+            first_proc = min(c.lineno for c in proc_closes)
+            for call in shm_closes:
+                if call.lineno < first_proc:
+                    continue
+                if parents.in_finally(call):
+                    continue
+                yield module.finding(
+                    call,
+                    self,
+                    "shared-memory release is skipped if the preceding "
+                    "process cleanup raises (worker died mid-build?); "
+                    "release segments first or move this into a `finally`",
+                )
+
+
+class BoundedSendLoops(Rule):
+    """RL002 — pipe sends in loops must be flow-controlled.
+
+    Incident: PR 2's review caught a deadlock where the parent streamed
+    unbounded ``build`` commands while per-command acks piled up unread,
+    filling the ~64KB pipe buffer and blocking the worker's send — and
+    therefore its request drain — forever.
+    """
+
+    code = "RL002"
+    name = "bounded-send-loops"
+    invariant = (
+        "a Connection.send inside a loop references a flow-control bound "
+        "(recv/poll/drain or an inflight cap) in its enclosing function"
+    )
+
+    _EVIDENCE_CALLS = {"recv", "poll"}
+    _EVIDENCE_NAME = re.compile(r"inflight|drain|ack", re.IGNORECASE)
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.in_dir("repro", "runtime")
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        flagged: set[ast.Call] = set()
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.While, ast.AsyncFor)):
+                continue
+            sends = [
+                node
+                for node in ast.walk(loop)
+                if isinstance(node, ast.Call)
+                and _terminal_name(node.func) == "send"
+            ]
+            if not sends:
+                continue
+            scope = self._enclosing_scope(module.tree, loop)
+            if self._has_flow_control(scope):
+                continue
+            for send in sends:
+                if send not in flagged:
+                    flagged.add(send)
+                    yield module.finding(
+                        send,
+                        self,
+                        "send inside a loop with no flow-control bound in "
+                        "scope (no recv/poll/drain/inflight); unacked "
+                        "replies can fill the pipe buffer and deadlock "
+                        "both ends",
+                    )
+
+    @staticmethod
+    def _enclosing_scope(tree: ast.Module, loop: ast.AST) -> ast.AST:
+        best: ast.AST = tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if any(sub is loop for sub in ast.walk(node)):
+                    best = node  # innermost wins: keep walking
+        return best
+
+    def _has_flow_control(self, scope: ast.AST) -> bool:
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Call):
+                if _terminal_name(node.func) in self._EVIDENCE_CALLS:
+                    return True
+                if self._EVIDENCE_NAME.search(
+                    _terminal_name(node.func) or ""
+                ):
+                    return True
+            if isinstance(node, ast.Name) and self._EVIDENCE_NAME.search(
+                node.id
+            ):
+                return True
+            if isinstance(node, ast.Attribute) and self._EVIDENCE_NAME.search(
+                node.attr
+            ):
+                return True
+        return False
+
+
+class OpCountersRouting(Rule):
+    """RL003 — operation accounting goes through OpCounters.
+
+    The paper's RAM cost model (§4.2) is only reproducible because every
+    detector charges the *same* counters; an ad-hoc counter dict on a
+    hot path silently diverges from the merged per-level accounting the
+    runtime and the experiments report.
+    """
+
+    code = "RL003"
+    name = "opcounters-routing"
+    invariant = (
+        "detector hot paths charge operation counts to OpCounters "
+        "attributes, never to ad-hoc dicts or instance scalars"
+    )
+
+    _VOCAB = {
+        "updates",
+        "alarms",
+        "filter_comparisons",
+        "search_cells",
+        "bursts",
+    }
+    #: Deliberately simple accounting outside the SAT hot path.
+    _EXEMPT_FILES = {"opcount.py", "naive.py", "pyramid.py"}
+
+    def applies_to(self, module: LintModule) -> bool:
+        return (
+            module.in_dir("repro", "core")
+            and module.basename not in self._EXEMPT_FILES
+        )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            target = node.target
+            if isinstance(target, ast.Subscript):
+                key = target.slice
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and key.value in self._VOCAB
+                ):
+                    yield module.finding(
+                        node,
+                        self,
+                        f"ad-hoc counter dict entry {key.value!r}; route "
+                        "operation counting through OpCounters",
+                    )
+                    continue
+                target = target.value  # e.g. counters.updates[level] += m
+            if isinstance(target, ast.Attribute):
+                if target.attr not in self._VOCAB:
+                    continue
+                base = _dotted(target.value)
+                if "counters" in base.lower():
+                    continue
+                yield module.finding(
+                    node,
+                    self,
+                    f"counter attribute {target.attr!r} incremented on "
+                    f"{base or 'an expression'!s}, not on an OpCounters "
+                    "instance",
+                )
+
+
+class AggregateRegistryOnly(Rule):
+    """RL004 — aggregates come from the canonical registry.
+
+    Problem 1 of the paper requires aggregates to be monotonic and
+    associative; an inline ``AggregateFunction`` (say a mean lambda)
+    silently breaks filtering soundness — bursts are *missed*, not
+    errored.  All instances therefore live in ``repro.core.aggregates``
+    (and the 2-D variants in ``repro.spatial.aggregates2d``), where the
+    property tests cover them.
+    """
+
+    code = "RL004"
+    name = "aggregate-registry-only"
+    invariant = (
+        "AggregateFunction instances and registry entries are defined "
+        "only in repro.core.aggregates / repro.spatial.aggregates2d"
+    )
+
+    _CANONICAL = ("core/aggregates.py", "spatial/aggregates2d.py")
+
+    def applies_to(self, module: LintModule) -> bool:
+        return not module.scope_path.endswith(self._CANONICAL)
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _terminal_name(node.func) == "AggregateFunction"
+            ):
+                yield module.finding(
+                    node,
+                    self,
+                    "inline AggregateFunction construction; register it in "
+                    "repro.core.aggregates where monotonicity/associativity "
+                    "property tests cover it",
+                )
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and _dotted(target.value).endswith("_BY_NAME")
+                    ):
+                        yield module.finding(
+                            node,
+                            self,
+                            "aggregate registry mutated outside "
+                            "repro.core.aggregates",
+                        )
+
+
+class NoWallClockInCore(Rule):
+    """RL005 — deterministic code does not read the wall clock.
+
+    Detection results and operation counts are the reproducible metrics
+    (the authors' wall-clock milliseconds are not); a clock read in the
+    detection path makes runs machine-dependent and untestable.
+    Benchmarks and experiment timing helpers live outside the gated
+    packages; the cost model's opt-in ``metric="time"`` sites carry
+    explicit suppressions.
+    """
+
+    code = "RL005"
+    name = "no-wall-clock-in-core"
+    invariant = (
+        "repro.core / repro.runtime / repro.io never read wall-clock "
+        "time; timing lives in benchmarks/ and experiment helpers"
+    )
+
+    _CLOCK_ATTRS = {
+        "time": {"time", "perf_counter", "monotonic", "process_time", "clock"},
+        "datetime": {"now", "utcnow", "today"},
+    }
+    _BARE = {"perf_counter", "monotonic", "process_time"}
+
+    def applies_to(self, module: LintModule) -> bool:
+        return (
+            module.in_dir("repro", "core")
+            or module.in_dir("repro", "runtime")
+            or module.in_dir("repro", "io")
+        )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            clocky = False
+            if isinstance(func, ast.Attribute):
+                base = _dotted(func.value).rsplit(".", 1)[-1]
+                clocky = func.attr in self._CLOCK_ATTRS.get(base, ())
+            elif isinstance(func, ast.Name):
+                clocky = func.id in self._BARE
+            if clocky:
+                yield module.finding(
+                    node,
+                    self,
+                    "wall-clock read in deterministic code; use operation "
+                    "counts, or move timing to benchmarks/experiments",
+                )
+
+
+class ExplicitDtypes(Rule):
+    """RL006 — array constructors in the hot packages pin their dtype.
+
+    A dtype left to inference flips with the input (ints stay int64,
+    object arrays sneak in through lists), changing overflow and
+    rounding behaviour between runs and breaking the zero-copy
+    shared-memory protocol, which is float64 end to end.
+    """
+
+    code = "RL006"
+    name = "explicit-dtypes"
+    invariant = (
+        "np.asarray/np.empty/np.zeros/np.ones/np.full in repro.core, "
+        "repro.runtime, and repro.io pass an explicit dtype"
+    )
+
+    #: Constructor -> positional index where dtype may appear instead.
+    _CONSTRUCTORS = {
+        "asarray": 1,
+        "empty": 1,
+        "zeros": 1,
+        "ones": 1,
+        "full": 2,
+    }
+
+    def applies_to(self, module: LintModule) -> bool:
+        return (
+            module.in_dir("repro", "core")
+            or module.in_dir("repro", "runtime")
+            or module.in_dir("repro", "io")
+        )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if _dotted(func.value).rsplit(".", 1)[-1] not in ("np", "numpy"):
+                continue
+            dtype_pos = self._CONSTRUCTORS.get(func.attr)
+            if dtype_pos is None:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if len(node.args) > dtype_pos:
+                continue  # dtype passed positionally
+            yield module.finding(
+                node,
+                self,
+                f"np.{func.attr} without an explicit dtype; inference "
+                "varies with the input and breaks the float64 "
+                "shared-memory protocol",
+            )
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    SharedMemoryLifecycle(),
+    BoundedSendLoops(),
+    OpCountersRouting(),
+    AggregateRegistryOnly(),
+    NoWallClockInCore(),
+    ExplicitDtypes(),
+)
+
+
+def rule_by_code(code: str) -> Rule:
+    """Look up a rule instance by its ``RLxxx`` code."""
+    for rule in ALL_RULES:
+        if rule.code == code:
+            return rule
+    raise KeyError(f"unknown rule {code!r}")

@@ -39,7 +39,7 @@ from ..core.search import SearchParams
 from ..core.structure import SATStructure
 from ..core.thresholds import ThresholdModel
 from .pool import WorkerPool, resolve_workers
-from .shm import SharedChunkRing
+from .shm import ChunkRef, SharedChunkRing
 
 __all__ = ["ParallelMultiStreamDetector"]
 
@@ -140,7 +140,7 @@ class ParallelMultiStreamDetector:
         cls,
         training: Mapping[str, np.ndarray],
         burst_probability: float,
-        window_sizes,
+        window_sizes: Iterable[int],
         search_params: SearchParams | None = None,
         *,
         workers: int | str = "auto",
@@ -171,8 +171,8 @@ class ParallelMultiStreamDetector:
         ring = SharedChunkRing()
         try:
             owners = {name: i % n_workers for i, name in enumerate(names)}
-            refs = {}
-            structures = {}
+            refs: dict[str, ChunkRef] = {}
+            structures: dict[str, SATStructure] = {}
 
             def drain_one(w: int) -> None:
                 _, got_name, structure = pool.recv(w)
@@ -209,13 +209,18 @@ class ParallelMultiStreamDetector:
                 for _ in range(pending):
                     drain_one(w)
         except Exception:
-            pool.close()
-            ring.close()
+            # Release shared memory before joining workers: unlinking is
+            # cheap and cannot block, whereas a dead worker's join can be
+            # interrupted and must not strand /dev/shm segments.
+            try:
+                ring.close()
+            finally:
+                pool.close()
             raise
         return cls(names, pool, ring, owners, None, structures)
 
     @staticmethod
-    def _check_names(names) -> list[str]:
+    def _check_names(names: Iterable[str]) -> list[str]:
         names = list(names)
         if not names:
             raise ValueError("at least one stream is required")
@@ -307,8 +312,8 @@ class ParallelMultiStreamDetector:
         unknown = set(chunks) - set(self._owners)
         if unknown:
             raise KeyError(f"unknown streams: {sorted(unknown)}")
-        per_worker: dict[int, list] = {}
-        refs = []
+        per_worker: dict[int, list[tuple[str, ChunkRef]]] = {}
+        refs: list[ChunkRef] = []
         try:
             for name, chunk in chunks.items():
                 ref = self._ring.put(np.asarray(chunk, dtype=np.float64))
@@ -386,13 +391,18 @@ class ParallelMultiStreamDetector:
         if self._closed:
             return
         self._closed = True
-        if self._pool is not None:
-            self._pool.close()
-        if self._ring is not None:
-            self._ring.close()
+        try:
+            if self._pool is not None:
+                self._pool.close()
+        finally:
+            # Segments must be unlinked even when worker shutdown raises
+            # (or a Ctrl-C lands during the join): a skipped unlink leaks
+            # /dev/shm segments for the life of the machine.
+            if self._ring is not None:
+                self._ring.close()
 
     def __enter__(self) -> "ParallelMultiStreamDetector":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

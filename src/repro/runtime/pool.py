@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+from multiprocessing.connection import Connection
+from typing import Any
 
 from .worker import worker_main
 
@@ -72,7 +74,7 @@ class WorkerPool:
             raise ValueError("a pool needs at least one worker")
         ctx = context or _default_context()
         self._procs: list[mp.process.BaseProcess] = []
-        self._conns = []
+        self._conns: list[Connection] = []
         self._closed = False
         try:
             for i in range(n_workers):
@@ -96,7 +98,7 @@ class WorkerPool:
         return len(self._procs)
 
     # -- messaging ---------------------------------------------------------
-    def send(self, worker: int, message: tuple) -> None:
+    def send(self, worker: int, message: tuple[Any, ...]) -> None:
         if self._closed:
             raise RuntimeError("pool is closed")
         try:
@@ -107,7 +109,7 @@ class WorkerPool:
                 f"{self._procs[worker].exitcode})"
             ) from exc
 
-    def recv(self, worker: int) -> tuple:
+    def recv(self, worker: int) -> tuple[Any, ...]:
         """Next reply from ``worker``; raises :class:`WorkerError` on
         a remote exception or a dead worker."""
         if self._closed:
@@ -134,7 +136,9 @@ class WorkerPool:
             )
         return reply
 
-    def request(self, worker: int, message: tuple) -> tuple:
+    def request(
+        self, worker: int, message: tuple[Any, ...]
+    ) -> tuple[Any, ...]:
         """``send`` + ``recv`` for one worker."""
         self.send(worker, message)
         return self.recv(worker)
@@ -148,7 +152,9 @@ class WorkerPool:
         for conn, proc in zip(self._conns, self._procs):
             try:
                 if proc.is_alive():
-                    conn.send(("stop",))
+                    # One bounded message per worker; replies are never
+                    # expected during shutdown, so no ack loop is needed.
+                    conn.send(("stop",))  # repro: noqa[RL002]
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
@@ -166,5 +172,5 @@ class WorkerPool:
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

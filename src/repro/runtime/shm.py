@@ -45,7 +45,7 @@ class ChunkRef:
     slot: int
     name: str
     count: int
-    retired: tuple = ()
+    retired: tuple[str, ...] = ()
 
 
 def _round_capacity(n: int) -> int:
@@ -128,14 +128,19 @@ class SharedChunkRing:
         if self._free:
             # All free slots are too small: regrow one in place so the
             # ring's slot count stays bounded by the per-round fan-out.
-            slot = self._free.pop()
-            self._retired = self._retired + (self._segments[slot].name,)
-            self._segments[slot].close()
-            self._segments[slot].unlink()
-            self._segments[slot] = shared_memory.SharedMemory(
+            # Create the replacement before destroying the old segment:
+            # if allocation fails, the old segment stays tracked and is
+            # still unlinked by close() instead of dangling half-freed.
+            grown = shared_memory.SharedMemory(
                 create=True, size=cap * _FLOAT.itemsize
             )
+            slot = self._free.pop()
+            old = self._segments[slot]
+            self._retired = self._retired + (old.name,)
+            self._segments[slot] = grown
             self._capacities[slot] = cap
+            old.close()
+            old.unlink()
             return slot
         self._segments.append(
             shared_memory.SharedMemory(create=True, size=cap * _FLOAT.itemsize)
@@ -160,7 +165,9 @@ class SharedChunkRing:
         self._free.clear()
 
     @staticmethod
-    def _release_segments(segments) -> None:
+    def _release_segments(
+        segments: list[shared_memory.SharedMemory],
+    ) -> None:
         for shm in segments:
             try:
                 shm.close()
@@ -171,7 +178,7 @@ class SharedChunkRing:
     def __enter__(self) -> "SharedChunkRing":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 

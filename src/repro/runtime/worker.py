@@ -26,6 +26,8 @@ it down in an orderly way.
 from __future__ import annotations
 
 import traceback
+from multiprocessing.connection import Connection
+from typing import Any
 
 from ..core.aggregates import aggregate_by_name
 from ..core.chunked import ChunkedDetector
@@ -36,7 +38,7 @@ from .shm import ChunkReader
 __all__ = ["worker_main"]
 
 
-def worker_main(conn, worker_id: int) -> None:
+def worker_main(conn: Connection, worker_id: int) -> None:
     """Run the worker loop until a ``stop`` command or EOF."""
     reader = ChunkReader()
     detectors: dict[str, ChunkedDetector] = {}
@@ -60,7 +62,12 @@ def worker_main(conn, worker_id: int) -> None:
         conn.close()
 
 
-def _dispatch(cmd, msg, detectors, reader):
+def _dispatch(
+    cmd: str,
+    msg: tuple[Any, ...],
+    detectors: dict[str, ChunkedDetector],
+    reader: ChunkReader,
+) -> tuple[Any, ...]:
     if cmd == "build":
         _, name, structure, thresholds, aggregate_name, refine = msg
         detectors[name] = ChunkedDetector(

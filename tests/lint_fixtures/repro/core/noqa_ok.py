@@ -1,0 +1,16 @@
+"""Suppression fixture: violations silenced by `# repro: noqa[...]`."""
+
+import time
+
+import numpy as np
+
+
+def calibrate():
+    # Suppressed by code: stays clean under RL005.
+    start = time.perf_counter()  # repro: noqa[RL005]
+    scratch = np.empty(8)  # repro: noqa[RL006]
+    # Bare noqa suppresses every rule on the line.
+    t = time.time()  # repro: noqa
+    # Suppressing the WRONG code does not help: RL006 still fires here.
+    bad = np.empty(8)  # repro: noqa[RL005]
+    return start, scratch, t, bad

@@ -1,0 +1,24 @@
+"""RL003 fixture: ad-hoc operation counters on a detector hot path."""
+
+
+class BadDetector:
+    def __init__(self):
+        self.stats = {"updates": 0}
+        self.alarms = 0
+
+    def step(self, value, threshold):
+        # BAD: counter dict entry -> RL003 here.
+        self.stats["updates"] += 1
+        if value >= threshold:
+            # BAD: instance scalar instead of OpCounters -> RL003 here.
+            self.alarms += 1
+
+
+class GoodDetector:
+    def __init__(self, counters):
+        self.counters = counters
+
+    def step(self, level):
+        # OK: routed through OpCounters.
+        self.counters.updates[level] += 1
+        self.counters.bursts += 1

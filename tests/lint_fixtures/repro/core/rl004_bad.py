@@ -1,0 +1,15 @@
+"""RL004 fixture: inline aggregate definitions outside the registry.
+
+A mean is the canonical trap: it is associative-looking but not
+monotonic, so SAT filtering would silently miss bursts.
+"""
+
+import numpy as np
+
+from repro.core.aggregates import _BY_NAME, AggregateFunction
+
+# BAD: inline construction with a lambda -> RL004 here.
+MEAN = AggregateFunction("mean", 0.0, lambda a, b: (a + b) / 2.0, np.mean)
+
+# BAD: registry mutation outside repro.core.aggregates -> RL004 here.
+_BY_NAME["mean"] = MEAN

@@ -1,0 +1,20 @@
+"""RL005 fixture: wall-clock reads in deterministic core code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def seed_from_clock():
+    # BAD: detection seeded from the wall clock -> RL005 here.
+    return int(time.time())
+
+
+def stamp():
+    # BAD: datetime.now() in core -> RL005 here.
+    return datetime.now()
+
+
+def elapsed(start):
+    # BAD: bare from-import of a clock -> RL005 here.
+    return perf_counter() - start

@@ -1,0 +1,15 @@
+"""RL006 fixture: array constructors with inferred dtypes."""
+
+import numpy as np
+
+
+def make_buffers(n, values):
+    # BAD: dtype left to inference -> RL006 here.
+    scratch = np.empty(n)
+    # BAD: asarray of caller data without pinning -> RL006 here.
+    data = np.asarray(values)
+    # OK: explicit dtype keyword.
+    pinned = np.zeros(n, dtype=np.float64)
+    # OK: dtype passed positionally.
+    ints = np.empty(n, np.int64)
+    return scratch, data, pinned, ints

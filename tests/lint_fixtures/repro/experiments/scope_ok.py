@@ -1,0 +1,16 @@
+"""Scope fixture: wall clock and loose dtypes are fine OUTSIDE the
+gated packages (experiments time things; that is their job)."""
+
+import time
+
+import numpy as np
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def accumulate(n):
+    return np.zeros(n)

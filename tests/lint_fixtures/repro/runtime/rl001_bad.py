@@ -1,0 +1,38 @@
+"""RL001 fixtures: shared-memory segments with broken ownership."""
+
+from multiprocessing import shared_memory
+
+
+def leak_local(size):
+    # BAD: created, never closed/unlinked, not returned -> RL001 here.
+    seg = shared_memory.SharedMemory(create=True, size=size)
+    return seg.name
+
+
+class AttachNoClose:
+    """BAD: attaches segments but has no close() method -> RL001."""
+
+    def attach(self, name):
+        # BAD: owner class lacks close() -> RL001 here.
+        self.seg = shared_memory.SharedMemory(name=name)
+        return self.seg.buf
+
+
+class CreateNoUnlink:
+    """BAD: creating owner closes but never unlinks -> RL001."""
+
+    def __init__(self, size):
+        # BAD: created segment is closed but never unlinked -> RL001 here.
+        self.seg = shared_memory.SharedMemory(create=True, size=size)
+
+    def close(self):
+        self.seg.close()
+
+
+class OrderedWrong:
+    """BAD: segment release skipped when worker cleanup raises -> RL001."""
+
+    def shutdown(self):
+        self.pool.close()
+        # BAD: skipped when pool.close() raises -> RL001 here.
+        self.ring.close()

@@ -1,0 +1,43 @@
+"""RL001 clean fixtures: every ownership pattern the rule accepts."""
+
+import weakref
+from multiprocessing import shared_memory
+
+
+def transfer(size):
+    # OK: ownership transferred to the caller.
+    return shared_memory.SharedMemory(create=True, size=size)
+
+
+def scoped(name):
+    # OK: context manager releases the attachment.
+    with shared_memory.SharedMemory(name=name) as seg:
+        return bytes(seg.buf[:8])
+
+
+class Owner:
+    """OK: close() + unlink() + a finalize guard for abandonment."""
+
+    def __init__(self, size):
+        self.seg = shared_memory.SharedMemory(create=True, size=size)
+        self._finalizer = weakref.finalize(self, Owner._release, self.seg)
+
+    def close(self):
+        self._finalizer.detach()
+        self.seg.close()
+        self.seg.unlink()
+
+    @staticmethod
+    def _release(seg):
+        seg.close()
+        seg.unlink()
+
+
+class OrderedRight:
+    """OK: segment release survives worker cleanup raising."""
+
+    def shutdown(self):
+        try:
+            self.pool.close()
+        finally:
+            self.ring.close()

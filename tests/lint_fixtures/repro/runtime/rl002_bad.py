@@ -1,0 +1,20 @@
+"""RL002 fixture: pipe sends in a loop with no flow-control bound."""
+
+
+def broadcast(conns, items):
+    for conn in conns:
+        for item in items:
+            # BAD: nothing ever drains replies -> RL002 here.
+            conn.send(item)
+
+
+def bounded(conns, items, max_inflight=32):
+    # OK: an inflight cap plus recv() drains keep the pipe bounded.
+    inflight = 0
+    for conn in conns:
+        for item in items:
+            if inflight >= max_inflight:
+                conn.recv()
+                inflight -= 1
+            conn.send(item)
+            inflight += 1

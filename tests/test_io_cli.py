@@ -80,6 +80,37 @@ class TestDetectorSpec:
         text = spec.describe()
         assert "detector spec" in text and "provenance" in text
 
+    def test_bad_aggregate_name_rejected_at_construction(self, rng):
+        spec, _ = self._spec(rng)
+        # __post_init__ validates the name eagerly, so a corrupt spec
+        # fails at load time, not on first detect().
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            DetectorSpec(
+                structure=spec.structure,
+                thresholds=spec.thresholds,
+                aggregate_name="harmonic-mean",
+            )
+
+    def test_bad_aggregate_name_rejected_from_json(self, rng):
+        spec, _ = self._spec(rng)
+        payload = spec.to_dict()
+        payload["aggregate"] = "median"
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            DetectorSpec.from_dict(payload)
+
+    @pytest.mark.parametrize(
+        "grid", [[8, 4, 16], [4, 4, 8], [16, 8, 4]]
+    )
+    def test_non_monotone_window_grid_rejected(self, rng, grid):
+        data = rng.poisson(5.0, 500).astype(float)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            DetectorSpec.train(data, 1e-3, grid)
+
+    def test_non_positive_window_rejected(self, rng):
+        data = rng.poisson(5.0, 500).astype(float)
+        with pytest.raises(ValueError, match=">= 1"):
+            DetectorSpec.train(data, 1e-3, [0, 1, 2])
+
 
 class TestCLI:
     @pytest.fixture
@@ -212,6 +243,29 @@ class TestCLI:
              "--workers", "serial"]
         ) == 0
         assert not (streams / "a.bursts.bursts.csv").exists()
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "-3", "2.5", "many", ""])
+    def test_workers_rejects_non_positive_and_non_integer(
+        self, bad, tmp_path, capsys
+    ):
+        # argparse type errors exit with code 2 before any file is read,
+        # so dummy paths are fine here.
+        with pytest.raises(SystemExit) as exc:
+            cli_main(
+                ["detect", "spec.json", "stream.csv", "--workers", bad]
+            )
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "workers" in err
+        if bad in ("0", "-1", "-3"):
+            assert "'serial'" in err  # the fix is named in the message
+
+    @pytest.mark.parametrize("good", ["auto", "serial", "1", "4"])
+    def test_workers_accepts_valid_values(self, good):
+        from repro.__main__ import _parse_workers
+
+        parsed = _parse_workers(good)
+        assert parsed == (good if good in ("auto", "serial") else int(good))
 
     def test_detect_many_empty_dir_fails(self, tmp_path):
         (tmp_path / "spec.json").write_text("{}")

@@ -1,0 +1,169 @@
+"""Self-tests for the repro-lint static analyzer.
+
+Fixture files under ``tests/lint_fixtures/`` mirror the package layout
+(``repro/runtime/...``, ``repro/core/...``) so rule *scoping* is under
+test along with the rules themselves: every known-bad snippet must trip
+its rule at the right line, clean patterns and out-of-scope files must
+stay silent, and the real source tree must lint clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, lint_paths, lint_source, rule_by_code
+from repro.lint.__main__ import main as lint_main
+from repro.lint.engine import PARSE_ERROR, Finding, render_json, render_text
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC = Path(__file__).parent.parent / "src"
+
+
+def lint_fixture(name: str) -> list:
+    return lint_paths([FIXTURES / "repro" / name], ALL_RULES)
+
+
+def expected_lines(path: Path, code: str) -> list[int]:
+    """Lines annotated ``-> RLxxx here`` point at the following statement."""
+    lines = []
+    for i, text in enumerate(path.read_text().splitlines(), start=1):
+        if f"-> {code} here" in text:
+            lines.append(i + 1)
+    return lines
+
+
+@pytest.mark.parametrize(
+    "fixture, code",
+    [
+        ("runtime/rl001_bad.py", "RL001"),
+        ("runtime/rl002_bad.py", "RL002"),
+        ("core/rl003_bad.py", "RL003"),
+        ("core/rl004_bad.py", "RL004"),
+        ("core/rl005_bad.py", "RL005"),
+        ("core/rl006_bad.py", "RL006"),
+    ],
+)
+def test_bad_fixture_trips_rule_at_marked_lines(fixture, code):
+    path = FIXTURES / "repro" / fixture
+    findings = lint_fixture(fixture)
+    assert findings, f"{fixture} produced no findings"
+    got = [(f.rule, f.line) for f in findings if f.rule == code]
+    marked = expected_lines(path, code)
+    assert marked, f"{fixture} has no '-> {code} here' markers"
+    assert sorted(line for _, line in got) == marked
+
+
+def test_rl001_distinguishes_ownership_gaps():
+    messages = sorted(f.message for f in lint_fixture("runtime/rl001_bad.py"))
+    assert any("no owner" in m for m in messages)
+    assert any("must define a close()" in m for m in messages)
+    assert any("never unlink()s" in m for m in messages)
+    assert any("release segments first" in m for m in messages)
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    ["runtime/rl001_ok.py", "experiments/scope_ok.py"],
+)
+def test_clean_fixtures_produce_no_findings(fixture):
+    assert lint_fixture(fixture) == []
+
+
+def test_flow_controlled_sends_pass():
+    findings = lint_fixture("runtime/rl002_bad.py")
+    # Only the unbounded broadcast() loop fires; bounded() stays clean.
+    assert len(findings) == 1
+
+
+def test_noqa_suppression_is_code_specific():
+    findings = lint_fixture("core/noqa_ok.py")
+    # Everything is suppressed except the one wrong-code suppression.
+    assert [f.rule for f in findings] == ["RL006"]
+    path = FIXTURES / "repro" / "core" / "noqa_ok.py"
+    (wrong_line,) = [
+        i
+        for i, text in enumerate(path.read_text().splitlines(), start=1)
+        if "noqa[RL005]" in text and "np.empty" in text
+    ]
+    assert findings[0].line == wrong_line
+
+
+def test_real_tree_is_clean():
+    assert lint_paths([SRC], ALL_RULES) == []
+
+
+def test_rules_scope_to_their_packages():
+    # A runtime-only rule never fires on identical code under core/.
+    source = Path(FIXTURES / "repro/runtime/rl002_bad.py").read_text()
+    in_scope = lint_source(source, "x/repro/runtime/mod.py", ALL_RULES)
+    out_of_scope = lint_source(source, "x/repro/core/mod.py", ALL_RULES)
+    assert any(f.rule == "RL002" for f in in_scope)
+    assert not any(f.rule == "RL002" for f in out_of_scope)
+
+
+def test_syntax_error_becomes_parse_finding():
+    findings = lint_source("def broken(:\n", "repro/core/x.py", ALL_RULES)
+    assert len(findings) == 1
+    assert findings[0].rule == PARSE_ERROR
+
+
+def test_finding_format_and_json_roundtrip():
+    finding = Finding("a/b.py", 3, 7, "RL005", "message text")
+    assert finding.format() == "a/b.py:3:7: RL005 message text"
+    payload = json.loads(render_json([finding]))
+    assert payload["count"] == 1
+    assert payload["findings"][0] == finding.to_dict()
+    text = render_text([finding])
+    assert text.splitlines() == ["a/b.py:3:7: RL005 message text", "1 finding"]
+
+
+def test_rule_metadata_complete():
+    codes = [rule.code for rule in ALL_RULES]
+    assert codes == sorted(codes) and len(set(codes)) == len(codes)
+    for rule in ALL_RULES:
+        assert rule.code.startswith("RL")
+        assert rule.name and rule.invariant
+        assert rule_by_code(rule.code) is rule
+    with pytest.raises(KeyError):
+        rule_by_code("RL999")
+
+
+# -- CLI ----------------------------------------------------------------
+def test_cli_exit_codes(capsys):
+    assert lint_main([str(SRC)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+    assert lint_main([str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out and "findings" in out
+
+
+def test_cli_json_output(capsys):
+    assert lint_main([str(FIXTURES), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == len(payload["findings"]) > 0
+    assert {f["rule"] for f in payload["findings"]} >= {"RL001", "RL002"}
+
+
+def test_cli_select_filters_rules(capsys):
+    assert lint_main([str(FIXTURES), "--select", "RL002"]) == 1
+    payload = capsys.readouterr().out
+    assert "RL002" in payload and "RL001" not in payload
+
+
+def test_cli_rejects_unknown_rule_and_path():
+    with pytest.raises(SystemExit) as exc:
+        lint_main([str(FIXTURES), "--select", "RL999"])
+    assert exc.value.code == 2
+    with pytest.raises(SystemExit) as exc:
+        lint_main(["no/such/path"])
+    assert exc.value.code == 2
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.code in out

@@ -68,6 +68,42 @@ class TestOpCounters:
         with pytest.raises(ValueError):
             OpCounters(1).merge(OpCounters(2))
 
+    def test_merged_ragged_levels_align_from_bottom(self):
+        # Three structures of different depth: levels align at the
+        # bottom, deeper-only levels pass through unchanged, and every
+        # counter array (not just updates) merges independently.
+        a, b, c = OpCounters(1), OpCounters(3), OpCounters(2)
+        a.updates[:] = [1, 2]
+        b.updates[:] = [10, 20, 30, 40]
+        c.updates[:] = [100, 200, 300]
+        a.filter_comparisons[:] = [5, 5]
+        b.search_cells[:] = [0, 7, 7, 7]
+        a.bursts, b.bursts, c.bursts = 1, 2, 3
+        merged = OpCounters.merged([a, b, c])
+        assert merged.num_levels == 3
+        assert list(merged.updates) == [111, 222, 330, 40]
+        assert list(merged.filter_comparisons) == [5, 5, 0, 0]
+        assert list(merged.search_cells) == [0, 7, 7, 7]
+        assert merged.bursts == 6
+        # Exactness: grand totals equal the sum of the parts.
+        assert merged.total_operations == sum(
+            x.total_operations for x in (a, b, c)
+        )
+
+    def test_merged_single_and_empty(self):
+        only = OpCounters(2)
+        only.updates[:] = [1, 2, 3]
+        alone = OpCounters.merged([only])
+        assert list(alone.updates) == [1, 2, 3]
+        assert alone is not only  # a fresh accumulator, not an alias
+        empty = OpCounters.merged([])
+        assert empty.num_levels == 0
+        assert empty.total_operations == 0
+
+    def test_merged_accepts_any_iterable(self):
+        parts = (OpCounters(1) for _ in range(3))
+        assert OpCounters.merged(parts).num_levels == 1
+
     def test_as_dict_and_repr(self):
         c = OpCounters(1)
         c.updates[:] = [1, 1]

@@ -8,6 +8,10 @@ modes: worker exceptions propagate with the remote traceback, the pool
 shuts down cleanly afterwards, and shared-memory segments never leak.
 """
 
+import multiprocessing as mp
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -296,6 +300,74 @@ class TestBackendSelection:
             ParallelMultiStreamDetector.shared(
                 ["a", "a"], structure, thresholds, workers=2
             )
+
+
+def _exit_without_cleanup(conn, worker_id):
+    """Stand-in worker that dies instantly, like a segfault or OOM kill."""
+    os._exit(1)
+
+
+def _shm_segments() -> set:
+    return set(os.listdir("/dev/shm"))
+
+
+needs_dev_shm = pytest.mark.skipif(
+    not Path("/dev/shm").is_dir(), reason="POSIX shared memory not mounted"
+)
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="monkeypatched worker target needs fork inheritance",
+)
+
+
+class TestWorkerDeath:
+    """A worker dying mid-flight must never strand /dev/shm segments.
+
+    The parent owns every segment, so its exception path — not the dead
+    worker — is what keeps the machine clean.  These tests pin the
+    ordering fixed after PR 2: release shared memory *before* (or in a
+    ``finally`` around) joining workers, because joins can raise or be
+    interrupted while unlink cannot.
+    """
+
+    @needs_dev_shm
+    def test_killed_worker_frees_all_segments(self, streams, shared_setup):
+        structure, thresholds = shared_setup
+        before = _shm_segments()
+        fleet = ParallelMultiStreamDetector.shared(
+            streams, structure, thresholds, workers=2
+        )
+        # Simulate an external kill (OOM, operator) of one worker.
+        victim = fleet._pool._procs[0]
+        victim.kill()
+        victim.join(timeout=10.0)
+        assert not victim.is_alive()
+        with pytest.raises(WorkerError, match="worker"):
+            fleet.detect(streams, chunk_size=600)
+        # The failure shut the fleet down and unlinked every segment.
+        assert fleet._closed
+        assert _shm_segments() - before == set()
+
+    @needs_dev_shm
+    @needs_fork
+    def test_worker_dead_at_startup_frees_training_segments(
+        self, rng, monkeypatch
+    ):
+        # per_stream() ships training arrays through the ring while
+        # building; a worker that dies before acking any of them must
+        # not leak those in-flight segments on the error path.
+        import repro.runtime.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod, "worker_main", _exit_without_cleanup)
+        before = _shm_segments()
+        training = {
+            f"s{i}": rng.poisson(6.0, 300).astype(float) for i in range(6)
+        }
+        with pytest.raises(WorkerError, match="worker"):
+            ParallelMultiStreamDetector.per_stream(
+                training, 1e-3, all_sizes(8), FAST, workers=2
+            )
+        assert _shm_segments() - before == set()
 
 
 class TestFailureModes:
