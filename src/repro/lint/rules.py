@@ -448,8 +448,9 @@ class NoWallClockInCore(Rule):
     code = "RL005"
     name = "no-wall-clock-in-core"
     invariant = (
-        "repro.core / repro.runtime / repro.io never read wall-clock "
-        "time; timing lives in benchmarks/ and experiment helpers"
+        "repro.core / repro.runtime / repro.io / repro.testkit never "
+        "read wall-clock time; timing lives in benchmarks/ and "
+        "experiment helpers"
     )
 
     _CLOCK_ATTRS = {
@@ -463,6 +464,9 @@ class NoWallClockInCore(Rule):
             module.in_dir("repro", "core")
             or module.in_dir("repro", "runtime")
             or module.in_dir("repro", "io")
+            # The fuzz harness must be replayable from a seed alone; a
+            # clock read anywhere in it would break corpus determinism.
+            or module.in_dir("repro", "testkit")
         )
 
     def check(self, module: LintModule) -> Iterator[Finding]:

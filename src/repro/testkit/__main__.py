@@ -1,0 +1,152 @@
+"""Command-line entry point: ``python -m repro.testkit``.
+
+Subcommands::
+
+    fuzz    generate-and-check random cases, shrink and persist failures
+    replay  re-run corpus reproducers (tier-1 runs this via pytest too)
+
+``fuzz`` exits non-zero iff at least one case failed, so it can gate CI;
+failures are written as shrunk JSON reproducers to ``--corpus-dir`` for
+upload or for committing to ``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .corpus import corpus_paths, replay_path
+from .fuzzer import FuzzConfig, run_fuzz
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testkit",
+        description=(
+            "Differential fuzzing and metamorphic testing across all "
+            "burst-detection backends."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz = sub.add_parser("fuzz", help="run the generative fuzz loop")
+    fuzz.add_argument(
+        "--budget", type=int, default=500, help="number of cases to run"
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="root seed of the run"
+    )
+    fuzz.add_argument(
+        "--max-points",
+        type=int,
+        default=768,
+        help="maximum stream length per case",
+    )
+    fuzz.add_argument(
+        "--corpus-dir",
+        default=None,
+        help="write shrunk reproducers to this directory",
+    )
+    fuzz.add_argument(
+        "--adaptive-every",
+        type=int,
+        default=25,
+        help="route every Nth case through the adaptive backend (0=off)",
+    )
+    fuzz.add_argument(
+        "--parallel-every",
+        type=int,
+        default=0,
+        help=(
+            "worker-count sweep through the parallel runtime every Nth "
+            "case (spawns processes; 0=off)"
+        ),
+    )
+    fuzz.add_argument(
+        "--spatial-every",
+        type=int,
+        default=20,
+        help="make every Nth case a 2-D spatial differential (0=off)",
+    )
+    fuzz.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        help="stop after this many failing cases",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw failing cases without minimization",
+    )
+    fuzz.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+
+    replay = sub.add_parser(
+        "replay", help="re-run corpus reproducers (files or directories)"
+    )
+    replay.add_argument(
+        "paths",
+        nargs="*",
+        default=["tests/corpus"],
+        help="corpus JSON files or directories (default: tests/corpus)",
+    )
+    return parser
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    config = FuzzConfig(
+        budget=args.budget,
+        seed=args.seed,
+        max_points=args.max_points,
+        corpus_dir=args.corpus_dir,
+        adaptive_every=args.adaptive_every,
+        parallel_every=args.parallel_every,
+        spatial_every=args.spatial_every,
+        stop_after=args.stop_after,
+        shrink=not args.no_shrink,
+    )
+    log = (lambda line: None) if args.quiet else print
+    report = run_fuzz(config, log=log)
+    print(report.summary())
+    if report.family_counts and not args.quiet:
+        mix = ", ".join(
+            f"{k}:{v}" for k, v in sorted(report.family_counts.items())
+        )
+        print(f"  family mix: {mix}")
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(paths: Sequence[str]) -> int:
+    from pathlib import Path
+
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        files.extend(corpus_paths(p) if p.is_dir() else [p])
+    if not files:
+        print("replay: no corpus files found")
+        return 0
+    failing = 0
+    for path in files:
+        mismatches = replay_path(path)
+        status = "ok" if not mismatches else "FAIL"
+        print(f"{status:4} {path}")
+        for m in mismatches[:4]:
+            print("     " + m.format().replace("\n", "\n     "))
+        failing += bool(mismatches)
+    print(f"replay: {len(files)} cases, {failing} failing")
+    return 0 if failing == 0 else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
+    return _cmd_replay(args.paths)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Reproducer corpus: JSON serialization and replay of fuzz cases.
+
+Every mismatch the fuzzer finds is shrunk and written to a corpus
+directory (``tests/corpus/`` in this repository) as a self-contained JSON
+document: the stream, the full detector spec (via the ``repro.io`` spec
+format, so replay is immune to threshold-fitting changes), the chunk
+partition, and what failed.  ``tests/test_corpus_replay.py`` re-runs the
+whole corpus in tier-1, so a reproducer, once fixed, becomes a permanent
+regression test.
+
+File names are content-addressed (short SHA-1 of the canonical payload)
+— re-discovering a known failure is idempotent and the corpus never
+collides or depends on wall-clock time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..io.spec import DetectorSpec
+from .generators import FuzzCase
+from .oracles import Mismatch, differential_check
+from .relations import run_relations
+
+__all__ = [
+    "CASE_FORMAT",
+    "SPATIAL_FORMAT",
+    "case_from_dict",
+    "case_to_dict",
+    "corpus_paths",
+    "load_case",
+    "replay_case",
+    "replay_path",
+    "save_reproducer",
+    "save_spatial_reproducer",
+]
+
+CASE_FORMAT = "repro.testkit.case.v1"
+SPATIAL_FORMAT = "repro.testkit.case2d.v1"
+
+
+def case_to_dict(
+    case: FuzzCase,
+    failures: tuple[Mismatch, ...] = (),
+    origin: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """JSON-friendly representation of a case (and what it reproduces)."""
+    payload: dict[str, Any] = {
+        "format": CASE_FORMAT,
+        "label": case.label,
+        "stream": [float(x) for x in case.stream],
+        "spec": case.spec.to_dict(),
+        "refine_filter": bool(case.refine_filter),
+        "chunks": [int(c) for c in case.chunks],
+    }
+    if failures:
+        payload["failures"] = [
+            {"kind": m.kind, "backend": m.backend, "detail": m.detail}
+            for m in failures
+        ]
+    if origin:
+        payload["origin"] = origin
+    return payload
+
+
+def case_from_dict(payload: dict[str, Any]) -> FuzzCase:
+    """Rebuild a case from its JSON form."""
+    if payload.get("format") != CASE_FORMAT:
+        raise ValueError(
+            f"not a testkit case (format={payload.get('format')!r})"
+        )
+    return FuzzCase(
+        label=str(payload.get("label", "corpus")),
+        stream=np.asarray(payload["stream"], dtype=np.float64),
+        spec=DetectorSpec.from_dict(payload["spec"]),
+        refine_filter=bool(payload.get("refine_filter", True)),
+        chunks=tuple(int(c) for c in payload.get("chunks", ())),
+    )
+
+
+def _content_name(payload: dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha1(canonical).hexdigest()[:12]
+
+
+def save_reproducer(
+    case: FuzzCase,
+    failures: tuple[Mismatch, ...],
+    directory: str | Path,
+    origin: dict[str, Any] | None = None,
+) -> Path:
+    """Write a shrunk failing case to ``directory``; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = case_to_dict(case, failures, origin)
+    name = _content_name(
+        {k: payload[k] for k in ("stream", "spec", "refine_filter", "chunks")}
+    )
+    path = directory / f"fuzz-{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def save_spatial_reproducer(
+    grid: np.ndarray,
+    thresholds: Any,
+    failures: tuple[Mismatch, ...],
+    directory: str | Path,
+    origin: dict[str, Any] | None = None,
+) -> Path:
+    """Write a failing 2-D case (grid + threshold table) to the corpus."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, Any] = {
+        "format": SPATIAL_FORMAT,
+        "grid": [[float(x) for x in row] for row in np.asarray(grid)],
+        "thresholds": {
+            str(int(w)): float(thresholds.threshold(int(w)))
+            for w in thresholds.window_sizes
+        },
+    }
+    if failures:
+        payload["failures"] = [
+            {"kind": m.kind, "backend": m.backend, "detail": m.detail}
+            for m in failures
+        ]
+    if origin:
+        payload["origin"] = origin
+    name = _content_name(
+        {k: payload[k] for k in ("grid", "thresholds")}
+    )
+    path = directory / f"fuzz2d-{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: str | Path) -> FuzzCase:
+    """Read one stream-case corpus file."""
+    return case_from_dict(json.loads(Path(path).read_text()))
+
+
+def corpus_paths(directory: str | Path) -> list[Path]:
+    """All corpus files under ``directory``, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+def replay_path(path: str | Path) -> list[Mismatch]:
+    """Re-check one corpus file of either format; empty list = passes."""
+    payload = json.loads(Path(path).read_text())
+    fmt = payload.get("format")
+    if fmt == CASE_FORMAT:
+        return replay_case(case_from_dict(payload))
+    if fmt == SPATIAL_FORMAT:
+        from ..core.thresholds import FixedThresholds
+        from .oracles import spatial_differential_check
+
+        grid = np.asarray(payload["grid"], dtype=np.float64)
+        thresholds = FixedThresholds(
+            {int(w): float(f) for w, f in payload["thresholds"].items()}
+        )
+        return spatial_differential_check(grid, thresholds)
+    raise ValueError(f"unknown corpus format {fmt!r} in {path}")
+
+
+def replay_case(case: FuzzCase) -> list[Mismatch]:
+    """Re-run the standard check battery on a corpus case.
+
+    The relation RNG is seeded from the case content, so a replay makes
+    the same free choices every time — a corpus case either passes
+    deterministically or fails deterministically.
+    """
+    payload = case_to_dict(case)
+    seed = int.from_bytes(
+        hashlib.sha1(
+            json.dumps(payload, sort_keys=True).encode()
+        ).digest()[:8],
+        "big",
+    )
+    rng = np.random.default_rng(seed)
+    failures = differential_check(case)
+    failures.extend(run_relations(case, rng))
+    return failures

@@ -1,0 +1,298 @@
+"""The fuzz loop: generate, check, shrink, persist.
+
+``run_fuzz`` drives the whole harness: each iteration derives an
+independent child RNG from ``(seed, case index)`` — any failing case can
+be regenerated in isolation from its index alone — builds a random
+:class:`~repro.testkit.generators.FuzzCase`, and runs the differential
+battery plus the metamorphic relations.  On a mismatch the case is
+shrunk to a minimal verified reproducer and written to the corpus
+directory, where the tier-1 replay test picks it up forever after.
+
+Periodically (the ``*_every`` knobs) a case is additionally routed
+through the expensive backends: the adaptive detector (which retrains
+mid-stream), the shared-memory parallel runtime (worker-count sweep),
+and the 2-D spatial detector against its literal square-summing oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..core.thresholds import FixedThresholds, ThresholdModel
+from .corpus import save_reproducer, save_spatial_reproducer
+from .generators import FuzzCase, random_case, random_grid
+from .oracles import (
+    DEFAULT_BACKENDS,
+    Mismatch,
+    differential_check,
+    spatial_differential_check,
+    worker_sweep_check,
+)
+from .relations import run_relations
+from .shrink import shrink_case
+
+__all__ = ["FuzzConfig", "FuzzReport", "FailureRecord", "run_fuzz"]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzz run.  ``budget`` is the number of cases."""
+
+    budget: int = 500
+    seed: int = 0
+    max_points: int = 768
+    corpus_dir: str | None = None
+    #: Route every Nth case through the adaptive backend (0 disables).
+    adaptive_every: int = 25
+    #: Worker-count sweep through the parallel runtime (0 disables; it
+    #: spawns real processes, so the default keeps it out of quick runs).
+    parallel_every: int = 0
+    #: Every Nth case is a 2-D grid against the spatial oracle.
+    spatial_every: int = 20
+    #: Stop early after this many failing cases (None = run the budget).
+    stop_after: int | None = None
+    relations: bool = True
+    shrink: bool = True
+    max_shrink_evals: int = 800
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+        if self.max_points < 4:
+            raise ValueError("max_points must be >= 4")
+
+
+@dataclass
+class FailureRecord:
+    """One failing case: what failed, and where the reproducer went."""
+
+    case_index: int
+    label: str
+    mismatches: list[Mismatch]
+    reproducer: Path | None = None
+    stream_points: int = 0
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz run."""
+
+    config: FuzzConfig
+    cases: int = 0
+    failures: list[FailureRecord] = field(default_factory=list)
+    family_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.cases} cases, seed={self.config.seed}, "
+            f"{len(self.failures)} failing"
+        ]
+        for rec in self.failures:
+            where = f" -> {rec.reproducer}" if rec.reproducer else ""
+            lines.append(
+                f"  case {rec.case_index} [{rec.label}] "
+                f"({rec.stream_points} points){where}"
+            )
+            for m in rec.mismatches[:4]:
+                lines.append("    " + m.format().replace("\n", "\n    "))
+        return "\n".join(lines)
+
+
+def case_rng(seed: int, index: int) -> np.random.Generator:
+    """The independent RNG used for case ``index`` of run ``seed``."""
+    return np.random.default_rng([seed, index])
+
+
+def _check_battery(
+    case: FuzzCase,
+    rng: np.random.Generator,
+    config: FuzzConfig,
+    index: int,
+) -> list[Mismatch]:
+    backends = list(DEFAULT_BACKENDS)
+    if config.adaptive_every and (index + 1) % config.adaptive_every == 0:
+        backends.append("adaptive")
+    failures = differential_check(case, backends)
+    if config.relations:
+        failures.extend(run_relations(case, rng))
+    if config.parallel_every and (index + 1) % config.parallel_every == 0:
+        failures.extend(worker_sweep_check(case))
+    return failures
+
+
+def _make_predicate(
+    original: list[Mismatch],
+) -> Callable[[FuzzCase], bool]:
+    """A deterministic "does it still fail?" check for the shrinker.
+
+    Re-runs only the cheap battery (differential + relations with a
+    content-seeded RNG): the shrunk reproducer must fail on its own,
+    without the expensive periodic backends, to be useful in replay.
+    """
+    from .corpus import replay_case
+
+    relation_kinds = {m.kind for m in original}
+
+    def predicate(candidate: FuzzCase) -> bool:
+        found = replay_case(candidate)
+        return any(m.kind in relation_kinds for m in found) or any(
+            m.kind in ("differential", "counters", "crash") for m in found
+        )
+
+    return predicate
+
+
+def _spatial_round(
+    rng: np.random.Generator,
+    config: FuzzConfig,
+    index: int,
+    report: FuzzReport,
+) -> None:
+    from .generators import random_spatial_thresholds
+
+    grid = random_grid(rng)
+    thresholds = random_spatial_thresholds(rng, grid)
+    failures = spatial_differential_check(grid, thresholds)
+    if not failures:
+        return
+    grid, thresholds = _shrink_grid(grid, thresholds, failures)
+    path = None
+    if config.corpus_dir is not None:
+        path = save_spatial_reproducer(
+            grid,
+            thresholds,
+            tuple(failures),
+            config.corpus_dir,
+            origin={"seed": config.seed, "case": index},
+        )
+    report.failures.append(
+        FailureRecord(index, "spatial2d", failures, path, grid.size)
+    )
+
+
+def _shrink_grid(
+    grid: np.ndarray,
+    thresholds: ThresholdModel,
+    failures: list[Mismatch],
+) -> tuple[np.ndarray, ThresholdModel]:
+    """Halve grid rows/columns while the spatial check still fails."""
+    best_grid, best_thresholds = grid, thresholds
+
+    def still_fails(g: np.ndarray, t: ThresholdModel) -> bool:
+        try:
+            return bool(spatial_differential_check(g, t))
+        except Exception:  # noqa: BLE001
+            return True
+
+    for _ in range(12):
+        h, w = best_grid.shape
+        shrunk = None
+        for candidate in (
+            best_grid[: h // 2, :],
+            best_grid[h // 2 :, :],
+            best_grid[:, : w // 2],
+            best_grid[:, w // 2 :],
+        ):
+            if candidate.size == 0:
+                continue
+            side = min(candidate.shape)
+            sizes = [
+                int(s)
+                for s in best_thresholds.window_sizes
+                if int(s) <= side
+            ]
+            if not sizes:
+                continue
+            trimmed = FixedThresholds(
+                {s: best_thresholds.threshold(s) for s in sizes}
+            )
+            if still_fails(candidate, trimmed):
+                shrunk = (candidate, trimmed)
+                break
+        if shrunk is None:
+            break
+        best_grid, best_thresholds = shrunk
+    return best_grid, best_thresholds
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    log: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Execute a fuzz run; returns the full report (never raises on bugs)."""
+    report = FuzzReport(config)
+    for index in range(config.budget):
+        rng = case_rng(config.seed, index)
+        report.cases += 1
+        if config.spatial_every and (index + 1) % config.spatial_every == 0:
+            _spatial_round(rng, config, index, report)
+        else:
+            _stream_round(rng, config, index, report)
+        if log is not None and (index + 1) % 100 == 0:
+            log(
+                f"  {index + 1}/{config.budget} cases, "
+                f"{len(report.failures)} failing"
+            )
+        if (
+            config.stop_after is not None
+            and len(report.failures) >= config.stop_after
+        ):
+            break
+    return report
+
+
+def _stream_round(
+    rng: np.random.Generator,
+    config: FuzzConfig,
+    index: int,
+    report: FuzzReport,
+) -> None:
+    case = random_case(rng, config.max_points)
+    family = case.label.split("/", 1)[0]
+    report.family_counts[family] = report.family_counts.get(family, 0) + 1
+    failures = _check_battery(case, rng, config, index)
+    if not failures:
+        return
+    shrunk = case
+    if config.shrink:
+        predicate = _make_predicate(failures)
+        if predicate(case):  # shrink only deterministic reproducers
+            shrunk = shrink_case(
+                case, predicate, max_evals=config.max_shrink_evals
+            )
+    path = None
+    if config.corpus_dir is not None:
+        path = save_reproducer(
+            shrunk,
+            tuple(failures),
+            config.corpus_dir,
+            origin={"seed": config.seed, "case": index},
+        )
+    report.failures.append(
+        FailureRecord(
+            index, case.label, failures, path, shrunk.stream.size
+        )
+    )
+
+
+def fuzz_once(
+    seed: int, index: int, max_points: int = 768
+) -> tuple[FuzzCase, list[Mismatch]]:
+    """Regenerate and check a single case by its run coordinates.
+
+    Triage helper: reproduces exactly what ``run_fuzz`` did for case
+    ``index`` of run ``seed`` (cheap battery only).
+    """
+    rng = case_rng(seed, index)
+    case = random_case(rng, max_points)
+    failures = differential_check(case)
+    failures.extend(run_relations(case, rng))
+    return case, failures

@@ -1,0 +1,288 @@
+"""Metamorphic relations: algebraic invariants every backend must satisfy.
+
+A differential test needs two implementations; a metamorphic test needs
+one implementation and a *transformed input* whose correct output is a
+known function of the original output.  The relations here follow from
+the problem statement alone (windows are contiguous, aggregates are
+associative and monotone, thresholds are per-size), so a violation is a
+bug no matter which backend computed the results.
+
+Each relation takes a :class:`~repro.testkit.generators.FuzzCase` plus a
+seeded ``Generator`` for its free choices, runs the ``chunked`` backend
+(the production detector) on both sides, and returns a list of
+:class:`~repro.testkit.oracles.Mismatch` — empty when the relation holds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.events import BurstSet
+from ..core.thresholds import FixedThresholds
+from ..io.spec import DetectorSpec
+from .generators import FuzzCase, random_partition
+from .oracles import Mismatch, diff_burst_sets, run_backend
+
+__all__ = [
+    "RELATIONS",
+    "chunking_invariance",
+    "concat_consistency",
+    "prefix_invariance",
+    "run_relations",
+    "scale_equivariance",
+    "threshold_monotonicity",
+]
+
+
+def _detect(case: FuzzCase) -> BurstSet:
+    return run_backend(case, "chunked")
+
+
+def _mismatch(
+    name: str, missing: tuple, extra: tuple, detail: str
+) -> Mismatch:
+    return Mismatch(name, "chunked", detail, missing, extra)
+
+
+def prefix_invariance(
+    case: FuzzCase, rng: np.random.Generator
+) -> list[Mismatch]:
+    """Bursts of a prefix are exactly the full run's bursts ending in it.
+
+    Detection is causal: whether window ``(end, w)`` is a burst depends
+    only on ``x[..end]``, so truncating the stream at ``m`` must preserve
+    every burst with ``end < m`` and invent nothing.
+    """
+    n = case.stream.size
+    if n < 2:
+        return []
+    m = int(rng.integers(1, n))
+    prefix_bursts = _detect(case.with_stream(case.stream[:m]))
+    full = _detect(case)
+    expected = BurstSet(b for b in full if b.end < m)
+    missing, extra, value_errors = diff_burst_sets(expected, prefix_bursts)
+    if missing or extra or value_errors:
+        return [
+            _mismatch(
+                "prefix-invariance",
+                missing,
+                extra,
+                f"prefix of {m}/{n} points disagrees with full run"
+                + (f"; {value_errors[0]}" if value_errors else ""),
+            )
+        ]
+    return []
+
+
+def chunking_invariance(
+    case: FuzzCase, rng: np.random.Generator
+) -> list[Mismatch]:
+    """Any chunk partition of the stream yields identical bursts.
+
+    The one-shot run is compared against a fresh random partition
+    (independent of the partition already exercised by the
+    ``chunked-sweep`` backend).
+    """
+    one_shot = _detect(case)
+    repartitioned = FuzzCase(
+        label=case.label,
+        stream=case.stream,
+        spec=case.spec,
+        refine_filter=case.refine_filter,
+        chunks=random_partition(rng, case.stream.size),
+    )
+    got = run_backend(repartitioned, "chunked-sweep")
+    missing, extra, value_errors = diff_burst_sets(one_shot, got)
+    if missing or extra or value_errors:
+        return [
+            _mismatch(
+                "chunking-invariance",
+                missing,
+                extra,
+                f"partition {repartitioned.chunks[:12]}... disagrees "
+                "with one-shot detection",
+            )
+        ]
+    return []
+
+
+def scale_equivariance(
+    case: FuzzCase, rng: np.random.Generator
+) -> list[Mismatch]:
+    """``bursts(c*x, c*f) == bursts(x, f)`` for ``c > 0``.
+
+    Holds for SUM (linearity) and MAX (positive homogeneity) alike.  The
+    scale factor is a power of two so the transformed arithmetic is still
+    exact and the burst *values* must scale exactly too.
+    """
+    c = float(rng.choice([0.25, 0.5, 2.0, 4.0, 8.0]))
+    thresholds = case.spec.thresholds
+    scaled_thresholds = FixedThresholds(
+        {int(w): c * thresholds.threshold(int(w)) for w in thresholds.window_sizes}
+    )
+    scaled_spec = DetectorSpec(
+        structure=case.spec.structure,
+        thresholds=scaled_thresholds,
+        aggregate_name=case.spec.aggregate_name,
+        provenance=case.spec.provenance,
+    )
+    base = _detect(case)
+    scaled = _detect(
+        case.with_stream(c * case.stream).with_spec(scaled_spec)
+    )
+    missing, extra, _ = diff_burst_sets(base, scaled, compare_values=False)
+    value_errors = []
+    scaled_values = {b.key(): b.value for b in scaled}
+    for b in base:
+        got = scaled_values.get(b.key())
+        if got is not None and got != c * b.value:
+            value_errors.append(
+                f"value at {b.key()}: {got!r} != {c} * {b.value!r}"
+            )
+    if missing or extra or value_errors:
+        return [
+            _mismatch(
+                "scale-equivariance",
+                missing,
+                extra,
+                f"scaling by {c} changes the burst set"
+                + (f"; {value_errors[0]}" if value_errors else ""),
+            )
+        ]
+    return []
+
+
+def threshold_monotonicity(
+    case: FuzzCase, rng: np.random.Generator
+) -> list[Mismatch]:
+    """Raising ``f(w)`` for some sizes only removes bursts at those sizes.
+
+    Bursts at un-bumped sizes must be untouched (thresholds are per-size;
+    the filter structure may alarm differently, but the reported set at
+    other sizes cannot change).
+    """
+    thresholds = case.spec.thresholds
+    sizes = [int(w) for w in thresholds.window_sizes]
+    bump_mask = rng.random(len(sizes)) < 0.5
+    if not bump_mask.any():
+        bump_mask[int(rng.integers(0, len(sizes)))] = True
+    bumped = {
+        w: thresholds.threshold(w)
+        + (float(rng.uniform(0.5, 10.0)) if bump else 0.0)
+        for w, bump in zip(sizes, bump_mask)
+    }
+    raised_spec = DetectorSpec(
+        structure=case.spec.structure,
+        thresholds=FixedThresholds(bumped),
+        aggregate_name=case.spec.aggregate_name,
+        provenance=case.spec.provenance,
+    )
+    base = _detect(case)
+    raised = _detect(case.with_spec(raised_spec))
+    bumped_sizes = {w for w, bump in zip(sizes, bump_mask) if bump}
+    out: list[Mismatch] = []
+    extra = tuple(sorted(raised.keys() - base.keys()))
+    if extra:
+        out.append(
+            _mismatch(
+                "threshold-monotonicity",
+                (),
+                extra,
+                "raising thresholds created new bursts",
+            )
+        )
+    unbumped = [w for w in sizes if w not in bumped_sizes]
+    changed = tuple(
+        sorted(
+            base.restrict_sizes(unbumped).keys()
+            ^ raised.restrict_sizes(unbumped).keys()
+        )
+    )
+    if changed:
+        out.append(
+            _mismatch(
+                "threshold-monotonicity",
+                changed,
+                (),
+                "bursts changed at sizes whose thresholds were untouched",
+            )
+        )
+    return out
+
+
+def concat_consistency(
+    case: FuzzCase, rng: np.random.Generator
+) -> list[Mismatch]:
+    """Splitting ``x`` into ``a ++ b``: both halves are recoverable.
+
+    Windows entirely inside ``a`` (``end < |a|``) must equal
+    ``bursts(a)``; windows entirely inside ``b`` (``start >= |a|``) must
+    equal ``bursts(b)`` shifted by ``|a|``.  Only boundary-spanning
+    windows may differ from the halves' runs.
+    """
+    n = case.stream.size
+    if n < 2:
+        return []
+    cut = int(rng.integers(1, n))
+    full = _detect(case)
+    head = _detect(case.with_stream(case.stream[:cut]))
+    tail = _detect(case.with_stream(case.stream[cut:]))
+
+    out: list[Mismatch] = []
+    want_head = {k for k in full.keys() if k[0] < cut}
+    got_head = head.keys()
+    if want_head != got_head:
+        out.append(
+            _mismatch(
+                "concat-consistency",
+                tuple(sorted(want_head - got_head)),
+                tuple(sorted(got_head - want_head)),
+                f"head of {cut}/{n} points disagrees with full run",
+            )
+        )
+    # (end, w) lies entirely in the tail iff start = end - w + 1 >= cut.
+    want_tail = {
+        (end - cut, w) for (end, w) in full.keys() if end - w + 1 >= cut
+    }
+    got_tail = tail.keys()
+    if want_tail != got_tail:
+        out.append(
+            _mismatch(
+                "concat-consistency",
+                tuple(sorted(want_tail - got_tail)),
+                tuple(sorted(got_tail - want_tail)),
+                f"tail after {cut}/{n} points disagrees with full run",
+            )
+        )
+    return out
+
+
+#: All relations, in documentation order.
+RELATIONS: dict[
+    str, Callable[[FuzzCase, np.random.Generator], list[Mismatch]]
+] = {
+    "prefix-invariance": prefix_invariance,
+    "chunking-invariance": chunking_invariance,
+    "scale-equivariance": scale_equivariance,
+    "threshold-monotonicity": threshold_monotonicity,
+    "concat-consistency": concat_consistency,
+}
+
+
+def run_relations(
+    case: FuzzCase,
+    rng: np.random.Generator,
+    names: tuple[str, ...] | None = None,
+) -> list[Mismatch]:
+    """Run the named (default: all) relations; collect every violation."""
+    out: list[Mismatch] = []
+    for name in names or tuple(RELATIONS):
+        try:
+            out.extend(RELATIONS[name](case, rng))
+        except Exception as exc:  # noqa: BLE001 - crashes are findings
+            out.append(
+                Mismatch("crash", name, f"{type(exc).__name__}: {exc}")
+            )
+    return out

@@ -1,0 +1,247 @@
+"""Greedy reproducer minimization for failing fuzz cases.
+
+Given a case and a predicate ("does this case still fail?"), the shrinker
+looks for the smallest stream and the leanest spec that keep the failure
+alive, ddmin-style: aggressive right/left truncation first, then
+contiguous block deletion at shrinking granularity, then value zeroing,
+then spec reduction (dropping window sizes and structure levels).  Every
+candidate is re-checked through the predicate, so the output is always a
+*verified* failing reproducer.
+
+The shrinker is fully deterministic — no randomness, no clocks — and
+bounded by a predicate-evaluation budget, so a pathological predicate
+cannot hang a fuzz run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.structure import SATStructure
+from ..core.thresholds import FixedThresholds
+from ..io.spec import DetectorSpec
+from .generators import FuzzCase
+
+__all__ = ["ShrinkBudget", "shrink_case"]
+
+
+class ShrinkBudget:
+    """Counts predicate evaluations; the shrinker stops when exhausted."""
+
+    def __init__(self, max_evals: int = 1500) -> None:
+        self.max_evals = int(max_evals)
+        self.used = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.used >= self.max_evals
+
+    def spend(self) -> bool:
+        """Consume one evaluation; False when none remain."""
+        if self.exhausted:
+            return False
+        self.used += 1
+        return True
+
+
+def shrink_case(
+    case: FuzzCase,
+    still_fails: Callable[[FuzzCase], bool],
+    max_evals: int = 1500,
+    max_rounds: int = 8,
+) -> FuzzCase:
+    """Minimize ``case`` while ``still_fails`` stays true.
+
+    Returns the smallest failing case found (possibly the input itself).
+    ``still_fails(case)`` must be true on entry — the caller found the
+    failure; the shrinker only preserves it.
+    """
+    budget = ShrinkBudget(max_evals)
+
+    def check(candidate: FuzzCase) -> bool:
+        if not budget.spend():
+            return False
+        try:
+            return bool(still_fails(candidate))
+        except Exception:  # noqa: BLE001 - a crash still reproduces
+            return True
+
+    best = case
+    for _ in range(max_rounds):
+        before = (best.stream.size, _spec_weight(best.spec))
+        best = _shrink_stream(best, check)
+        best = _shrink_spec(best, check)
+        if (best.stream.size, _spec_weight(best.spec)) == before:
+            break
+        if budget.exhausted:
+            break
+    return best
+
+
+def _spec_weight(spec: DetectorSpec) -> int:
+    return int(spec.thresholds.window_sizes.size) + spec.structure.num_levels
+
+
+# ---------------------------------------------------------------------------
+# Stream minimization
+# ---------------------------------------------------------------------------
+
+def _shrink_stream(
+    case: FuzzCase, check: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    best = case
+    best = _truncate(best, check, side="right")
+    best = _truncate(best, check, side="left")
+    best = _delete_blocks(best, check)
+    best = _zero_blocks(best, check)
+    return best
+
+
+def _truncate(
+    case: FuzzCase, check: Callable[[FuzzCase], bool], side: str
+) -> FuzzCase:
+    """Binary-search the shortest failing prefix (or suffix)."""
+    best = case
+    while best.stream.size > 1:
+        n = best.stream.size
+        shrunk = None
+        for frac in (2, 4, 8):
+            cut = n // frac
+            if cut == 0:
+                continue
+            trial = (
+                best.with_stream(best.stream[: n - cut])
+                if side == "right"
+                else best.with_stream(best.stream[cut:])
+            )
+            if check(trial):
+                shrunk = trial
+                break
+        if shrunk is None:
+            # Last resort: a single point off the end.
+            trial = (
+                best.with_stream(best.stream[: n - 1])
+                if side == "right"
+                else best.with_stream(best.stream[1:])
+            )
+            if not check(trial):
+                break
+            shrunk = trial
+        best = shrunk
+    return best
+
+
+def _delete_blocks(
+    case: FuzzCase, check: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """ddmin: remove interior chunks at progressively finer granularity."""
+    best = case
+    block = max(1, best.stream.size // 4)
+    while block >= 1:
+        lo = 0
+        while lo < best.stream.size:
+            stream = best.stream
+            trial = best.with_stream(
+                np.concatenate((stream[:lo], stream[lo + block :]))
+            )
+            if trial.stream.size and check(trial):
+                best = trial  # keep position: the next block slid into lo
+            else:
+                lo += block
+        if block == 1:
+            break
+        block //= 2
+    return best
+
+
+def _zero_blocks(
+    case: FuzzCase, check: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Replace stretches with zeros to isolate the values that matter."""
+    best = case
+    block = max(1, best.stream.size // 4)
+    while block >= 1:
+        lo = 0
+        while lo < best.stream.size:
+            segment = best.stream[lo : lo + block]
+            if np.any(segment != 0.0):
+                stream = best.stream.copy()
+                stream[lo : lo + block] = 0.0
+                trial = best.with_stream(stream)
+                if check(trial):
+                    best = trial
+            lo += block
+        if block == 1:
+            break
+        block //= 2
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Spec minimization
+# ---------------------------------------------------------------------------
+
+def _shrink_spec(
+    case: FuzzCase, check: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    best = _drop_sizes(case, check)
+    best = _drop_levels(best, check)
+    return best
+
+
+def _drop_sizes(
+    case: FuzzCase, check: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Remove window sizes from the threshold grid one at a time."""
+    best = case
+    changed = True
+    while changed:
+        changed = False
+        sizes = [int(w) for w in best.spec.thresholds.window_sizes]
+        if len(sizes) <= 1:
+            break
+        for w in sizes:
+            table = {
+                s: best.spec.thresholds.threshold(s)
+                for s in sizes
+                if s != w
+            }
+            trial = best.with_spec(
+                DetectorSpec(
+                    structure=best.spec.structure,
+                    thresholds=FixedThresholds(table),
+                    aggregate_name=best.spec.aggregate_name,
+                    provenance=best.spec.provenance,
+                )
+            )
+            if check(trial):
+                best = trial
+                changed = True
+                break
+    return best
+
+
+def _drop_levels(
+    case: FuzzCase, check: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Drop top structure levels while the structure still covers the grid."""
+    best = case
+    while best.spec.structure.num_levels > 1:
+        levels = best.spec.structure.levels[:-1]
+        candidate = SATStructure(levels)
+        if not candidate.covers(best.spec.thresholds.max_window):
+            break
+        trial = best.with_spec(
+            DetectorSpec(
+                structure=candidate,
+                thresholds=best.spec.thresholds,
+                aggregate_name=best.spec.aggregate_name,
+                provenance=best.spec.provenance,
+            )
+        )
+        if not check(trial):
+            break
+        best = trial
+    return best

@@ -1,18 +1,12 @@
-"""Brute-force oracles shared by the test modules."""
+"""Brute-force oracles shared by the test modules.
 
-import numpy as np
+The implementations moved into :mod:`repro.testkit.oracles` (the fuzz
+harness and the test suite must use the *same* oracle, or a divergence
+between them could mask a bug).  This module re-exports them so existing
+``from _oracles import ...`` imports keep working.
+"""
 
-
-def brute_force_bursts(data, thresholds, aggregate="sum"):
-    """O(k*N*w) oracle: literally evaluate every window from scratch."""
-    data = np.asarray(data, dtype=np.float64)
-    out = set()
-    for w in thresholds.window_sizes:
-        w = int(w)
-        f = thresholds.threshold(w)
-        for end in range(w - 1, data.size):
-            window = data[end - w + 1 : end + 1]
-            value = window.sum() if aggregate == "sum" else window.max()
-            if value >= f:
-                out.add((end, w))
-    return out
+from repro.testkit.oracles import (  # noqa: F401
+    brute_force_bursts,
+    brute_force_spatial_bursts,
+)

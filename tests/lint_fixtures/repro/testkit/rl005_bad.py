@@ -1,0 +1,25 @@
+"""RL005 fixture: wall-clock reads in the fuzz harness.
+
+The testkit must regenerate any case from ``(seed, index)`` alone; a
+clock-derived seed or timestamped reproducer makes replays diverge.
+"""
+
+import time
+from datetime import datetime
+
+
+def clock_seeded_fuzz_seed():
+    # BAD: fuzz seed taken from the wall clock -> RL005 here.
+    return int(time.time())
+
+
+def stamp_reproducer(payload):
+    # BAD: timestamp embedded in a corpus file -> RL005 here.
+    payload["saved_at"] = datetime.now().isoformat()
+    return payload
+
+
+def time_boxed_shrink(budget_seconds):
+    # BAD: shrink loop bounded by elapsed time -> RL005 here.
+    deadline = time.monotonic() + budget_seconds
+    return deadline

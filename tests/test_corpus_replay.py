@@ -1,0 +1,34 @@
+"""Tier-1 replay of the committed fuzz corpus.
+
+Every JSON reproducer under ``tests/corpus/`` is re-run through the full
+differential battery on each test run.  The corpus starts as a seed set
+covering every stream family plus two spatial grids; whenever the
+nightly fuzzer shrinks a real failure, its reproducer gets committed
+here and becomes a permanent regression test.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.testkit import corpus_paths, replay_path
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = corpus_paths(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    # The seed corpus must exist — an empty directory would silently
+    # turn every replay test below into a no-op.
+    assert len(CORPUS_FILES) >= 8
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_case_replays_clean(path: Path):
+    mismatches = replay_path(path)
+    detail = "\n".join(m.format() for m in mismatches)
+    assert mismatches == [], f"{path.name} regressed:\n{detail}"

@@ -1,0 +1,97 @@
+"""Determinism of the parallel runtime under scheduling freedom.
+
+The shared-memory pool makes two promises that scheduling must not be
+able to break: the worker count is unobservable (1, 2 and 4 workers
+produce byte-identical results), and the order streams are registered
+and fed in is unobservable (any permutation produces byte-identical
+results).  Dyadic testkit streams make "byte-identical" literal — every
+aggregate is exact in float64, so we compare burst values and counter
+arrays bit for bit, with no tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import ParallelMultiStreamDetector
+from repro.testkit import random_case
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _portfolio():
+    """Six distinct dyadic streams sharing one detector spec."""
+    case = None
+    index = 0
+    while case is None or case.stream.size < 400 or not case.refine_filter:
+        rng = np.random.default_rng([404, index])
+        case = random_case(rng, max_points=900)
+        index += 1
+    data = {
+        f"s{i}": np.roll(case.stream, 31 * i + i * i)
+        for i in range(6)
+    }
+    return case, data
+
+
+def _burst_bytes(bursts):
+    """Canonical byte-exact encoding of a burst list."""
+    return tuple(
+        (b.start, b.end, b.size, float(b.value).hex()) for b in bursts
+    )
+
+
+def _run(case, data, names, workers):
+    det = ParallelMultiStreamDetector.shared(
+        names,
+        case.spec.structure,
+        case.spec.thresholds,
+        workers=workers,
+        aggregate=case.spec.aggregate,
+        refine_filter=case.refine_filter,
+    )
+    with det:
+        found = det.detect(
+            {name: data[name] for name in names}, chunk_size=173
+        )
+        merged = det.merged_counters()
+    return (
+        {name: _burst_bytes(found[name]) for name in names},
+        merged,
+    )
+
+
+def _counter_bytes(counters):
+    return (
+        counters.updates.tobytes(),
+        counters.filter_comparisons.tobytes(),
+        counters.alarms.tobytes(),
+        counters.search_cells.tobytes(),
+        counters.bursts,
+    )
+
+
+class TestParallelDeterminism:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        case, data = _portfolio()
+        bursts, merged = _run(case, data, sorted(data), "serial")
+        return case, data, bursts, merged
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_worker_count_is_unobservable(self, reference, workers):
+        case, data, ref_bursts, ref_merged = reference
+        bursts, merged = _run(case, data, sorted(data), workers)
+        assert bursts == ref_bursts
+        assert _counter_bytes(merged) == _counter_bytes(ref_merged)
+
+    @pytest.mark.parametrize("order_seed", [1, 2, 3])
+    def test_insertion_order_is_unobservable(self, reference, order_seed):
+        case, data, ref_bursts, ref_merged = reference
+        names = sorted(data)
+        np.random.default_rng(order_seed).shuffle(names)
+        assert names != sorted(data)  # the permutation is real
+        bursts, merged = _run(case, data, names, 2)
+        assert bursts == ref_bursts
+        assert _counter_bytes(merged) == _counter_bytes(ref_merged)

@@ -43,6 +43,7 @@ def expected_lines(path: Path, code: str) -> list[int]:
         ("core/rl003_bad.py", "RL003"),
         ("core/rl004_bad.py", "RL004"),
         ("core/rl005_bad.py", "RL005"),
+        ("testkit/rl005_bad.py", "RL005"),
         ("core/rl006_bad.py", "RL006"),
     ],
 )

@@ -1,0 +1,57 @@
+"""Brute-force differential testing of the 2-D spatial detectors.
+
+``brute_force_spatial_bursts`` slices every ``k × k`` box out of the
+grid and sums it literally — no pyramids, no incremental updates, no
+shared subexpressions.  On small grids that oracle is cheap, and both
+``naive_spatial_detect`` and ``SpatialDetector`` (refinement on and
+off) must agree with it exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import FixedThresholds
+from repro.testkit import (
+    brute_force_spatial_bursts,
+    random_grid,
+    random_spatial_thresholds,
+    spatial_differential_check,
+)
+
+
+class TestSpatialOracle:
+    @pytest.mark.parametrize("index", range(12))
+    def test_random_grids_match_brute_force(self, index):
+        rng = np.random.default_rng([606, index])
+        grid = random_grid(rng, max_side=16)
+        thresholds = random_spatial_thresholds(rng, grid)
+        mismatches = spatial_differential_check(grid, thresholds)
+        detail = "\n".join(m.format() for m in mismatches)
+        assert mismatches == [], detail
+
+    def test_exact_tie_on_box_sum(self):
+        # A threshold equal to an existing box sum: the box must alarm
+        # (>= semantics), in the oracle and in both detectors.
+        grid = np.zeros((6, 6))
+        grid[2:4, 2:4] = 1.0
+        thresholds = FixedThresholds({1: 1.0, 2: 4.0, 3: 4.0})
+        reference = brute_force_spatial_bursts(grid, thresholds)
+        assert (2, 2, 2) in reference  # the tied 2x2 box alarms
+        assert (1, 1, 3) in reference  # 3x3 boxes containing it too
+        assert spatial_differential_check(grid, thresholds) == []
+
+    def test_all_zero_grid_with_zero_threshold(self):
+        grid = np.zeros((5, 7))
+        thresholds = FixedThresholds({1: 0.0, 2: 0.0})
+        reference = brute_force_spatial_bursts(grid, thresholds)
+        # every placement of every size bursts at threshold zero
+        assert len(reference) == 5 * 7 + 4 * 6
+        assert spatial_differential_check(grid, thresholds) == []
+
+    def test_oracle_refuses_oversized_grids(self):
+        grid = np.zeros((600, 600))
+        thresholds = FixedThresholds({1: 1.0})
+        with pytest.raises(ValueError, match="too large"):
+            spatial_differential_check(grid, thresholds)

@@ -1,0 +1,327 @@
+"""Tests for the differential fuzzing / metamorphic harness itself.
+
+Two kinds of coverage: (a) the harness machinery works — generators
+produce valid inputs, the shrinker minimizes, the corpus round-trips,
+the CLI exits correctly; (b) the harness has *teeth* — deliberately
+injected detector bugs (mutated per-test via monkeypatching, never
+committed) are caught by the fuzz loop and shrunk to tiny reproducers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.chunked import ChunkedDetector
+from repro.core import dsr
+from repro.testkit import (
+    QUANTUM,
+    FuzzCase,
+    FuzzConfig,
+    case_from_dict,
+    case_to_dict,
+    differential_check,
+    fuzz_once,
+    random_case,
+    random_partition,
+    random_sat,
+    replay_case,
+    replay_path,
+    run_fuzz,
+    run_relations,
+    save_reproducer,
+    shrink_case,
+    worker_sweep_check,
+)
+from repro.testkit.__main__ import main as cli_main
+from repro.testkit.generators import refit_partition
+
+
+class TestGenerators:
+    def test_streams_are_dyadic_and_non_negative(self):
+        for index in range(60):
+            rng = np.random.default_rng([7, index])
+            case = random_case(rng, max_points=256)
+            assert case.stream.dtype == np.float64
+            assert np.all(case.stream >= 0.0)
+            scaled = case.stream / QUANTUM
+            assert np.array_equal(scaled, np.round(scaled))
+
+    def test_partitions_cover_the_stream(self):
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            n = int(rng.integers(0, 400))
+            chunks = random_partition(rng, n)
+            assert sum(chunks) == n
+            assert all(c >= 0 for c in chunks)
+
+    def test_random_sat_is_valid_and_covers(self):
+        rng = np.random.default_rng(11)
+        for _ in range(100):
+            max_window = int(rng.integers(2, 80))
+            structure = random_sat(rng, max_window)  # validates on build
+            assert structure.covers(max_window)
+
+    def test_specs_cover_their_grids(self):
+        for index in range(40):
+            rng = np.random.default_rng([13, index])
+            case = random_case(rng, max_points=128)
+            spec = case.spec
+            assert spec.structure.covers(spec.thresholds.max_window)
+
+    def test_refit_partition_clips_and_extends(self):
+        assert refit_partition((4, 4, 4), 6) == (4, 2)
+        assert refit_partition((2, 2), 7) == (2, 2, 3)
+        assert refit_partition((5,), 0) == ()
+
+
+class TestDifferentialBattery:
+    def test_clean_tree_fuzzes_clean(self):
+        report = run_fuzz(
+            FuzzConfig(
+                budget=40, seed=1234, adaptive_every=10, spatial_every=8
+            )
+        )
+        assert report.cases == 40
+        assert report.ok, report.summary()
+
+    def test_relations_hold_on_clean_tree(self):
+        for index in range(15):
+            rng = np.random.default_rng([99, index])
+            case = random_case(rng, max_points=200)
+            assert run_relations(case, rng) == []
+
+    def test_fuzz_once_reproduces_by_coordinates(self):
+        case_a, failures_a = fuzz_once(seed=5, index=17)
+        case_b, failures_b = fuzz_once(seed=5, index=17)
+        assert np.array_equal(case_a.stream, case_b.stream)
+        assert case_a.spec.to_dict() == case_b.spec.to_dict()
+        assert not failures_a and not failures_b
+
+    def test_worker_sweep_clean(self):
+        rng = np.random.default_rng(42)
+        case = random_case(rng, max_points=96)
+        assert worker_sweep_check(case, worker_counts=(2,)) == []
+
+
+class TestInjectedBugs:
+    """The harness must catch deliberately broken detectors."""
+
+    def test_chunk_boundary_off_by_one_is_caught_and_shrunk(
+        self, monkeypatch
+    ):
+        # Off-by-one: drop bursts whose window ends on a chunk's last
+        # point — the classic boundary bug the chunked detector exists
+        # to not have.
+        original = ChunkedDetector.process
+
+        def buggy(self, chunk):
+            chunk = np.asarray(chunk, dtype=np.float64)
+            last = self.length + chunk.size - 1
+            return [b for b in original(self, chunk) if b.end != last]
+
+        monkeypatch.setattr(ChunkedDetector, "process", buggy)
+        report = run_fuzz(
+            FuzzConfig(
+                budget=200,
+                seed=0,
+                adaptive_every=0,
+                parallel_every=0,
+                spatial_every=0,
+                stop_after=1,
+            )
+        )
+        assert report.failures, "fuzzer missed the injected off-by-one"
+        record = report.failures[0]
+        assert record.stream_points <= 64, (
+            f"reproducer not minimal: {record.stream_points} points"
+        )
+        kinds = {m.kind for m in record.mismatches}
+        assert kinds & {"differential", "counters"} or kinds
+
+    def test_tie_breaking_bug_in_refinement_is_caught(self, monkeypatch):
+        # Exact-threshold ties: `side="left"` excludes sizes whose
+        # threshold equals the node value, silently dropping bursts
+        # that sit exactly on f(w).  The dyadic tie generator must see it.
+        original = dsr.find_triggered
+
+        def buggy(plan, value, counters):
+            if plan.monotone:
+                cut = int(
+                    np.searchsorted(plan.thresholds, value, side="left")
+                )
+                return plan.sizes[:cut], plan.thresholds[:cut]
+            return original(plan, value, counters)
+
+        # The detectors bind `find_triggered` at import time; patch the
+        # bound names, not just the defining module.
+        import repro.core.chunked as chunked_mod
+        import repro.core.detector as detector_mod
+
+        monkeypatch.setattr(dsr, "find_triggered", buggy)
+        monkeypatch.setattr(chunked_mod, "find_triggered", buggy)
+        monkeypatch.setattr(detector_mod, "find_triggered", buggy)
+        report = run_fuzz(
+            FuzzConfig(
+                budget=300,
+                seed=0,
+                adaptive_every=0,
+                spatial_every=0,
+                stop_after=1,
+                shrink=False,
+            )
+        )
+        assert report.failures, "fuzzer missed the tie-breaking bug"
+
+
+class TestShrinker:
+    def test_shrinks_to_the_single_relevant_point(self):
+        rng = np.random.default_rng(0)
+        stream = np.zeros(500, dtype=np.float64)
+        stream[311] = 177.0
+        case = random_case(rng, max_points=32).with_stream(stream)
+
+        def still_fails(candidate: FuzzCase) -> bool:
+            return bool(np.any(candidate.stream >= 177.0))
+
+        shrunk = shrink_case(case, still_fails)
+        assert still_fails(shrunk)
+        assert shrunk.stream.size == 1
+        assert shrunk.stream[0] == 177.0
+
+    def test_shrinker_reduces_spec(self):
+        rng = np.random.default_rng(1)
+        case = None
+        while case is None or case.spec.thresholds.window_sizes.size < 3:
+            case = random_case(rng, max_points=64)
+
+        def still_fails(candidate: FuzzCase) -> bool:
+            return 1 <= int(candidate.spec.thresholds.window_sizes[0])
+
+        shrunk = shrink_case(case, still_fails)
+        assert shrunk.spec.thresholds.window_sizes.size == 1
+        assert shrunk.spec.structure.num_levels <= case.spec.structure.num_levels
+
+
+class TestCorpus:
+    def test_case_roundtrip(self):
+        rng = np.random.default_rng(21)
+        case = random_case(rng, max_points=64)
+        payload = case_to_dict(case)
+        back = case_from_dict(payload)
+        assert np.array_equal(back.stream, case.stream)
+        assert back.chunks == case.chunks
+        assert back.refine_filter == case.refine_filter
+        assert back.spec.to_dict() == case.spec.to_dict()
+
+    def test_save_is_content_addressed_and_replayable(self, tmp_path):
+        rng = np.random.default_rng(22)
+        case = random_case(rng, max_points=64)
+        path_a = save_reproducer(case, (), tmp_path)
+        path_b = save_reproducer(case, (), tmp_path)
+        assert path_a == path_b  # same content, same file
+        assert json.loads(path_a.read_text())["format"] == (
+            "repro.testkit.case.v1"
+        )
+        assert replay_path(path_a) == []
+
+    def test_replay_is_deterministic(self):
+        rng = np.random.default_rng(23)
+        case = random_case(rng, max_points=64)
+        assert replay_case(case) == replay_case(case)
+
+    def test_replay_rejects_unknown_format(self, tmp_path):
+        bad = tmp_path / "x.json"
+        bad.write_text('{"format": "nope"}')
+        with pytest.raises(ValueError, match="unknown corpus format"):
+            replay_path(bad)
+
+
+class TestCLI:
+    def test_fuzz_subcommand_exits_zero_on_clean_tree(self, capsys):
+        code = cli_main(
+            [
+                "fuzz",
+                "--budget",
+                "12",
+                "--seed",
+                "7",
+                "--quiet",
+                "--spatial-every",
+                "6",
+                "--adaptive-every",
+                "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "12 cases" in out
+
+    def test_fuzz_subcommand_exits_nonzero_on_failure(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        original = ChunkedDetector.process
+
+        def buggy(self, chunk):
+            chunk = np.asarray(chunk, dtype=np.float64)
+            last = self.length + chunk.size - 1
+            return [b for b in original(self, chunk) if b.end != last]
+
+        monkeypatch.setattr(ChunkedDetector, "process", buggy)
+        code = cli_main(
+            [
+                "fuzz",
+                "--budget",
+                "60",
+                "--seed",
+                "0",
+                "--quiet",
+                "--stop-after",
+                "1",
+                "--spatial-every",
+                "0",
+                "--adaptive-every",
+                "0",
+                "--corpus-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+        written = list(tmp_path.glob("fuzz-*.json"))
+        assert written, "failing case was not persisted"
+        capsys.readouterr()
+
+    def test_replay_subcommand(self, tmp_path, capsys):
+        rng = np.random.default_rng(31)
+        case = random_case(rng, max_points=48)
+        save_reproducer(case, (), tmp_path)
+        code = cli_main(["replay", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 cases, 0 failing" in out
+
+    def test_replay_empty_directory(self, tmp_path, capsys):
+        code = cli_main(["replay", str(tmp_path)])
+        assert code == 0
+        assert "no corpus files" in capsys.readouterr().out
+
+
+class TestOracleConsistency:
+    """The moved brute-force oracle still matches the vectorized naive."""
+
+    def test_brute_force_matches_naive_reference(self):
+        for index in range(10):
+            rng = np.random.default_rng([55, index])
+            case = random_case(rng, max_points=96)
+            assert differential_check(case, ()) == []  # counters no-op
+            from repro.testkit import brute_force_bursts, run_backend
+
+            brute = brute_force_bursts(
+                case.stream,
+                case.spec.thresholds,
+                case.spec.aggregate_name,
+            )
+            naive = run_backend(case, "naive")
+            assert naive.keys() == brute
