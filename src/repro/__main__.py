@@ -31,15 +31,25 @@ from .io import DetectorSpec, load_spec, save_spec
 from .streams.source import CSVSource
 
 
-def _read_csv(path: str) -> np.ndarray:
-    chunks = list(CSVSource(path).chunks(DEFAULT_CHUNK))
+def _read_csv(path: str, skip_bad_records: bool = False) -> np.ndarray:
+    source = CSVSource(path, skip_bad_records=skip_bad_records)
+    chunks = list(source.chunks(DEFAULT_CHUNK))
+    _report_skipped(path, source)
     if not chunks:
         raise SystemExit(f"error: {path} contains no values")
     return np.concatenate(chunks)
 
 
+def _report_skipped(path: str | Path, source: CSVSource) -> None:
+    if source.skipped:
+        print(
+            f"# {path}: skipped {source.skipped} bad record(s)",
+            file=sys.stderr,
+        )
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
-    data = _read_csv(args.training)
+    data = _read_csv(args.training, args.skip_bad_records)
     sizes = (
         stepped_sizes(args.step, args.max_window)
         if args.step > 1
@@ -77,6 +87,24 @@ def _parse_workers(value: str) -> int | str:
     return n
 
 
+def _add_skip_bad_records(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--skip-bad-records", action="store_true",
+        help="drop unparsable/NaN/inf/negative records (counted on "
+        "stderr) instead of failing the stream",
+    )
+
+
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", choices=("raise", "restart", "degrade"),
+        default="raise",
+        help="worker-failure policy: raise (fail fast, default), "
+        "restart (checkpoint/replay crashed or hung workers), or "
+        "degrade (fall back to in-process serial execution)",
+    )
+
+
 def _burst_csv(bursts) -> str:
     lines = ["end,size,value"]
     lines += [f"{b.end},{b.size},{b.value:g}" for b in sorted(bursts)]
@@ -94,15 +122,18 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         spec.thresholds,
         workers=args.workers,
         aggregate=spec.aggregate,
+        faults=args.faults,
     )
     bursts = []
     points = 0
+    source = CSVSource(args.stream, skip_bad_records=args.skip_bad_records)
     with fleet:
-        for chunk in CSVSource(args.stream).chunks(DEFAULT_CHUNK):
+        for chunk in source.chunks(DEFAULT_CHUNK):
             points += chunk.size
             bursts.extend(fleet.process({name: chunk})[name])
         bursts.extend(fleet.finish()[name])
         counters = fleet.merged_counters()
+    _report_skipped(args.stream, source)
     text = _burst_csv(bursts)
     if args.output:
         Path(args.output).write_text(text)
@@ -144,20 +175,33 @@ def _cmd_detect_many(args: argparse.Namespace) -> int:
         spec.thresholds,
         workers=args.workers,
         aggregate=spec.aggregate,
+        faults=args.faults,
     )
     collected: dict[str, list] = {name: [] for name in names}
     points = {name: 0 for name in names}
+    errors: dict[str, str] = {}
+    sources = {
+        name: CSVSource(path, skip_bad_records=args.skip_bad_records)
+        for name, path in zip(names, paths)
+    }
     with fleet:
         # Round-robin over per-file chunk iterators: memory stays bounded
-        # by one chunk per live stream regardless of file sizes.
+        # by one chunk per live stream regardless of file sizes.  A file
+        # that turns out malformed mid-read fails alone: its stream is
+        # dropped from the batch, everyone else runs to completion, and
+        # the failure is reported in the summary (and the exit code).
         iters = {
-            name: CSVSource(path).chunks(DEFAULT_CHUNK)
-            for name, path in zip(names, paths)
+            name: sources[name].chunks(DEFAULT_CHUNK) for name in names
         }
         while iters:
             round_chunks = {}
             for name in list(iters):
-                chunk = next(iters[name], None)
+                try:
+                    chunk = next(iters[name], None)
+                except (ValueError, OSError) as exc:
+                    errors[name] = str(exc)
+                    del iters[name]
+                    continue
                 if chunk is None:
                     del iters[name]
                 else:
@@ -170,21 +214,32 @@ def _cmd_detect_many(args: argparse.Namespace) -> int:
         for name, bursts in fleet.finish().items():
             collected[name].extend(bursts)
         counters = fleet.merged_counters()
-    for name in names:
+    ok_names = [name for name in names if name not in errors]
+    for name in ok_names:
+        _report_skipped(sources[name].path, sources[name])
         out_path = out_dir / f"{name}.bursts.csv"
         out_path.write_text(_burst_csv(collected[name]))
         print(
             f"{name}: {points[name]} points, "
             f"{len(collected[name])} bursts -> {out_path}"
         )
-    total_points = sum(points.values())
+    total_points = sum(points[name] for name in ok_names)
     print(
-        f"# {len(names)} streams, {total_points} points, "
+        f"# {len(ok_names)} streams, {total_points} points, "
         f"{counters.total_operations} operations "
         f"({counters.total_operations / max(1, total_points):.1f}/point), "
         f"workers={fleet.num_workers or 'serial'}",
         file=sys.stderr,
     )
+    for name in sorted(errors):
+        print(f"error: {name}: {errors[name]}", file=sys.stderr)
+    if errors:
+        print(
+            f"error: {len(errors)} of {len(names)} streams failed; "
+            "their outputs were not written",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -215,6 +270,7 @@ def main(argv: list[str] | None = None) -> int:
         "--thresholds", choices=("normal", "empirical"), default="normal"
     )
     p_train.add_argument("-o", "--output", default="detector-spec.json")
+    _add_skip_bad_records(p_train)
     p_train.set_defaults(func=_cmd_train)
 
     p_detect = sub.add_parser("detect", help="detect bursts in a stream")
@@ -228,6 +284,8 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes: auto, serial, or a count (default auto; "
         "a single stream always degrades to serial)",
     )
+    _add_skip_bad_records(p_detect)
+    _add_faults(p_detect)
     p_detect.set_defaults(func=_cmd_detect)
 
     p_many = sub.add_parser(
@@ -247,6 +305,8 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=_parse_workers, default="auto",
         help="worker processes: auto, serial, or a count (default auto)",
     )
+    _add_skip_bad_records(p_many)
+    _add_faults(p_many)
     p_many.set_defaults(func=_cmd_detect_many)
 
     p_inspect = sub.add_parser("inspect", help="describe a detector spec")

@@ -31,7 +31,7 @@ from .analysis import (
     run_metrics,
     structure_alarm_probability,
 )
-from .chunked import ChunkedDetector
+from .chunked import ChunkedDetector, DetectorCarry, initial_carry
 from .detector import StreamingDetector
 from .dsr import LevelPlan, build_plans
 from .events import Burst, BurstSet
@@ -115,6 +115,8 @@ __all__ = [
     # detection
     "StreamingDetector",
     "ChunkedDetector",
+    "DetectorCarry",
+    "initial_carry",
     "NaiveDetector",
     "MultiStreamDetector",
     "naive_detect",

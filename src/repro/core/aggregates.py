@@ -231,6 +231,43 @@ class WindowEngine:
         """
         raise NotImplementedError
 
+    def snapshot(self) -> tuple[int, np.ndarray]:
+        """Byte-exact trailing state at a chunk boundary.
+
+        Returns ``(offset, tail)``: the global index of the first retained
+        entry and a copy of the trailing buffer, truncated to the minimum
+        the engine contract requires (``history`` points behind the current
+        length).  Feeding the pair to :meth:`restore` on a fresh engine and
+        then appending the same future chunks yields bit-identical answers
+        to the uninterrupted engine: the retained region covers every legal
+        future query, and the stored entries are the engine's own floats,
+        not recomputed ones.
+        """
+        raise NotImplementedError
+
+    def restore(self, offset: int, tail: np.ndarray, length: int) -> None:
+        """Adopt a :meth:`snapshot` taken at stream position ``length``.
+
+        Only legal on a fresh engine (nothing appended yet).
+        """
+        raise NotImplementedError
+
+    def _restore_check(
+        self, offset: int, tail: np.ndarray, length: int, entries: int
+    ) -> None:
+        if self._length:
+            raise RuntimeError("restore() must precede the first append()")
+        if length < 0 or offset < 0 or offset > length:
+            raise ValueError(
+                f"invalid snapshot bounds (offset={offset}, length={length})"
+            )
+        if tail.ndim != 1:
+            raise ValueError("snapshot tail must be a 1-D array")
+        if tail.size != entries:
+            raise ValueError(
+                f"snapshot tail has {tail.size} entries, expected {entries}"
+            )
+
     def _check(self, end: int, size: int) -> None:
         if end >= self._length:
             raise IndexError(f"window end {end} beyond stream length {self._length}")
@@ -263,6 +300,21 @@ class SumWindowEngine(WindowEngine):
         if trim > 0 and trim < self._prefix.size - 1:
             self._prefix = self._prefix[trim:]
             self._offset += trim
+
+    def snapshot(self) -> tuple[int, np.ndarray]:
+        # Prefix VALUES are absolute cumulative sums, so truncating the
+        # buffer to indices [length - history, length] keeps every retained
+        # entry bit-identical to the uninterrupted engine's; future queries
+        # never reach further back (see the append() retention policy).
+        keep_from = max(self._offset, self._length - self.history)
+        return keep_from, self._prefix[keep_from - self._offset :].copy()
+
+    def restore(self, offset: int, tail: np.ndarray, length: int) -> None:
+        tail = np.asarray(tail, dtype=np.float64)
+        self._restore_check(offset, tail, length, length - offset + 1)
+        self._prefix = tail.copy()
+        self._offset = offset
+        self._length = length
 
     def _p(self, idx: int | np.ndarray) -> float | np.ndarray:
         return self._prefix[idx - self._offset]
@@ -329,6 +381,21 @@ class MaxWindowEngine(WindowEngine):
             trim = self._buf.size - keep
             self._buf = self._buf[trim:]
             self._offset += trim
+        self._rebuild()
+
+    def snapshot(self) -> tuple[int, np.ndarray]:
+        # The buffer holds raw stream values; keeping the last `history` of
+        # them is enough for every future query, and the sparse table is
+        # derived state rebuilt on restore.
+        keep_from = max(self._offset, self._length - self.history)
+        return keep_from, self._buf[keep_from - self._offset :].copy()
+
+    def restore(self, offset: int, tail: np.ndarray, length: int) -> None:
+        tail = np.asarray(tail, dtype=np.float64)
+        self._restore_check(offset, tail, length, length - offset)
+        self._buf = tail.copy()
+        self._offset = offset
+        self._length = length
         self._rebuild()
 
     def _rebuild(self) -> None:

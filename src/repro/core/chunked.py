@@ -15,19 +15,66 @@ detector is the hardware-dependent one.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from .aggregates import SUM, AggregateFunction
+from .aggregates import SUM, AggregateFunction, aggregate_by_name
 from .dsr import LevelPlan, build_plans, find_triggered, search_dsr
 from .events import Burst, BurstSet
 from .opcount import OpCounters
 from .structure import SATStructure
 from .thresholds import ThresholdModel
 
-__all__ = ["ChunkedDetector", "DEFAULT_CHUNK"]
+__all__ = [
+    "ChunkedDetector",
+    "DetectorCarry",
+    "initial_carry",
+    "DEFAULT_CHUNK",
+]
 
 #: Default chunk length for :meth:`ChunkedDetector.detect`.
 DEFAULT_CHUNK = 1 << 16
+
+
+@dataclass(frozen=True)
+class DetectorCarry:
+    """Resumable snapshot of a :class:`ChunkedDetector` at a chunk boundary.
+
+    The carry is everything a detector needs to continue a stream as if it
+    had processed it from the start: the aggregate engine's trailing state
+    (a ``history``-bounded tail of floats — a few KiB for realistic SATs)
+    and the operation counters accumulated so far.  It is deliberately
+    small and picklable: the fault-tolerant runtime ships one per stream
+    over a pipe at every chunk boundary and replays from it after a worker
+    crash (see :mod:`repro.runtime.supervisor`).
+
+    ``tail`` holds prefix sums for ``sum`` engines and raw stream values
+    for ``max`` engines; ``offset`` is the global index of its first entry.
+    Restoring a carry and appending the same future chunks is proven
+    byte-identical to never having stopped (tested per engine).
+    """
+
+    length: int
+    aggregate: str
+    offset: int
+    tail: np.ndarray
+    counters: OpCounters
+
+
+def initial_carry(
+    structure: SATStructure, aggregate: AggregateFunction
+) -> DetectorCarry:
+    """The carry of a detector that has not consumed any points yet."""
+    engine = aggregate.make_engine(structure.top.size + structure.top.shift)
+    offset, tail = engine.snapshot()
+    return DetectorCarry(
+        length=0,
+        aggregate=aggregate.name,
+        offset=offset,
+        tail=tail,
+        counters=OpCounters(structure.num_levels),
+    )
 
 
 class _LevelScratch:
@@ -116,6 +163,56 @@ class ChunkedDetector:
             raise RuntimeError("preload() must precede the first process()")
         history = np.asarray(history, dtype=np.float64)
         self._engine.append(history)
+
+    def carry(self) -> DetectorCarry:
+        """Checkpoint the detector's resumable state at a chunk boundary."""
+        if self._finished:
+            raise RuntimeError("cannot carry() a finished detector")
+        offset, tail = self._engine.snapshot()
+        return DetectorCarry(
+            length=self._engine.length,
+            aggregate=self.aggregate.name,
+            offset=offset,
+            tail=tail,
+            counters=self.counters.copy(),
+        )
+
+    def restore_carry(self, carry: DetectorCarry) -> None:
+        """Resume from a :meth:`carry` checkpoint.
+
+        Only legal on a fresh detector (before the first :meth:`process` or
+        :meth:`preload`); subsequent chunks produce bursts and counters
+        byte-identical to a detector that processed the whole stream.
+        """
+        if self._finished or self._engine.length:
+            raise RuntimeError(
+                "restore_carry() must precede the first process()"
+            )
+        if carry.aggregate != self.aggregate.name:
+            raise ValueError(
+                f"carry is for aggregate {carry.aggregate!r}, "
+                f"detector uses {self.aggregate.name!r}"
+            )
+        self._engine.restore(carry.offset, carry.tail, carry.length)
+        self.counters = carry.counters.copy()
+
+    @classmethod
+    def from_carry(
+        cls,
+        structure: SATStructure,
+        thresholds: ThresholdModel,
+        carry: DetectorCarry,
+        refine_filter: bool = True,
+    ) -> "ChunkedDetector":
+        """Build a detector resumed from ``carry``."""
+        det = cls(
+            structure,
+            thresholds,
+            aggregate_by_name(carry.aggregate),
+            refine_filter,
+        )
+        det.restore_carry(carry)
+        return det
 
     def process(self, chunk: np.ndarray) -> list[Burst]:
         """Consume the next chunk of the stream; return bursts found in it."""

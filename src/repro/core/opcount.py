@@ -106,6 +106,16 @@ class OpCounters:
             return 0.0
         return float((probs * dsr_cells).sum() / total)
 
+    def copy(self) -> "OpCounters":
+        """Independent deep copy (checkpoints must not alias live arrays)."""
+        out = OpCounters(self.num_levels)
+        out.updates[:] = self.updates
+        out.filter_comparisons[:] = self.filter_comparisons
+        out.alarms[:] = self.alarms
+        out.search_cells[:] = self.search_cells
+        out.bursts = self.bursts
+        return out
+
     def merge(self, other: "OpCounters") -> "OpCounters":
         """Accumulate another run's counters into this one (returns self)."""
         if other.num_levels != self.num_levels:

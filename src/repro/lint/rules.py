@@ -25,6 +25,7 @@ __all__ = [
     "AggregateRegistryOnly",
     "NoWallClockInCore",
     "ExplicitDtypes",
+    "DeadlineAwareIPC",
 ]
 
 
@@ -546,6 +547,75 @@ class ExplicitDtypes(Rule):
             )
 
 
+class DeadlineAwareIPC(Rule):
+    """RL007 — parent-side pipe receives go through the deadline helper.
+
+    Incident: the legacy ``WorkerPool.recv`` poll loop detected *dead*
+    workers but spun forever on a live-but-stuck one (an injected hang,
+    a worker wedged in a syscall), hanging the whole parent process.
+    Every blocking receive on a worker pipe must therefore go through a
+    deadline-aware helper (a function whose name says ``deadline``) that
+    bounds the wait and raises a typed timeout — raw ``Connection.recv``
+    or ``Connection.poll`` anywhere else in the runtime is the bug
+    waiting to happen again.  The worker side of the pipe blocks for its
+    next command *by design* and carries an explicit suppression.
+    """
+
+    code = "RL007"
+    name = "deadline-aware-ipc"
+    invariant = (
+        "Connection.recv/poll in repro.runtime happens inside a "
+        "deadline-aware helper (or under an explicit noqa on the "
+        "worker's command loop); nothing else may block on a pipe"
+    )
+
+    _CONN_RECEIVER = re.compile(r"conn|pipe|channel", re.IGNORECASE)
+    _EXEMPT_SCOPE = re.compile(r"deadline", re.IGNORECASE)
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.in_dir("repro", "runtime")
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in ("recv", "poll"):
+                continue
+            receiver = func.value
+            # Unwrap subscripts so `self._conns[worker].recv()` is seen
+            # as a receive on `_conns`.
+            while isinstance(receiver, ast.Subscript):
+                receiver = receiver.value
+            name = _dotted(receiver).rsplit(".", 1)[-1]
+            if not self._CONN_RECEIVER.search(name):
+                continue  # pool.recv() etc. — already deadline-aware
+            scope = self._enclosing_function(module.tree, node)
+            if scope is not None and self._EXEMPT_SCOPE.search(scope.name):
+                continue  # inside the deadline helper itself
+            yield module.finding(
+                node,
+                self,
+                f"raw Connection.{func.attr} outside a deadline-aware "
+                "helper; a live-but-stuck worker hangs this wait forever "
+                "— route it through the pool's deadline-aware receive",
+            )
+
+    @staticmethod
+    def _enclosing_function(
+        tree: ast.Module, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        best: ast.FunctionDef | ast.AsyncFunctionDef | None = None
+        for candidate in ast.walk(tree):
+            if isinstance(
+                candidate, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and any(sub is node for sub in ast.walk(candidate)):
+                best = candidate  # innermost wins: keep walking
+        return best
+
+
 ALL_RULES: tuple[Rule, ...] = (
     SharedMemoryLifecycle(),
     BoundedSendLoops(),
@@ -553,6 +623,7 @@ ALL_RULES: tuple[Rule, ...] = (
     AggregateRegistryOnly(),
     NoWallClockInCore(),
     ExplicitDtypes(),
+    DeadlineAwareIPC(),
 )
 
 

@@ -17,6 +17,23 @@ path.  The serial path is byte-for-byte the existing
 :class:`MultiStreamDetector`, wrapped so callers can switch backends
 without touching call sites.
 
+Fault policies (``faults=``):
+
+* ``"raise"`` (default) — today's fail-fast contract: any worker death,
+  hang past the pool's ``recv_timeout``, or corrupt chunk aborts the run
+  with a :class:`~repro.runtime.pool.WorkerError`.
+* ``"restart"`` — a :class:`~repro.runtime.supervisor.Supervisor` owns
+  the pool: every acknowledged round checkpoints each stream's carry
+  state (:class:`~repro.core.chunked.DetectorCarry`), a crashed or hung
+  worker is restarted with capped backoff, its shard is rebuilt from the
+  checkpoints, and the lost round is replayed — bursts and
+  :class:`OpCounters` stay byte-identical to the serial backend even
+  under ``kill -9`` mid-chunk.
+* ``"degrade"`` — like ``"restart"`` until a worker exhausts its
+  recovery budget; then the run folds back into in-process serial
+  execution from the checkpoints, replaying lost work locally, and
+  continues without losing a byte.
+
 Per-stream training (the paper's §5.4 portfolio setup) is where
 parallelism pays most: fitting :class:`NormalThresholds` and running the
 best-first structure search per stream dominates setup cost, and each
@@ -26,20 +43,28 @@ data through shared memory and trains every shard concurrently.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
-from ..core.aggregates import SUM, AggregateFunction
-from ..core.chunked import DEFAULT_CHUNK
+from ..core.aggregates import SUM, AggregateFunction, aggregate_by_name
+from ..core.chunked import (
+    DEFAULT_CHUNK,
+    ChunkedDetector,
+    DetectorCarry,
+    initial_carry,
+)
 from ..core.events import Burst, BurstSet
 from ..core.multi import MultiStreamDetector
 from ..core.opcount import OpCounters
 from ..core.search import SearchParams
 from ..core.structure import SATStructure
 from ..core.thresholds import ThresholdModel
-from .pool import WorkerPool, resolve_workers
+from .faults import FaultInjector, FaultPlan, corrupt_chunk
+from .pool import WorkerError, WorkerPool, resolve_workers
 from .shm import ChunkRef, SharedChunkRing
+from .supervisor import Supervisor, SupervisorPolicy, WorkerUnrecoverable
 
 __all__ = ["ParallelMultiStreamDetector"]
 
@@ -50,15 +75,33 @@ __all__ = ["ParallelMultiStreamDetector"]
 #: therefore its request drain — a deadlock with the sending parent.
 _MAX_INFLIGHT = 32
 
+_FAULT_POLICIES = ("raise", "restart", "degrade")
+
+
+@dataclass(frozen=True)
+class _StreamConfig:
+    """Everything needed to rebuild one stream's detector from a carry."""
+
+    structure: SATStructure
+    thresholds: ThresholdModel
+    aggregate: str
+    refine: bool
+
+    def from_carry(self, carry: DetectorCarry) -> ChunkedDetector:
+        return ChunkedDetector.from_carry(
+            self.structure, self.thresholds, carry, refine_filter=self.refine
+        )
+
 
 class ParallelMultiStreamDetector:
     """One elastic burst detector per stream, sharded across processes.
 
     Construct with :meth:`shared` or :meth:`per_stream`; both accept
-    ``workers="auto" | int | "serial"``.  Use as a context manager (or
-    call :meth:`close`) when not driving the detector to completion via
-    :meth:`detect` / :meth:`finish`, so worker processes and shared
-    memory are always reclaimed.
+    ``workers="auto" | int | "serial"`` and a ``faults`` policy (see the
+    module docstring).  Use as a context manager (or call :meth:`close`)
+    when not driving the detector to completion via :meth:`detect` /
+    :meth:`finish`, so worker processes and shared memory are always
+    reclaimed.
     """
 
     def __init__(
@@ -79,6 +122,54 @@ class ParallelMultiStreamDetector:
         self._counters: dict[str, OpCounters] | None = None
         self._finished = False
         self._closed = False
+        # Fault-tolerance state; populated by _configure_faults.
+        self._faults = "raise"
+        self._policy: SupervisorPolicy | None = None
+        self._supervisor: Supervisor | None = None
+        self._injector: FaultInjector | None = None
+        self._configs: dict[str, _StreamConfig] = {}
+        self._checkpoints: dict[str, DetectorCarry] = {}
+        self._round = 0
+        self._degraded = False
+        self._total_restarts = 0
+
+    def _configure_faults(
+        self,
+        faults: str,
+        policy: SupervisorPolicy | None,
+        plan: FaultPlan | None,
+        configs: dict[str, _StreamConfig],
+    ) -> None:
+        self._faults = faults
+        if self._pool is None:
+            # Serial backend: nothing can crash, plans have no workers
+            # to hit; the policy knob is accepted for call-site symmetry.
+            return
+        if plan is not None:
+            self._injector = FaultInjector(plan)
+        if faults == "raise":
+            return
+        self._policy = policy if policy is not None else SupervisorPolicy()
+        self._supervisor = Supervisor(
+            self._pool, self._policy, self._reprime
+        )
+        self._configs = configs
+        self._checkpoints = {
+            name: initial_carry(
+                cfg.structure, aggregate_by_name(cfg.aggregate)
+            )
+            for name, cfg in configs.items()
+        }
+
+    @staticmethod
+    def _check_faults(faults: str, plan: FaultPlan | None) -> bool:
+        """Validate the policy spec; returns whether chunk checksums are
+        needed (any supervision, or any injection to be caught)."""
+        if faults not in _FAULT_POLICIES:
+            raise ValueError(
+                f"faults must be one of {_FAULT_POLICIES}, got {faults!r}"
+            )
+        return faults != "raise" or plan is not None
 
     # -- constructors -----------------------------------------------------
     @classmethod
@@ -91,9 +182,14 @@ class ParallelMultiStreamDetector:
         workers: int | str = "auto",
         aggregate: AggregateFunction = SUM,
         refine_filter: bool = True,
+        faults: str = "raise",
+        supervision: SupervisorPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        recv_timeout: float | None = None,
     ) -> "ParallelMultiStreamDetector":
         """Same structure and thresholds for every stream."""
         names = cls._check_names(names)
+        checksum = cls._check_faults(faults, fault_plan)
         n_workers = resolve_workers(workers, len(names))
         if n_workers == 0:
             serial = MultiStreamDetector.shared(
@@ -103,8 +199,10 @@ class ParallelMultiStreamDetector:
                 aggregate=aggregate,
                 refine_filter=refine_filter,
             )
-            return cls(names, None, None, {}, serial)
-        pool = WorkerPool(n_workers)
+            det = cls(names, None, None, {}, serial)
+            det._faults = faults
+            return det
+        pool = WorkerPool(n_workers, recv_timeout=recv_timeout)
         try:
             owners = {
                 name: i % n_workers for i, name in enumerate(names)
@@ -133,7 +231,19 @@ class ParallelMultiStreamDetector:
         except Exception:
             pool.close()
             raise
-        return cls(names, pool, SharedChunkRing(), owners, None)
+        det = cls(names, pool, SharedChunkRing(checksum), owners, None)
+        det._configure_faults(
+            faults,
+            supervision,
+            fault_plan,
+            {
+                name: _StreamConfig(
+                    structure, thresholds, aggregate.name, refine_filter
+                )
+                for name in names
+            },
+        )
+        return det
 
     @classmethod
     def per_stream(
@@ -146,6 +256,10 @@ class ParallelMultiStreamDetector:
         workers: int | str = "auto",
         aggregate: AggregateFunction = SUM,
         refine_filter: bool = True,
+        faults: str = "raise",
+        supervision: SupervisorPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        recv_timeout: float | None = None,
     ) -> "ParallelMultiStreamDetector":
         """Fit thresholds and adapt a structure to each stream, in parallel.
 
@@ -155,6 +269,7 @@ class ParallelMultiStreamDetector:
         scales near-linearly with cores.
         """
         names = cls._check_names(training)
+        checksum = cls._check_faults(faults, fault_plan)
         n_workers = resolve_workers(workers, len(names))
         if n_workers == 0:
             serial = MultiStreamDetector.per_stream(
@@ -165,18 +280,22 @@ class ParallelMultiStreamDetector:
                 aggregate=aggregate,
                 refine_filter=refine_filter,
             )
-            return cls(names, None, None, {}, serial)
+            det = cls(names, None, None, {}, serial)
+            det._faults = faults
+            return det
         sizes = tuple(int(w) for w in window_sizes)
-        pool = WorkerPool(n_workers)
-        ring = SharedChunkRing()
+        pool = WorkerPool(n_workers, recv_timeout=recv_timeout)
+        ring = SharedChunkRing(checksum)
         try:
             owners = {name: i % n_workers for i, name in enumerate(names)}
             refs: dict[str, ChunkRef] = {}
             structures: dict[str, SATStructure] = {}
+            fitted: dict[str, ThresholdModel] = {}
 
             def drain_one(w: int) -> None:
-                _, got_name, structure = pool.recv(w)
+                _, got_name, structure, fitted_thresholds = pool.recv(w)
                 structures[got_name] = structure
+                fitted[got_name] = fitted_thresholds
                 ring.release(refs[got_name])
 
             # Interleave sends with receives: the in-flight bound keeps
@@ -217,7 +336,22 @@ class ParallelMultiStreamDetector:
             finally:
                 pool.close()
             raise
-        return cls(names, pool, ring, owners, None, structures)
+        det = cls(names, pool, ring, owners, None, structures)
+        det._configure_faults(
+            faults,
+            supervision,
+            fault_plan,
+            {
+                name: _StreamConfig(
+                    structures[name],
+                    fitted[name],
+                    aggregate.name,
+                    refine_filter,
+                )
+                for name in names
+            },
+        )
+        return det
 
     @staticmethod
     def _check_names(names: Iterable[str]) -> list[str]:
@@ -239,18 +373,39 @@ class ParallelMultiStreamDetector:
         """Worker processes backing this detector (0 = serial)."""
         return self._pool.num_workers if self._pool else 0
 
+    @property
+    def faults(self) -> str:
+        """The fault policy this detector was built with."""
+        return self._faults
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a ``faults="degrade"`` run has folded back to serial."""
+        return self._degraded
+
+    @property
+    def total_restarts(self) -> int:
+        """Worker restarts the supervisor performed over this run.
+
+        Survives :meth:`close` (and degradation), so callers can audit
+        after the fact how much recovery a finished run needed.
+        """
+        if self._supervisor is not None:
+            return self._supervisor.total_restarts
+        return self._total_restarts
+
     def structure(self, name: str) -> SATStructure:
         """The structure detecting ``name`` (per-stream-trained mode)."""
+        if name in self._structures:
+            return self._structures[name]
         if self._serial is not None:
             return self._serial.detector(name).structure
         if name not in self._owners:
             raise KeyError(name)
-        if name not in self._structures:
-            raise KeyError(
-                f"no per-stream structure recorded for {name!r} "
-                "(shared mode shares one structure)"
-            )
-        return self._structures[name]
+        raise KeyError(
+            f"no per-stream structure recorded for {name!r} "
+            "(shared mode shares one structure)"
+        )
 
     def counters(self, name: str) -> OpCounters:
         """Operation counters of one stream's detector."""
@@ -280,20 +435,232 @@ class ParallelMultiStreamDetector:
         if self._counters is not None:
             return self._counters
         counters: dict[str, OpCounters] = {}
-        try:
-            for w in self._worker_ids():
-                self._pool.send(w, ("counters",))
-            for w in self._worker_ids():
-                counters.update(self._pool.recv(w)[1])
-        except Exception:
-            self.close()
-            raise
+        if self._supervisor is not None:
+            builders = {
+                w: _counters_command for w in self._worker_ids()
+            }
+            try:
+                replies = self._supervisor.exchange(builders)
+            except WorkerUnrecoverable:
+                if self._faults != "degrade":
+                    self.close()
+                    raise
+                # Checkpoint counters equal live counters at every round
+                # boundary, so degrading (no replay needed) and reading
+                # the restored detectors is exact.
+                self._degrade_to_serial()
+                assert self._serial is not None
+                return {
+                    name: self._serial.detector(name).counters
+                    for name in self._names
+                }
+            except Exception:
+                self.close()
+                raise
+            for w in sorted(replies):
+                counters.update(replies[w][1])
+        else:
+            try:
+                for w in self._worker_ids():
+                    self._pool.send(w, ("counters",))
+                for w in self._worker_ids():
+                    counters.update(self._pool.recv(w)[1])
+            except Exception:
+                self.close()
+                raise
         if self._finished:
             self._counters = counters
         return counters
 
     def _worker_ids(self) -> list[int]:
         return sorted(set(self._owners.values()))
+
+    # -- supervision internals --------------------------------------------
+    def _reprime(self, worker: int) -> None:
+        """Rebuild a (re)started worker's shard from the checkpoints.
+
+        Called by the supervisor after every restart and before any
+        resend; restores *all* streams the worker owns — the process
+        lost everything — to their state at the last acknowledged round.
+        """
+        deadline = self._policy.deadline if self._policy else None
+        names = [n for n in self._names if self._owners[n] == worker]
+        inflight = 0
+        for name in names:
+            if inflight >= _MAX_INFLIGHT:
+                self._pool.recv(worker, deadline)
+                inflight -= 1
+            cfg = self._configs[name]
+            self._pool.send(
+                worker,
+                (
+                    "restore",
+                    name,
+                    cfg.structure,
+                    cfg.thresholds,
+                    cfg.aggregate,
+                    cfg.refine,
+                    self._checkpoints[name],
+                ),
+            )
+            inflight += 1
+        for _ in range(inflight):
+            self._pool.recv(worker, deadline)
+
+    def _absorb_round_reply(
+        self,
+        reply: tuple[Any, ...],
+        found: dict[str, list[Burst]],
+    ) -> None:
+        """Fold one worker's ``("bursts", ...)`` reply into the round's
+        results and advance its streams' checkpoints."""
+        _, pairs, carries = reply
+        for name, bursts in pairs:
+            found[name] = bursts
+        if carries:
+            for name, carry in carries.items():
+                self._checkpoints[name] = carry
+
+    def _degrade_to_serial(
+        self,
+        replay: dict[int, list[tuple[str, np.ndarray]]] | None = None,
+        failed: dict[int, str] | None = None,
+        found: dict[str, list[Burst]] | None = None,
+    ) -> None:
+        """Fold the collapsed pool back into in-process execution.
+
+        Every stream's detector is rebuilt from its checkpoint (the
+        state at its last acknowledged round); for workers in ``failed``
+        the current round's retained chunks in ``replay`` are then
+        re-processed locally, with any bursts appended to ``found``.
+        The pool and ring are torn down; from here on every call
+        delegates to the serial backend, byte-identical to a run that
+        was serial from the start.
+        """
+        detectors: dict[str, ChunkedDetector] = {}
+        for name in self._names:
+            cfg = self._configs[name]
+            detectors[name] = cfg.from_carry(self._checkpoints[name])
+        if replay is not None and failed is not None:
+            for w in sorted(failed):
+                for name, arr in replay.get(w, []):
+                    bursts = detectors[name].process(arr)
+                    if found is not None:
+                        found[name] = bursts
+        self._serial = MultiStreamDetector(detectors)
+        self._degraded = True
+        if self._supervisor is not None:
+            self._total_restarts = self._supervisor.total_restarts
+        self._supervisor = None
+        self._policy = None
+        pool, ring = self._pool, self._ring
+        self._pool = None
+        self._ring = None
+        try:
+            if ring is not None:
+                ring.close()
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _process_supervised(
+        self, chunks: Mapping[str, np.ndarray]
+    ) -> dict[str, list[Burst]]:
+        per_worker: dict[int, list[tuple[str, np.ndarray]]] = {}
+        for name, chunk in chunks.items():
+            arr = np.ascontiguousarray(chunk, dtype=np.float64)
+            per_worker.setdefault(self._owners[name], []).append(
+                (name, arr)
+            )
+        round_index = self._round
+        self._round += 1
+        corrupt = (
+            self._injector.corrupted_streams(round_index)
+            if self._injector is not None
+            else set()
+        )
+        live_refs: dict[int, list[ChunkRef]] = {}
+
+        def make_builder(w: int) -> Callable[[], tuple[Any, ...]]:
+            def build() -> tuple[Any, ...]:
+                # A retry rewrites the worker's chunks into fresh slots;
+                # the previous attempt's slots go back to the pool.
+                for old in live_refs.pop(w, []):
+                    self._ring.release(old)
+                work: list[tuple[str, ChunkRef]] = []
+                for name, arr in per_worker[w]:
+                    ref = self._ring.put(arr)
+                    if name in corrupt:
+                        # Injected once; the resend after detection gets
+                        # a clean slot.
+                        corrupt.discard(name)
+                        corrupt_chunk(ref)
+                    work.append((name, ref))
+                live_refs[w] = [ref for _, ref in work]
+                directive = (
+                    self._injector.worker_directive(round_index, w)
+                    if self._injector is not None
+                    else None
+                )
+                return ("process", work, True, directive)
+
+            return build
+
+        builders = {w: make_builder(w) for w in per_worker}
+        found: dict[str, list[Burst]] = {}
+        try:
+            replies = self._supervisor.exchange(builders)
+        except WorkerUnrecoverable as exc:
+            if self._faults != "degrade":
+                self.close()
+                raise
+            for w in sorted(exc.partial):
+                self._absorb_round_reply(exc.partial[w], found)
+            self._degrade_to_serial(per_worker, exc.failed, found)
+            return {name: found[name] for name in chunks}
+        except Exception:
+            self.close()
+            raise
+        for w in sorted(replies):
+            self._absorb_round_reply(replies[w], found)
+        for refs in live_refs.values():
+            for ref in refs:
+                self._ring.release(ref)
+        return {name: found[name] for name in chunks}
+
+    def _finish_supervised(self) -> dict[str, list[Burst]]:
+        tails: dict[str, list[Burst]] = {}
+        counters: dict[str, OpCounters] = {}
+        builders = {w: _finish_command for w in self._worker_ids()}
+        try:
+            replies = self._supervisor.exchange(builders)
+        except WorkerUnrecoverable as exc:
+            if self._faults != "degrade":
+                raise
+            self._degraded = True
+            for w in sorted(exc.partial):
+                _, worker_tails, worker_counters = exc.partial[w]
+                tails.update(worker_tails)
+                counters.update(worker_counters)
+            # Failed workers' streams: finish in-process from their
+            # checkpoints (finish is deterministic from carry state, so
+            # a lost or replayed finish cannot diverge).
+            for w in sorted(exc.failed):
+                for name in self._names:
+                    if self._owners[name] != w:
+                        continue
+                    det = self._configs[name].from_carry(
+                        self._checkpoints[name]
+                    )
+                    tails[name] = det.finish()
+                    counters[name] = det.counters
+        else:
+            for w in sorted(replies):
+                _, worker_tails, worker_counters = replies[w]
+                tails.update(worker_tails)
+                counters.update(worker_counters)
+        self._counters = counters
+        return tails
 
     # -- feeding ------------------------------------------------------------
     def process(
@@ -312,20 +679,45 @@ class ParallelMultiStreamDetector:
         unknown = set(chunks) - set(self._owners)
         if unknown:
             raise KeyError(f"unknown streams: {sorted(unknown)}")
+        if self._supervisor is not None:
+            return self._process_supervised(chunks)
+        round_index = self._round
+        self._round += 1
         per_worker: dict[int, list[tuple[str, ChunkRef]]] = {}
         refs: list[ChunkRef] = []
         try:
+            corrupt = (
+                self._injector.corrupted_streams(round_index)
+                if self._injector is not None
+                else set()
+            )
             for name, chunk in chunks.items():
                 ref = self._ring.put(np.asarray(chunk, dtype=np.float64))
+                if name in corrupt:
+                    corrupt_chunk(ref)
                 refs.append(ref)
                 per_worker.setdefault(self._owners[name], []).append(
                     (name, ref)
                 )
             for w in sorted(per_worker):
-                self._pool.send(w, ("process", per_worker[w]))
+                directive = (
+                    self._injector.worker_directive(round_index, w)
+                    if self._injector is not None
+                    else None
+                )
+                self._pool.send(
+                    w, ("process", per_worker[w], False, directive)
+                )
             found: dict[str, list[Burst]] = {}
             for w in sorted(per_worker):
-                for name, bursts in self._pool.recv(w)[1]:
+                reply = self._pool.recv(w)
+                if reply and reply[0] == "corrupt":
+                    # Fail-fast policy: corruption is an error, exactly
+                    # like a crash or a hang past the deadline.
+                    raise WorkerError(
+                        f"worker {w} rejected a corrupt chunk: {reply[1]}"
+                    )
+                for name, bursts in reply[1]:
                     found[name] = bursts
         except Exception:
             self.close()
@@ -341,7 +733,13 @@ class ParallelMultiStreamDetector:
         self._finished = True
         if self._serial is not None:
             return self._serial.finish()
-        tails: dict[str, list[Burst]] = {}
+        if self._supervisor is not None:
+            try:
+                tails = self._finish_supervised()
+            finally:
+                self.close()
+            return {name: tails[name] for name in self._names}
+        tails = {}
         counters: dict[str, OpCounters] = {}
         try:
             for w in self._worker_ids():
@@ -391,6 +789,9 @@ class ParallelMultiStreamDetector:
         if self._closed:
             return
         self._closed = True
+        if self._supervisor is not None:
+            self._total_restarts = self._supervisor.total_restarts
+        self._supervisor = None
         try:
             if self._pool is not None:
                 self._pool.close()
@@ -406,3 +807,11 @@ class ParallelMultiStreamDetector:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+def _finish_command() -> tuple[Any, ...]:
+    return ("finish",)
+
+
+def _counters_command() -> tuple[Any, ...]:
+    return ("counters",)

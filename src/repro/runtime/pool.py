@@ -9,9 +9,18 @@ garbage from the others' channels.
 Failure model: a command that raises inside a worker comes back as an
 ``("error", ...)`` reply and is re-raised here as :class:`WorkerError`
 carrying the remote traceback; a worker that dies outright (killed,
-segfaulted) is detected by liveness polling in :meth:`recv` instead of
-hanging the parent forever.  :meth:`close` always tries the polite
-``stop`` first and escalates to ``terminate`` only for stragglers.
+segfaulted) raises :class:`WorkerCrashed`; a worker that is alive but
+silent past the reply deadline raises :class:`WorkerTimeout`.  All parent
+blocking on worker pipes goes through :func:`_recv_with_deadline` — the
+one spot allowed to call raw ``Connection.poll``/``recv`` (lint rule
+RL007) — so no code path can hang the parent forever when a deadline is
+configured.  :meth:`close` escalates ``stop`` → ``terminate`` → ``kill``;
+:meth:`restart` replaces a dead worker with a fresh process so a
+supervisor can rebuild its state and replay lost work.
+
+Deadline accounting is clock-free (lint rule RL005 bans wall-clock reads
+in the runtime): elapsed time is accumulated as a sum of poll intervals,
+which is accurate to one interval and needs no ``time.monotonic``.
 """
 
 from __future__ import annotations
@@ -23,7 +32,13 @@ from typing import Any
 
 from .worker import worker_main
 
-__all__ = ["WorkerError", "WorkerPool", "resolve_workers"]
+__all__ = [
+    "WorkerError",
+    "WorkerCrashed",
+    "WorkerTimeout",
+    "WorkerPool",
+    "resolve_workers",
+]
 
 #: Seconds between liveness checks while waiting on a worker reply.
 _POLL_INTERVAL = 0.1
@@ -31,6 +46,14 @@ _POLL_INTERVAL = 0.1
 
 class WorkerError(RuntimeError):
     """A worker failed; carries the remote traceback in ``str(exc)``."""
+
+
+class WorkerCrashed(WorkerError):
+    """The worker process died (killed, segfaulted, or closed its pipe)."""
+
+
+class WorkerTimeout(WorkerError):
+    """A live worker sent no reply within the configured deadline."""
 
 
 def resolve_workers(workers: int | str, n_streams: int) -> int:
@@ -64,38 +87,98 @@ def _default_context() -> mp.context.BaseContext:
     return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _recv_with_deadline(
+    conn: Connection,
+    proc: mp.process.BaseProcess,
+    worker: int,
+    timeout: float | None,
+) -> tuple[Any, ...]:
+    """Receive one reply, bounded by liveness *and* an optional deadline.
+
+    This is the deadline-aware IPC helper every parent-side receive must
+    go through (lint rule RL007): raw ``poll``/``recv`` loops detect dead
+    peers but spin forever on a live-but-stuck one.  ``timeout=None``
+    waits indefinitely for a live worker (legacy behaviour); a finite
+    timeout raises :class:`WorkerTimeout` once the accumulated poll time
+    reaches it, leaving escalation (terminate/kill + restart) to the
+    caller.
+    """
+    waited = 0.0
+    while not conn.poll(_POLL_INTERVAL):
+        if not proc.is_alive():
+            # Drain anything flushed before death, then give up.
+            if conn.poll(0):
+                break
+            raise WorkerCrashed(
+                f"worker {worker} died (exitcode={proc.exitcode})"
+            )
+        waited += _POLL_INTERVAL
+        if timeout is not None and waited >= timeout:
+            raise WorkerTimeout(
+                f"worker {worker} sent no reply within ~{timeout:g}s "
+                "(process is alive but stuck)"
+            )
+    try:
+        reply: tuple[Any, ...] = conn.recv()
+    except EOFError as exc:
+        raise WorkerCrashed(f"worker {worker} closed its pipe") from exc
+    return reply
+
+
 class WorkerPool:
-    """N persistent workers, one duplex pipe each."""
+    """N persistent workers, one duplex pipe each.
+
+    ``recv_timeout`` is the pool-wide default reply deadline applied by
+    :meth:`recv` when the caller gives no per-call timeout; ``None``
+    (the default) preserves the legacy wait-forever-while-alive
+    behaviour.
+    """
 
     def __init__(
-        self, n_workers: int, context: mp.context.BaseContext | None = None
+        self,
+        n_workers: int,
+        context: mp.context.BaseContext | None = None,
+        recv_timeout: float | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("a pool needs at least one worker")
-        ctx = context or _default_context()
+        self._ctx = context or _default_context()
+        self._recv_timeout = recv_timeout
         self._procs: list[mp.process.BaseProcess] = []
         self._conns: list[Connection] = []
         self._closed = False
         try:
             for i in range(n_workers):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=worker_main,
-                    args=(child_conn, i),
-                    name=f"repro-worker-{i}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()  # parent keeps only its end
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
+                self._spawn(i)
         except Exception:
             self.close()
             raise
 
+    def _spawn(self, index: int) -> None:
+        """Start worker ``index``, creating or replacing its slot."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, index),
+            name=f"repro-worker-{index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent keeps only its end
+        if index == len(self._procs):
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        else:
+            self._procs[index] = proc
+            self._conns[index] = parent_conn
+
     @property
     def num_workers(self) -> int:
         return len(self._procs)
+
+    def alive(self, worker: int) -> bool:
+        """Whether the worker process is currently running."""
+        return self._procs[worker].is_alive()
 
     # -- messaging ---------------------------------------------------------
     def send(self, worker: int, message: tuple[Any, ...]) -> None:
@@ -104,31 +187,29 @@ class WorkerPool:
         try:
             self._conns[worker].send(message)
         except (BrokenPipeError, OSError) as exc:
-            raise WorkerError(
+            raise WorkerCrashed(
                 f"worker {worker} is gone (exitcode="
                 f"{self._procs[worker].exitcode})"
             ) from exc
 
-    def recv(self, worker: int) -> tuple[Any, ...]:
-        """Next reply from ``worker``; raises :class:`WorkerError` on
-        a remote exception or a dead worker."""
+    def recv(
+        self, worker: int, timeout: float | None = None
+    ) -> tuple[Any, ...]:
+        """Next reply from ``worker``.
+
+        Raises :class:`WorkerError` on a remote exception reply,
+        :class:`WorkerCrashed` on a dead worker, and
+        :class:`WorkerTimeout` when a live worker stays silent past the
+        deadline (``timeout``, falling back to the pool-wide
+        ``recv_timeout``; ``None`` waits as long as the worker lives).
+        """
         if self._closed:
             raise RuntimeError("pool is closed")
-        conn, proc = self._conns[worker], self._procs[worker]
-        while True:
-            if conn.poll(_POLL_INTERVAL):
-                break
-            if not proc.is_alive():
-                # Drain anything flushed before death, then give up.
-                if conn.poll(0):
-                    break
-                raise WorkerError(
-                    f"worker {worker} died (exitcode={proc.exitcode})"
-                )
-        try:
-            reply = conn.recv()
-        except EOFError as exc:
-            raise WorkerError(f"worker {worker} closed its pipe") from exc
+        if timeout is None:
+            timeout = self._recv_timeout
+        reply = _recv_with_deadline(
+            self._conns[worker], self._procs[worker], worker, timeout
+        )
         if reply and reply[0] == "error":
             _, err, tb = reply
             raise WorkerError(
@@ -137,15 +218,52 @@ class WorkerPool:
         return reply
 
     def request(
-        self, worker: int, message: tuple[Any, ...]
+        self,
+        worker: int,
+        message: tuple[Any, ...],
+        timeout: float | None = None,
     ) -> tuple[Any, ...]:
         """``send`` + ``recv`` for one worker."""
         self.send(worker, message)
-        return self.recv(worker)
+        return self.recv(worker, timeout)
+
+    # -- supervision -------------------------------------------------------
+    def ensure_dead(self, worker: int, grace: float = 1.0) -> None:
+        """Force a worker down: ``terminate``, then ``kill`` stragglers.
+
+        Used to escalate on a hung worker before :meth:`restart`.  SIGTERM
+        gets ``grace`` seconds; a worker that ignores it (stuck in
+        uninterruptible state or masking the signal) is SIGKILLed, which
+        cannot be masked.
+        """
+        proc = self._procs[worker]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=grace)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+
+    def restart(self, worker: int, grace: float = 1.0) -> None:
+        """Replace a dead (or doomed) worker with a fresh process.
+
+        The new process starts with empty detector state; the caller is
+        responsible for rebuilding it (the supervisor replays per-stream
+        checkpoints).  Any replies the old process left in the pipe are
+        discarded with it.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self.ensure_dead(worker, grace)
+        try:
+            self._conns[worker].close()
+        except OSError:
+            pass
+        self._spawn(worker)
 
     # -- lifecycle ---------------------------------------------------------
     def close(self, join_timeout: float = 5.0) -> None:
-        """Stop all workers: polite ``stop``, then terminate stragglers."""
+        """Stop all workers: ``stop``, then ``terminate``, then ``kill``."""
         if self._closed:
             return
         self._closed = True
@@ -163,6 +281,12 @@ class WorkerPool:
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1.0)
+        for proc in self._procs:
+            # A worker masking SIGTERM (or wedged in a non-interruptible
+            # syscall) still has to go; SIGKILL cannot be ignored.
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
         for conn in self._conns:
             try:
                 conn.close()

@@ -19,12 +19,13 @@ ring also installs a ``weakref.finalize`` so abandoned rings do not leak
 from __future__ import annotations
 
 import weakref
+import zlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["ChunkRef", "SharedChunkRing", "ChunkReader"]
+__all__ = ["ChunkRef", "ChunkCorruption", "SharedChunkRing", "ChunkReader"]
 
 _FLOAT = np.dtype(np.float64)
 
@@ -40,12 +41,23 @@ class ChunkRef:
     (regrown slots — rare, at most ~log2 of the capacity range per
     slot): readers drop their cached attachments to those segments, so
     dead pages are not kept mapped in workers for the life of the run.
+
+    ``checksum`` is a CRC-32 of the chunk's bytes, present only when the
+    ring was built with ``checksum=True`` (the supervised fault-tolerant
+    runtime); readers then verify the mapped pages before use and raise
+    :class:`ChunkCorruption` on mismatch, turning silent shared-memory
+    corruption into a retryable, attributable failure.
     """
 
     slot: int
     name: str
     count: int
     retired: tuple[str, ...] = ()
+    checksum: int | None = None
+
+
+class ChunkCorruption(RuntimeError):
+    """A shared-memory chunk's bytes no longer match its checksum."""
 
 
 def _round_capacity(n: int) -> int:
@@ -80,9 +92,16 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 
 
 class SharedChunkRing:
-    """Parent-side pool of reusable shared-memory chunk slots."""
+    """Parent-side pool of reusable shared-memory chunk slots.
 
-    def __init__(self) -> None:
+    With ``checksum=True`` every :meth:`put` stamps the ref with a CRC-32
+    of the written bytes so readers can detect corrupted slots; the extra
+    pass over the chunk is cheap next to detection and is only paid by
+    the supervised runtime, which needs it.
+    """
+
+    def __init__(self, checksum: bool = False) -> None:
+        self._checksum = checksum
         self._segments: list[shared_memory.SharedMemory] = []
         self._capacities: list[int] = []
         self._free: set[int] = set()
@@ -106,7 +125,10 @@ class SharedChunkRing:
         slot = self._take_slot(n)
         view = np.ndarray((n,), dtype=_FLOAT, buffer=self._segments[slot].buf)
         np.copyto(view, values)
-        return ChunkRef(slot, self._segments[slot].name, n, self._retired)
+        crc = zlib.crc32(view.data) if self._checksum else None
+        return ChunkRef(
+            slot, self._segments[slot].name, n, self._retired, crc
+        )
 
     def release(self, ref: ChunkRef) -> None:
         """Return a slot to the free pool (chunk fully consumed)."""
@@ -211,7 +233,16 @@ class ChunkReader:
         if shm is None:
             shm = _attach(ref.name)
             self._segments[ref.name] = shm
-        return np.ndarray((ref.count,), dtype=_FLOAT, buffer=shm.buf)
+        out = np.ndarray((ref.count,), dtype=_FLOAT, buffer=shm.buf)
+        if ref.checksum is not None:
+            crc = zlib.crc32(out.data)
+            if crc != ref.checksum:
+                raise ChunkCorruption(
+                    f"chunk in slot {ref.slot} (segment {ref.name}) fails "
+                    f"its checksum (got {crc:#010x}, "
+                    f"expected {ref.checksum:#010x})"
+                )
+        return out
 
     def close(self) -> None:
         for shm in self._segments.values():

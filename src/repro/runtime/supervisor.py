@@ -1,0 +1,228 @@
+"""Worker supervision: deadline enforcement, restart, and replay.
+
+The :class:`Supervisor` wraps a :class:`~repro.runtime.pool.WorkerPool`
+with a recovery loop.  The pool reports *what* went wrong — remote
+exception replies (:class:`WorkerError`), dead processes
+(:class:`WorkerCrashed`), silent live processes past the reply deadline
+(:class:`WorkerTimeout`) — and the supervisor decides what to do about
+it:
+
+* a **crashed** worker is restarted (capped exponential backoff), its
+  detector state is rebuilt from per-stream checkpoints by the caller's
+  ``reprime`` hook, and the round's command is rebuilt and resent;
+* a **hung** worker is first escalated down (terminate, then kill — a
+  worker masking SIGTERM still dies) and then treated as crashed.  This
+  also covers ``drop_reply`` faults: a worker whose state advanced but
+  whose reply was lost is *killed*, never reused, so replay from the
+  last checkpoint cannot double-count;
+* a **corrupt** reply (shared-memory checksum mismatch, see
+  :mod:`repro.runtime.shm`) leaves the worker alive and its state
+  untouched, so the command is simply rebuilt — rewriting the chunks
+  into fresh slots — and resent;
+* a remote **exception** reply is re-raised immediately: application
+  errors are deterministic and retrying them would just mask bugs.
+
+Commands are supplied as zero-argument *builders* rather than values:
+every (re)send calls the builder again, which is what lets a retry
+rewrite shared-memory slots and lets fault injection fire exactly once.
+
+When a worker exhausts its restart or retry budget the supervisor still
+completes every other worker, then raises
+:class:`WorkerUnrecoverable` carrying both the failures and the partial
+results — the ``faults="degrade"`` policy in
+:mod:`repro.runtime.parallel` uses exactly that to fold the run back
+into in-process serial execution without losing a byte.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from .pool import WorkerCrashed, WorkerError, WorkerPool, WorkerTimeout
+
+__all__ = ["SupervisorPolicy", "Supervisor", "WorkerUnrecoverable"]
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Tunables for the recovery loop.
+
+    ``deadline`` is the per-command reply deadline in seconds (``None``
+    waits while the worker lives — crash detection only).
+    ``term_grace`` is how long a hung worker gets to honour SIGTERM
+    before SIGKILL.  ``max_restarts`` bounds process restarts per worker
+    over the whole run; ``max_retries`` bounds command retries per
+    worker per exchange.  Restart ``n`` sleeps
+    ``min(backoff_cap, backoff_base * 2**n)`` seconds first.
+    """
+
+    deadline: float | None = 60.0
+    term_grace: float = 1.0
+    max_restarts: int = 2
+    max_retries: int = 4
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if self.max_restarts < 0 or self.max_retries < 0:
+            raise ValueError("restart/retry budgets must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be >= 0")
+
+
+class WorkerUnrecoverable(WorkerError):
+    """One or more workers exhausted their recovery budget.
+
+    ``failed`` maps worker id to the final failure description;
+    ``partial`` holds the successful replies of every *other* worker in
+    the same exchange, so a caller can degrade without redoing their
+    work.
+    """
+
+    def __init__(
+        self,
+        failed: dict[int, str],
+        partial: dict[int, tuple[Any, ...]],
+    ) -> None:
+        self.failed = failed
+        self.partial = partial
+        detail = "; ".join(
+            f"worker {w}: {why}" for w, why in sorted(failed.items())
+        )
+        super().__init__(f"workers beyond recovery: {detail}")
+
+
+class _GiveUp(Exception):
+    """Internal: this worker is out of budget for this exchange."""
+
+
+class Supervisor:
+    """Drives supervised request/reply rounds over a pool.
+
+    ``reprime`` is called with a worker id after every restart (and
+    before any resend) to rebuild that worker's detectors from the
+    caller's checkpoints; it must leave the worker exactly at the state
+    of the last fully-acknowledged round.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        policy: SupervisorPolicy,
+        reprime: Callable[[int], None],
+    ) -> None:
+        self._pool = pool
+        self._policy = policy
+        self._reprime = reprime
+        self._restarts: dict[int, int] = {}
+
+    @property
+    def total_restarts(self) -> int:
+        """Worker restarts performed so far (for diagnostics and tests)."""
+        return sum(self._restarts.values())
+
+    def exchange(
+        self, builders: Mapping[int, Callable[[], tuple[Any, ...]]]
+    ) -> dict[int, tuple[Any, ...]]:
+        """One supervised round: send to every worker, collect one reply
+        each, healing failures along the way.
+
+        Returns ``{worker: reply}``.  Raises :class:`WorkerUnrecoverable`
+        (with partial results) when any worker exhausts its budget, or
+        :class:`WorkerError` straight away on a remote application
+        exception.
+        """
+        # First pass sends to everyone so healthy workers overlap their
+        # work; failures surface in the per-worker completion loop.
+        sent: dict[int, bool] = {}
+        for w in sorted(builders):
+            try:
+                # Bounded: exactly one in-flight command per worker per
+                # exchange; the completion loop below drains every reply.
+                self._pool.send(w, builders[w]())  # repro: noqa[RL002]
+                sent[w] = True
+            except WorkerCrashed:
+                sent[w] = False
+        results: dict[int, tuple[Any, ...]] = {}
+        failed: dict[int, str] = {}
+        for w in sorted(builders):
+            try:
+                results[w] = self._complete(w, builders[w], sent[w])
+            except _GiveUp as exc:
+                failed[w] = str(exc)
+        if failed:
+            raise WorkerUnrecoverable(failed, results)
+        return results
+
+    def _complete(
+        self,
+        worker: int,
+        build: Callable[[], tuple[Any, ...]],
+        already_sent: bool,
+    ) -> tuple[Any, ...]:
+        policy = self._policy
+        attempts = 0
+        pending = already_sent
+        last_error = "send failed (worker already dead)"
+        while True:
+            attempts += 1
+            if attempts > policy.max_retries + 1:
+                raise _GiveUp(
+                    f"retry budget exhausted after {attempts - 1} attempts "
+                    f"(last: {last_error})"
+                )
+            try:
+                if not pending:
+                    self._revive(worker)
+                    self._pool.send(worker, build())
+                pending = False
+                reply = self._pool.recv(worker, timeout=policy.deadline)
+            except WorkerTimeout as exc:
+                # Hung: escalate down (terminate -> kill) so the stale
+                # process — and any late reply it might still produce —
+                # is gone before the replay.
+                self._pool.ensure_dead(worker, policy.term_grace)
+                last_error = str(exc)
+                continue
+            except WorkerCrashed as exc:
+                # A crash report beats the liveness poll: a SIGKILLed
+                # worker closes its pipe (EOF/EPIPE here) a beat before
+                # the kernel makes it reapable, and during that window
+                # ``is_alive`` still says True.  Joining via ensure_dead
+                # waits the teardown out so the retry actually restarts
+                # instead of burning the budget on a corpse.
+                self._pool.ensure_dead(worker, policy.term_grace)
+                last_error = str(exc)
+                continue
+            # A remote application exception (plain WorkerError from
+            # recv) propagates: deterministic errors must fail fast,
+            # exactly as they do unsupervised.
+            if reply and reply[0] == "corrupt":
+                # Worker alive, detectors untouched; rebuild the command
+                # (fresh slots, fresh checksums) and resend.
+                last_error = f"corrupt chunk ({reply[1]})"
+                continue
+            return reply
+
+    def _revive(self, worker: int) -> None:
+        """Make ``worker`` ready for a (re)send: restart it if it is
+        down, then rebuild its detector shard from checkpoints."""
+        if not self._pool.alive(worker):
+            used = self._restarts.get(worker, 0)
+            if used >= self._policy.max_restarts:
+                raise _GiveUp(
+                    f"restart budget ({self._policy.max_restarts}) exhausted"
+                )
+            backoff = min(
+                self._policy.backoff_cap,
+                self._policy.backoff_base * (2.0**used),
+            )
+            if backoff > 0:
+                time.sleep(backoff)
+            self._restarts[worker] = used + 1
+            self._pool.restart(worker, self._policy.term_grace)
+        self._reprime(worker)

@@ -82,12 +82,29 @@ class FunctionSource(StreamSource):
 class CSVSource(StreamSource):
     """A stream stored as one non-negative value per line.
 
-    Blank lines are skipped; anything unparsable raises immediately (a
-    detection result on silently-corrupted input is worse than no result).
+    Blank lines are skipped.  A record that is unparsable, NaN, ±inf, or
+    negative raises immediately with its line number (a detection result
+    on silently-corrupted input is worse than no result): every
+    aggregate here assumes finite non-negative counts, and a single NaN
+    would poison the SAT from that point on without any error.  With
+    ``skip_bad_records=True`` bad records are dropped instead and
+    counted in :attr:`skipped`, for logs known to carry occasional
+    sentinel garbage.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self, path: str | Path, skip_bad_records: bool = False
+    ) -> None:
         self.path = Path(path)
+        self.skip_bad_records = skip_bad_records
+        #: Bad records dropped so far (only grows when skipping is on).
+        self.skipped = 0
+
+    def _bad(self, lineno: int, why: str, text: str) -> None:
+        if self.skip_bad_records:
+            self.skipped += 1
+            return
+        raise ValueError(f"{self.path}:{lineno}: {why}: {text!r}")
 
     def chunks(self, chunk_size: int) -> Iterator[np.ndarray]:
         if chunk_size < 1:
@@ -101,9 +118,14 @@ class CSVSource(StreamSource):
                 try:
                     value = float(text)
                 except ValueError:
-                    raise ValueError(
-                        f"{self.path}:{lineno}: not a number: {text!r}"
-                    ) from None
+                    self._bad(lineno, "not a number", text)
+                    continue
+                if not np.isfinite(value):
+                    self._bad(lineno, "not finite", text)
+                    continue
+                if value < 0:
+                    self._bad(lineno, "negative value", text)
+                    continue
                 buffer.append(value)
                 if len(buffer) == chunk_size:
                     yield np.asarray(buffer, dtype=np.float64)

@@ -48,6 +48,7 @@ from .generators import (
     FuzzCase,
     quantize,
     random_case,
+    random_fault_plan,
     random_grid,
     random_partition,
     random_sat,
@@ -63,6 +64,7 @@ from .oracles import (
     brute_force_spatial_bursts,
     diff_burst_sets,
     differential_check,
+    fault_plan_check,
     run_backend,
     spatial_differential_check,
     worker_sweep_check,
@@ -77,6 +79,7 @@ __all__ = [
     "FuzzCase",
     "quantize",
     "random_case",
+    "random_fault_plan",
     "random_grid",
     "random_partition",
     "random_sat",
@@ -91,6 +94,7 @@ __all__ = [
     "brute_force_spatial_bursts",
     "diff_burst_sets",
     "differential_check",
+    "fault_plan_check",
     "run_backend",
     "spatial_differential_check",
     "worker_sweep_check",

@@ -64,6 +64,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     fuzz.add_argument(
+        "--faults-every",
+        type=int,
+        default=0,
+        help=(
+            "fault-injection differential every Nth case: replay a "
+            "seeded FaultPlan under the restart and degrade policies "
+            "(kills real workers; 0=off)"
+        ),
+    )
+    fuzz.add_argument(
         "--spatial-every",
         type=int,
         default=20,
@@ -104,6 +114,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_dir=args.corpus_dir,
         adaptive_every=args.adaptive_every,
         parallel_every=args.parallel_every,
+        faults_every=args.faults_every,
         spatial_every=args.spatial_every,
         stop_after=args.stop_after,
         shrink=not args.no_shrink,

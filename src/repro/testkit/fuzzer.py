@@ -29,6 +29,7 @@ from .oracles import (
     DEFAULT_BACKENDS,
     Mismatch,
     differential_check,
+    fault_plan_check,
     spatial_differential_check,
     worker_sweep_check,
 )
@@ -51,6 +52,12 @@ class FuzzConfig:
     #: Worker-count sweep through the parallel runtime (0 disables; it
     #: spawns real processes, so the default keeps it out of quick runs).
     parallel_every: int = 0
+    #: Fault-injection differential every Nth case (0 disables): a seeded
+    #: :class:`~repro.runtime.faults.FaultPlan` is replayed against the
+    #: supervised pool under both the restart and degrade policies, and
+    #: the recovered run must stay byte-identical to serial.  Spawns and
+    #: kills real processes — chaos-CI territory, off by default.
+    faults_every: int = 0
     #: Every Nth case is a 2-D grid against the spatial oracle.
     spatial_every: int = 20
     #: Stop early after this many failing cases (None = run the budget).
@@ -125,6 +132,8 @@ def _check_battery(
         failures.extend(run_relations(case, rng))
     if config.parallel_every and (index + 1) % config.parallel_every == 0:
         failures.extend(worker_sweep_check(case))
+    if config.faults_every and (index + 1) % config.faults_every == 0:
+        failures.extend(fault_plan_check(case, rng=rng))
     return failures
 
 

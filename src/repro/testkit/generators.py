@@ -43,6 +43,7 @@ __all__ = [
     "STREAM_FAMILIES",
     "quantize",
     "random_case",
+    "random_fault_plan",
     "random_partition",
     "random_sat",
     "random_spec",
@@ -414,4 +415,25 @@ def random_case(
         spec=spec,
         refine_filter=refine,
         chunks=random_partition(rng, stream.size),
+    )
+
+
+def random_fault_plan(
+    rng: np.random.Generator,
+    n_rounds: int,
+    n_workers: int = 2,
+    streams: tuple[str, ...] = (),
+    max_faults: int = 3,
+):
+    """A seeded fault schedule for the fault-injection differential.
+
+    Thin wrapper over :meth:`repro.runtime.faults.FaultPlan.random` so
+    the testkit draws its fault plans from the same explicit ``rng`` as
+    everything else.  ``streams`` enables chunk-corruption faults; with
+    an empty tuple only worker faults (kill/hang/drop_reply) are drawn.
+    """
+    from ..runtime.faults import FaultPlan
+
+    return FaultPlan.random(
+        rng, n_workers, max(1, n_rounds), streams, max_faults=max_faults
     )

@@ -35,6 +35,7 @@ __all__ = [
     "brute_force_spatial_bursts",
     "diff_burst_sets",
     "differential_check",
+    "fault_plan_check",
     "run_backend",
     "spatial_differential_check",
     "worker_sweep_check",
@@ -379,6 +380,135 @@ def worker_sweep_check(
                     )
                 )
                 break
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection differential (supervised parallel runtime)
+# ---------------------------------------------------------------------------
+
+def fault_plan_check(
+    case: FuzzCase,
+    plan=None,
+    rng: np.random.Generator | None = None,
+    streams_per_portfolio: int = 3,
+) -> list[Mismatch]:
+    """Fault-injected parallel runs vs serial, under both recovery policies.
+
+    Builds the same rotated portfolio as :func:`worker_sweep_check`,
+    computes the serial reference, then replays the run through a
+    two-worker pool with the given (or freshly drawn) ``FaultPlan``
+    injected, once under ``faults="restart"`` (crashed/hung workers are
+    revived and replayed from checkpoints) and once under
+    ``faults="degrade"`` with a zero restart budget (the first fault
+    folds the pool back to in-process serial mid-run).  Both must be
+    byte-identical to the reference — bursts *and* merged counters — or
+    the recovery path lost or duplicated work.
+    """
+    from ..runtime.parallel import ParallelMultiStreamDetector
+    from ..runtime.supervisor import SupervisorPolicy
+    from .generators import random_fault_plan
+
+    spec = case.spec
+    data = {
+        f"s{i}": np.roll(case.stream, i * 7)
+        for i in range(streams_per_portfolio)
+    }
+    chunk = max(1, case.stream.size // 3 or 1)
+    n_rounds = max(1, -(-case.stream.size // chunk))
+    if plan is None:
+        if rng is None:
+            raise ValueError("fault_plan_check needs a plan or an rng")
+        plan = random_fault_plan(rng, n_rounds, 2, tuple(data))
+
+    def run(faults, policy, inject) -> tuple[dict[str, BurstSet], dict]:
+        det = ParallelMultiStreamDetector.shared(
+            list(data),
+            spec.structure,
+            spec.thresholds,
+            workers="serial" if faults is None else 2,
+            aggregate=spec.aggregate,
+            refine_filter=case.refine_filter,
+            faults=faults or "raise",
+            supervision=policy,
+            fault_plan=plan if inject else None,
+        )
+        with det:
+            got = det.detect(data, chunk_size=chunk)
+            merged = det.merged_counters()
+        return got, merged
+
+    out: list[Mismatch] = []
+    try:
+        ref_sets, ref_counters = run(None, None, False)
+    except Exception as exc:  # noqa: BLE001
+        return [
+            Mismatch("crash", "faults/serial", f"{type(exc).__name__}: {exc}")
+        ]
+    policies = {
+        # Budget scaled to the plan: every drawn fault may cost one
+        # restart of the same worker, and exhausting the budget is a
+        # legitimate failure (degrade territory), not a finding.
+        "restart": SupervisorPolicy(
+            deadline=5.0,
+            term_grace=0.5,
+            max_restarts=max(2, len(plan.faults)),
+            backoff_base=0.01,
+            backoff_cap=0.05,
+        ),
+        "degrade": SupervisorPolicy(
+            deadline=5.0,
+            term_grace=0.5,
+            max_restarts=0,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+        ),
+    }
+    for faults, policy in policies.items():
+        label = f"faults/{faults}[{plan}]"
+        try:
+            got_sets, got_counters = run(faults, policy, True)
+        except Exception as exc:  # noqa: BLE001
+            out.append(
+                Mismatch("crash", label, f"{type(exc).__name__}: {exc}")
+            )
+            continue
+        for name in data:
+            missing, extra, value_errors = diff_burst_sets(
+                ref_sets[name], got_sets[name]
+            )
+            if missing or extra or value_errors:
+                out.append(
+                    Mismatch(
+                        "differential",
+                        f"{label}:{name}",
+                        f"{len(missing)} missing / {len(extra)} extra",
+                        missing,
+                        extra,
+                    )
+                )
+        for fname in ("updates", "filter_comparisons", "alarms", "search_cells"):
+            if not np.array_equal(
+                getattr(ref_counters, fname), getattr(got_counters, fname)
+            ):
+                out.append(
+                    Mismatch(
+                        "counters",
+                        label,
+                        f"merged {fname} diverges from serial",
+                    )
+                )
+                break
+        else:
+            if ref_counters.bursts != got_counters.bursts:
+                out.append(
+                    Mismatch(
+                        "counters",
+                        label,
+                        f"merged bursts counter {got_counters.bursts} "
+                        f"!= {ref_counters.bursts}",
+                    )
+                )
     return out
 
 

@@ -1,0 +1,19 @@
+"""RL007 fixture: raw pipe receives outside a deadline-aware helper."""
+
+
+def collect(conn):
+    # BAD: blocks forever if the peer is alive but stuck. -> RL007 here
+    return conn.recv()
+
+
+def wait_ready(pipe):
+    # BAD: an unbounded poll is the same hang in disguise. -> RL007 here
+    while not pipe.poll():
+        pass
+    # BAD: and the recv after it is just as raw. -> RL007 here
+    return pipe.recv()
+
+
+def drain_all(conns, worker):
+    # BAD: subscripted receivers are still connections. -> RL007 here
+    return conns[worker].recv()

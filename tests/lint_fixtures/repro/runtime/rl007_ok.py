@@ -1,0 +1,33 @@
+"""RL007 fixture: the allowed shapes of a runtime pipe receive."""
+
+_POLL_INTERVAL = 0.1
+
+
+class Timeout(RuntimeError):
+    pass
+
+
+def recv_with_deadline(conn, timeout):
+    # OK: this *is* the deadline-aware helper (the name says so); its
+    # raw poll/recv are the one sanctioned blocking site.
+    waited = 0.0
+    while not conn.poll(_POLL_INTERVAL):
+        waited += _POLL_INTERVAL
+        if timeout is not None and waited >= timeout:
+            raise Timeout("no reply within deadline")
+    return conn.recv()
+
+
+def gather(pool, workers, timeout):
+    # OK: pool.recv is already deadline-aware; the receiver is not a
+    # connection.
+    return [pool.recv(w, timeout) for w in workers]
+
+
+def command_loop(conn):
+    # OK: the worker side blocks for its next command by design and says
+    # so explicitly.
+    while True:
+        msg = conn.recv()  # repro: noqa[RL007]
+        if msg is None:
+            break

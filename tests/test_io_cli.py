@@ -275,3 +275,87 @@ class TestCLI:
             cli_main(
                 ["detect-many", str(tmp_path / "spec.json"), str(empty)]
             )
+
+    def test_detect_many_survives_one_bad_file(
+        self, stream_files, tmp_path, capsys
+    ):
+        # One malformed CSV must not abort the batch: the other streams
+        # finish and write outputs, the failure lands in the summary,
+        # and the exit code is non-zero.
+        train_path, live_path, _ = stream_files
+        spec_path = tmp_path / "spec.json"
+        cli_main(
+            ["train", str(train_path), "--max-window", "24",
+             "-o", str(spec_path)]
+        )
+        streams = tmp_path / "streams"
+        streams.mkdir()
+        (streams / "good.csv").write_text(live_path.read_text())
+        lines = live_path.read_text().splitlines()
+        lines[100] = "oops"
+        (streams / "bad.csv").write_text("\n".join(lines) + "\n")
+        out = tmp_path / "out"
+        code = cli_main(
+            ["detect-many", str(spec_path), str(streams),
+             "-o", str(out), "--workers", "serial"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert (out / "good.bursts.csv").exists()
+        assert not (out / "bad.bursts.csv").exists()
+        assert "bad.csv:101" in captured.err
+        assert "1 of 2 streams failed" in captured.err
+        # The surviving stream's output matches a clean solo run.
+        single = tmp_path / "single.csv"
+        cli_main(
+            ["detect", str(spec_path), str(streams / "good.csv"),
+             "-o", str(single), "--workers", "serial"]
+        )
+        assert (out / "good.bursts.csv").read_text() == single.read_text()
+
+    def test_detect_many_skip_bad_records(
+        self, stream_files, tmp_path, capsys
+    ):
+        train_path, live_path, _ = stream_files
+        spec_path = tmp_path / "spec.json"
+        cli_main(
+            ["train", str(train_path), "--max-window", "24",
+             "-o", str(spec_path)]
+        )
+        streams = tmp_path / "streams"
+        streams.mkdir()
+        lines = live_path.read_text().splitlines()
+        lines[5] = "nan"
+        lines[7] = "-3"
+        (streams / "messy.csv").write_text("\n".join(lines) + "\n")
+        out = tmp_path / "out"
+        code = cli_main(
+            ["detect-many", str(spec_path), str(streams),
+             "-o", str(out), "--workers", "serial", "--skip-bad-records"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "skipped 2 bad record(s)" in captured.err
+        assert (out / "messy.bursts.csv").exists()
+
+    def test_detect_faults_flag_accepted(self, stream_files, tmp_path):
+        # The fault policy plumbs through the CLI; a clean run under
+        # "restart" is identical to the default.
+        train_path, live_path, _ = stream_files
+        spec_path = tmp_path / "spec.json"
+        cli_main(
+            ["train", str(train_path), "--max-window", "24",
+             "-o", str(spec_path)]
+        )
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        code = cli_main(
+            ["detect", str(spec_path), str(live_path), "-o", str(a),
+             "--workers", "serial", "--faults", "restart"]
+        )
+        assert code == 0
+        assert cli_main(
+            ["detect", str(spec_path), str(live_path), "-o", str(b),
+             "--workers", "serial"]
+        ) == 0
+        assert a.read_text() == b.read_text()

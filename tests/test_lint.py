@@ -45,6 +45,7 @@ def expected_lines(path: Path, code: str) -> list[int]:
         ("core/rl005_bad.py", "RL005"),
         ("testkit/rl005_bad.py", "RL005"),
         ("core/rl006_bad.py", "RL006"),
+        ("runtime/rl007_bad.py", "RL007"),
     ],
 )
 def test_bad_fixture_trips_rule_at_marked_lines(fixture, code):
@@ -67,14 +68,16 @@ def test_rl001_distinguishes_ownership_gaps():
 
 @pytest.mark.parametrize(
     "fixture",
-    ["runtime/rl001_ok.py", "experiments/scope_ok.py"],
+    ["runtime/rl001_ok.py", "runtime/rl007_ok.py", "experiments/scope_ok.py"],
 )
 def test_clean_fixtures_produce_no_findings(fixture):
     assert lint_fixture(fixture) == []
 
 
 def test_flow_controlled_sends_pass():
-    findings = lint_fixture("runtime/rl002_bad.py")
+    findings = [
+        f for f in lint_fixture("runtime/rl002_bad.py") if f.rule == "RL002"
+    ]
     # Only the unbounded broadcast() loop fires; bounded() stays clean.
     assert len(findings) == 1
 

@@ -106,6 +106,39 @@ class TestCSVSource:
         with pytest.raises(ValueError):
             list(CSVSource(path).chunks(0))
 
+    @pytest.mark.parametrize(
+        "record,why",
+        [
+            ("nan", "not finite"),
+            ("inf", "not finite"),
+            ("-inf", "not finite"),
+            ("-3", "negative"),
+        ],
+    )
+    def test_rejects_non_finite_and_negative(self, tmp_path, record, why):
+        path = tmp_path / "bad.csv"
+        path.write_text(f"1\n{record}\n2\n")
+        with pytest.raises(ValueError, match=f"bad.csv:2: {why}"):
+            list(CSVSource(path).chunks(10))
+
+    def test_skip_bad_records_counts_and_drops(self, tmp_path):
+        path = tmp_path / "messy.csv"
+        path.write_text("1\nnan\n2\n-5\noops\ninf\n3\n")
+        src = CSVSource(path, skip_bad_records=True)
+        chunks = list(src.chunks(2))
+        np.testing.assert_array_equal(
+            np.concatenate(chunks), [1.0, 2.0, 3.0]
+        )
+        assert src.skipped == 4
+
+    def test_skip_off_by_default(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("1\nnan\n")
+        src = CSVSource(path)
+        assert not src.skip_bad_records
+        with pytest.raises(ValueError):
+            list(src.chunks(10))
+
 
 class TestDetectSource:
     def test_source_detection_equals_batch(self, rng):

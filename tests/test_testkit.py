@@ -23,8 +23,10 @@ from repro.testkit import (
     case_from_dict,
     case_to_dict,
     differential_check,
+    fault_plan_check,
     fuzz_once,
     random_case,
+    random_fault_plan,
     random_partition,
     random_sat,
     replay_case,
@@ -104,6 +106,39 @@ class TestDifferentialBattery:
         rng = np.random.default_rng(42)
         case = random_case(rng, max_points=96)
         assert worker_sweep_check(case, worker_counts=(2,)) == []
+
+
+class TestFaultSweep:
+    def test_random_fault_plan_is_seeded_and_valid(self):
+        from repro.runtime.faults import FAULT_KINDS
+
+        a = random_fault_plan(
+            np.random.default_rng(5), n_rounds=4, streams=("s0", "s1")
+        )
+        b = random_fault_plan(
+            np.random.default_rng(5), n_rounds=4, streams=("s0", "s1")
+        )
+        assert str(a) == str(b)  # same seed, same schedule
+        assert 1 <= len(a.faults) <= 3
+        for f in a.faults:
+            assert f.kind in FAULT_KINDS
+            assert 0 <= f.round_index < 4
+            assert 0 <= f.worker < 2
+            if f.kind == "corrupt":
+                assert f.stream in ("s0", "s1")
+
+    def test_fault_plan_check_clean(self):
+        rng = np.random.default_rng(43)
+        case = random_case(rng, max_points=96)
+        while case.stream.size < 24:
+            case = random_case(rng, max_points=96)
+        assert fault_plan_check(case, rng=rng) == []
+
+    def test_fault_plan_check_needs_plan_or_rng(self):
+        rng = np.random.default_rng(44)
+        case = random_case(rng, max_points=64)
+        with pytest.raises(ValueError, match="plan or an rng"):
+            fault_plan_check(case)
 
 
 class TestInjectedBugs:
