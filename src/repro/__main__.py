@@ -105,6 +105,50 @@ def _add_faults(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_overload(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shedding",
+        choices=("none", "widen_chunks", "sample_streams", "coarsen_sat"),
+        default="none",
+        help="load-shedding policy while overloaded: none (default), "
+        "widen_chunks (defer+batch, lossless), sample_streams (drop a "
+        "rotating stream subset, recorded), or coarsen_sat (collapse "
+        "structures to two levels, identical bursts at higher cost)",
+    )
+    parser.add_argument(
+        "--overload-enter", type=float, default=None, metavar="SECONDS",
+        help="smoothed worker latency above which the run counts as "
+        "overloaded (default 1.0)",
+    )
+    parser.add_argument(
+        "--overload-exit", type=float, default=None, metavar="SECONDS",
+        help="smoothed latency below which overload ends; must be "
+        "below --overload-enter (default 0.25)",
+    )
+    parser.add_argument(
+        "--overload-dwell", type=int, default=None, metavar="ROUNDS",
+        help="minimum rounds between overload state changes (default 3)",
+    )
+
+
+def _overload_config(args: argparse.Namespace):
+    """An OverloadConfig when any knob was set, else None (defaults)."""
+    from .runtime import OverloadConfig
+
+    overrides = {
+        "enter_latency": args.overload_enter,
+        "exit_latency": args.overload_exit,
+        "min_dwell_rounds": args.overload_dwell,
+    }
+    set_overrides = {k: v for k, v in overrides.items() if v is not None}
+    if not set_overrides and args.shedding == "none":
+        return None
+    try:
+        return OverloadConfig(**set_overrides)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
 def _burst_csv(bursts) -> str:
     lines = ["end,size,value"]
     lines += [f"{b.end},{b.size},{b.value:g}" for b in sorted(bursts)]
@@ -123,6 +167,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         workers=args.workers,
         aggregate=spec.aggregate,
         faults=args.faults,
+        shedding=args.shedding,
+        overload=_overload_config(args),
     )
     bursts = []
     points = 0
@@ -146,6 +192,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         f"/point)",
         file=sys.stderr,
     )
+    print(f"# stats: {fleet.stats().describe()}", file=sys.stderr)
     return 0
 
 
@@ -176,6 +223,8 @@ def _cmd_detect_many(args: argparse.Namespace) -> int:
         workers=args.workers,
         aggregate=spec.aggregate,
         faults=args.faults,
+        shedding=args.shedding,
+        overload=_overload_config(args),
     )
     collected: dict[str, list] = {name: [] for name in names}
     points = {name: 0 for name in names}
@@ -231,6 +280,7 @@ def _cmd_detect_many(args: argparse.Namespace) -> int:
         f"workers={fleet.num_workers or 'serial'}",
         file=sys.stderr,
     )
+    print(f"# stats: {fleet.stats().describe()}", file=sys.stderr)
     for name in sorted(errors):
         print(f"error: {name}: {errors[name]}", file=sys.stderr)
     if errors:
@@ -286,6 +336,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_skip_bad_records(p_detect)
     _add_faults(p_detect)
+    _add_overload(p_detect)
     p_detect.set_defaults(func=_cmd_detect)
 
     p_many = sub.add_parser(
@@ -307,6 +358,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_skip_bad_records(p_many)
     _add_faults(p_many)
+    _add_overload(p_many)
     p_many.set_defaults(func=_cmd_detect_many)
 
     p_inspect = sub.add_parser("inspect", help="describe a detector spec")

@@ -21,7 +21,14 @@ from .aggregates import (
     sliding_max,
     sliding_sum,
 )
-from .adaptive import AdaptiveConfig, AdaptiveDetector, DriftMonitor, Era
+from .adaptive import (
+    AdaptiveConfig,
+    AdaptiveDetector,
+    DriftMonitor,
+    Era,
+    InlineRetrainer,
+    ProcessRetrainer,
+)
 from .analysis import (
     RunMetrics,
     alarm_probability,
@@ -138,6 +145,8 @@ __all__ = [
     # adaptive
     "AdaptiveDetector",
     "AdaptiveConfig",
+    "InlineRetrainer",
+    "ProcessRetrainer",
     "DriftMonitor",
     "Era",
     # analysis

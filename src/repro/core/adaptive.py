@@ -23,11 +23,28 @@ are split at the boundary so nothing is duplicated or lost.  Thresholds
 are fixed throughout — adaptation changes *how fast* bursts are found,
 never *what counts* as a burst — so the adaptive detector remains
 burst-for-burst identical to the naive baseline (tested).
+
+Retraining can run in two modes (``retrain=``):
+
+* ``"blocking"`` (default) — the structure search runs inline on the
+  ingest path; detection pauses for the duration of the search.
+* ``"background"`` — the search is handed to a :class:`ProcessRetrainer`
+  (a dedicated child process); ingest continues on the old structure
+  and the new SAT is hot-swapped at the first chunk boundary after the
+  search completes, via the same carry-the-history handover.  Because
+  thresholds never change, the burst output is *identical* to blocking
+  mode — only the era boundaries (cost accounting) land later.
+  :class:`InlineRetrainer` is the deterministic stand-in for tests: it
+  trains at submit time and delivers exactly one chunk later.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import traceback
 from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from typing import Protocol
 
 import numpy as np
 
@@ -39,7 +56,15 @@ from .search import SearchParams, train_structure
 from .structure import SATStructure
 from .thresholds import ThresholdModel
 
-__all__ = ["AdaptiveConfig", "DriftMonitor", "AdaptiveDetector", "Era"]
+__all__ = [
+    "AdaptiveConfig",
+    "DriftMonitor",
+    "AdaptiveDetector",
+    "Era",
+    "Retrainer",
+    "InlineRetrainer",
+    "ProcessRetrainer",
+]
 
 
 @dataclass(frozen=True)
@@ -169,6 +194,182 @@ class Era:
     end: int | None = field(default=None)
 
 
+class Retrainer(Protocol):
+    """Where a background structure search runs.
+
+    One search at a time: :meth:`submit` while :attr:`busy` is an error.
+    :meth:`poll` never blocks; it returns the finished structure once,
+    then the retrainer is idle again.
+    """
+
+    @property
+    def busy(self) -> bool: ...
+
+    def submit(
+        self,
+        data: np.ndarray,
+        thresholds: ThresholdModel,
+        params: SearchParams | None,
+    ) -> None: ...
+
+    def poll(self) -> SATStructure | None: ...
+
+    def close(self) -> None: ...
+
+
+class InlineRetrainer:
+    """Synchronous stand-in: trains at submit, delivers on the next poll.
+
+    Not actually concurrent — the search still blocks the submitting
+    call — but it exercises the exact background code path (submit,
+    keep detecting, swap one chunk later) deterministically, which is
+    what the identity tests need.
+    """
+
+    def __init__(self) -> None:
+        self._result: SATStructure | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self._result is not None
+
+    def submit(
+        self,
+        data: np.ndarray,
+        thresholds: ThresholdModel,
+        params: SearchParams | None,
+    ) -> None:
+        if self._result is not None:
+            raise RuntimeError("a retrain is already pending")
+        self._result = train_structure(data, thresholds, params=params)
+
+    def poll(self) -> SATStructure | None:
+        result, self._result = self._result, None
+        return result
+
+    def close(self) -> None:
+        self._result = None
+
+
+def _retrain_context() -> mp.context.BaseContext:
+    # Mirrors the runtime pool's choice: fork is cheap and inherits the
+    # imported library; spawn is the portable fallback.
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _retrainer_main(conn: Connection) -> None:
+    """Loop of the retrain process: one search per request."""
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            if msg[0] == "stop":
+                break
+            _, data, thresholds, params = msg
+            try:
+                structure = train_structure(data, thresholds, params=params)
+            except Exception as exc:
+                conn.send(("error", repr(exc), traceback.format_exc()))
+                continue
+            conn.send(("ok", structure))
+    finally:
+        conn.close()
+
+
+class ProcessRetrainer:
+    """Runs the structure search in a dedicated child process.
+
+    The training slice crosses the pipe once per submit; the parent's
+    :meth:`poll` is a zero-timeout check, so the ingest path never
+    blocks on an unfinished search.  Use as a context manager or call
+    :meth:`close` so the child is always reaped.
+    """
+
+    def __init__(self, context: mp.context.BaseContext | None = None) -> None:
+        ctx = context or _retrain_context()
+        self._conn, child = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=_retrainer_main,
+            args=(child,),
+            name="repro-retrainer",
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+        self._busy = False
+        self._closed = False
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def submit(
+        self,
+        data: np.ndarray,
+        thresholds: ThresholdModel,
+        params: SearchParams | None,
+    ) -> None:
+        if self._closed:
+            raise RuntimeError("retrainer is closed")
+        if self._busy:
+            raise RuntimeError("a retrain is already pending")
+        self._conn.send(
+            ("train", np.asarray(data, dtype=np.float64), thresholds, params)
+        )
+        self._busy = True
+
+    def poll(self) -> SATStructure | None:
+        if self._closed or not self._busy:
+            return None
+        if not self._conn.poll(0):
+            if not self._proc.is_alive():
+                self._busy = False
+                raise RuntimeError(
+                    "retrainer process died "
+                    f"(exitcode={self._proc.exitcode})"
+                )
+            return None
+        reply = self._conn.recv()
+        self._busy = False
+        if reply[0] == "error":
+            raise RuntimeError(
+                f"background retrain failed: {reply[1]}\n"
+                f"--- remote traceback ---\n{reply[2]}"
+            )
+        structure: SATStructure = reply[1]
+        return structure
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._proc.is_alive():
+                self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._proc.join(timeout=5.0)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=1.0)
+        if self._proc.is_alive():
+            self._proc.kill()
+            self._proc.join(timeout=5.0)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ProcessRetrainer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
 class AdaptiveDetector:
     """Structure-adaptive elastic burst detection over a drifting stream."""
 
@@ -178,10 +379,23 @@ class AdaptiveDetector:
         training: np.ndarray,
         config: AdaptiveConfig | None = None,
         aggregate: AggregateFunction = SUM,
+        retrain: str = "blocking",
+        retrainer: Retrainer | None = None,
     ) -> None:
+        if retrain not in ("blocking", "background"):
+            raise ValueError(
+                f"retrain must be 'blocking' or 'background', got {retrain!r}"
+            )
+        if retrainer is not None and retrain != "background":
+            raise ValueError("a retrainer requires retrain='background'")
         self.thresholds = thresholds
         self.config = config or AdaptiveConfig()
         self.aggregate = aggregate
+        self._background = retrain == "background"
+        self._retrainer = retrainer
+        self._owns_retrainer = False
+        # (reason, reference mu, reference sigma) of the search in flight.
+        self._pending: tuple[str, float, float] | None = None
         training = np.asarray(training, dtype=np.float64)
         structure = train_structure(
             training, thresholds, params=self.config.search_params
@@ -238,18 +452,38 @@ class AdaptiveDetector:
         self._length += chunk.size
         self._monitor.observe(chunk)
         self._buffer = np.concatenate((self._buffer, chunk))[-self._keep :]
-        if self._should_retrain():
+        if self._background:
+            out.extend(self._poll_background())
+            if self._pending is None and self._should_retrain():
+                self._submit_background()
+        elif self._should_retrain():
             out.extend(self._retrain())
         return out
 
     def finish(self) -> list[Burst]:
-        """Flush the current era's detector."""
+        """Flush the current era's detector.
+
+        A background search still in flight is abandoned: its structure
+        would only govern data that will never arrive.
+        """
         if self._finished:
             raise RuntimeError("finish() already called")
         self._finished = True
         out = self._emit(self._detector.finish())
         self.eras[-1].end = self._length
+        self.close()
         return out
+
+    def close(self) -> None:
+        """Discard any pending background search and reap the retrainer.
+
+        Only a retrainer this detector created itself is closed; an
+        injected one belongs to the caller.  Idempotent.
+        """
+        self._pending = None
+        retrainer, self._retrainer = self._retrainer, None
+        if retrainer is not None and self._owns_retrainer:
+            retrainer.close()
 
     def detect(self, data: np.ndarray, chunk_size: int = 1 << 15) -> BurstSet:
         """Convenience: run over a whole array in chunks."""
@@ -305,6 +539,51 @@ class AdaptiveDetector:
         structure = train_structure(
             train, self.thresholds, params=self.config.search_params
         )
+        return self._handover(
+            structure,
+            reason,
+            float(train.mean()),
+            float(train.std(ddof=0)),
+        )
+
+    def _submit_background(self) -> None:
+        """Ship the current training slice to the background retrainer."""
+        if self._retrainer is None:
+            self._retrainer = ProcessRetrainer()
+            self._owns_retrainer = True
+        reason = "drift" if self._monitor.drifted() else "periodic"
+        # Snapshot the slice: the buffer keeps rolling while the search
+        # runs, and the monitor must re-anchor to the statistics of the
+        # data the new structure was actually trained on.
+        train = self._buffer[-self.config.retrain_window :].copy()
+        self._retrainer.submit(
+            train, self.thresholds, self.config.search_params
+        )
+        self._pending = (
+            reason,
+            float(train.mean()),
+            float(train.std(ddof=0)),
+        )
+
+    def _poll_background(self) -> list[Burst]:
+        """Hot-swap onto a finished background search, if one landed."""
+        if self._retrainer is None or self._pending is None:
+            return []
+        structure = self._retrainer.poll()
+        if structure is None:
+            return []
+        reason, mu, sigma = self._pending
+        self._pending = None
+        return self._handover(structure, reason, mu, sigma)
+
+    def _handover(
+        self,
+        structure: SATStructure,
+        reason: str,
+        reference_mu: float,
+        reference_sigma: float,
+    ) -> list[Burst]:
+        """Swap detection onto ``structure`` at the current boundary."""
         # Flush the outgoing era: it owns every window ending before the
         # boundary.
         tail = self._emit(self._detector.finish())
@@ -320,7 +599,7 @@ class AdaptiveDetector:
         self.eras.append(
             Era(self._length, structure, detector.counters, reason)
         )
-        self._monitor.reset(float(train.mean()), float(train.std(ddof=0)))
+        self._monitor.reset(reference_mu, reference_sigma)
         return tail
 
     def describe(self) -> str:

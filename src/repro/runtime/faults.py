@@ -19,6 +19,12 @@ Fault kinds (``Fault.kind``):
 * ``"drop_reply"`` — the worker processes the round fully but never
   replies; its (now divergent) state dies with it when the deadline
   escalation kills it, and the replay must still be byte-identical.
+* ``"delay"`` — the straggler: the worker sleeps ``seconds`` before
+  processing the round, then replies normally.  Nothing fails; the
+  reply is just late, which is exactly the signal the overload layer
+  (latency EMA, backpressure, shedding) is built to absorb.  Keep the
+  delay below the supervisor deadline to model a slow worker; push it
+  past the deadline and it degenerates into a ``hang``.
 * ``"corrupt"`` — the parent flips the bytes of one stream's
   shared-memory slot after writing it, exercising checksum detection
   and the rewrite-and-resend path (the worker stays alive).
@@ -49,9 +55,12 @@ __all__ = [
 ]
 
 #: Kinds delivered to the worker as in-band directives.
-WORKER_FAULT_KINDS = ("kill", "hang", "hang_hard", "drop_reply")
+WORKER_FAULT_KINDS = ("kill", "hang", "hang_hard", "drop_reply", "delay")
 #: All kinds, including the parent-side shared-memory corruption.
 FAULT_KINDS = WORKER_FAULT_KINDS + ("corrupt",)
+
+#: Default straggler sleep when a ``delay`` fault gives no ``seconds``.
+DEFAULT_DELAY_SECONDS = 0.25
 
 
 @dataclass(frozen=True)
@@ -60,13 +69,15 @@ class Fault:
 
     ``round_index`` counts supervised ``process`` rounds from 0.
     ``worker`` addresses worker-side kinds; ``stream`` addresses
-    ``corrupt`` (the slot carrying that stream's chunk in that round).
+    ``corrupt`` (the slot carrying that stream's chunk in that round);
+    ``seconds`` is the straggler sleep for ``delay`` faults.
     """
 
     kind: str
     round_index: int
     worker: int = 0
     stream: str | None = None
+    seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -77,6 +88,13 @@ class Fault:
             raise ValueError("round_index must be >= 0")
         if self.kind == "corrupt" and self.stream is None:
             raise ValueError("corrupt faults must name a stream")
+        if self.kind == "delay":
+            if self.seconds is None:
+                object.__setattr__(self, "seconds", DEFAULT_DELAY_SECONDS)
+            elif self.seconds <= 0.0:
+                raise ValueError("delay faults need seconds > 0")
+        elif self.seconds is not None:
+            raise ValueError("only delay faults carry seconds")
 
 
 @dataclass(frozen=True)
@@ -92,9 +110,10 @@ class FaultPlan:
         round_index: int,
         worker: int = 0,
         stream: str | None = None,
+        seconds: float | None = None,
     ) -> "FaultPlan":
         """A plan with exactly one fault (the common test shape)."""
-        return cls((Fault(kind, round_index, worker, stream),))
+        return cls((Fault(kind, round_index, worker, stream, seconds),))
 
     @classmethod
     def random(
@@ -127,6 +146,13 @@ class FaultPlan:
                         if kind == "corrupt"
                         else None
                     ),
+                    # Stragglers sleep well under typical supervisor
+                    # deadlines so the reply is late, not lost.
+                    seconds=(
+                        float(rng.uniform(0.05, 0.3))
+                        if kind == "delay"
+                        else None
+                    ),
                 )
             )
         return cls(tuple(faults))
@@ -141,7 +167,10 @@ class FaultPlan:
                 if f.kind == "corrupt"
                 else f"worker={f.worker}"
             )
-            parts.append(f"{f.kind}@r{f.round_index}[{where}]")
+            tag = f.kind
+            if f.kind == "delay" and f.seconds is not None:
+                tag = f"delay({f.seconds:.2f}s)"
+            parts.append(f"{tag}@r{f.round_index}[{where}]")
         return "FaultPlan(" + ", ".join(parts) + ")"
 
 
@@ -157,8 +186,14 @@ class FaultInjector:
     plan: FaultPlan
     _fired: set[int] = field(default_factory=set)
 
-    def worker_directive(self, round_index: int, worker: int) -> str | None:
-        """The in-band fault (if any) to ship with this worker's command."""
+    def worker_directive(
+        self, round_index: int, worker: int
+    ) -> str | tuple[str, float] | None:
+        """The in-band fault (if any) to ship with this worker's command.
+
+        Most kinds travel as a bare string; ``delay`` travels as
+        ``("delay", seconds)`` so the straggler knows how long to sleep.
+        """
         for i, f in enumerate(self.plan.faults):
             if (
                 i not in self._fired
@@ -167,6 +202,9 @@ class FaultInjector:
                 and f.worker == worker
             ):
                 self._fired.add(i)
+                if f.kind == "delay":
+                    assert f.seconds is not None  # set in __post_init__
+                    return ("delay", f.seconds)
                 return f.kind
         return None
 

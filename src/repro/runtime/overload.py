@@ -1,0 +1,581 @@
+"""Overload control: latency hysteresis, accountable shedding, stats.
+
+Under sustained traffic the parallel runtime must not silently fall
+behind.  This module supplies the pieces the runtime composes into a
+graceful-degradation path:
+
+* :class:`OverloadDetector` — an EMA over per-round worker latency with
+  *hysteresis* (separate enter/exit thresholds) and a *minimum dwell*
+  (rounds a state must be held before the next transition).  Either
+  mechanism alone can thrash on noisy latency; together they bound the
+  transition rate to ``1 / min_dwell_rounds`` and require the EMA to
+  traverse the whole ``(exit, enter)`` band to flip state.
+* :class:`SheddingReport` / :class:`ShedAction` — the accounting ledger
+  for load shedding.  The runtime invariant (enforced by lint rule
+  RL008) is that *nothing is dropped or coarsened silently*: every shed
+  decision appends an action naming the stream, the round, and the
+  exact number of points affected.
+* :class:`ShedPlanner` — the per-run policy engine.  Given one of the
+  shedding policies it decides, round by round, which chunks to
+  dispatch, defer, or drop, and records every decision:
+
+  - ``"none"``: never sheds; the detector still tracks overload so
+    ``stats()`` can report it.
+  - ``"widen_chunks"``: while overloaded, buffers incoming chunks and
+    releases the backlog in a single dispatch round every
+    ``widen_factor`` rounds.  The buffered chunks are shipped intact
+    and processed in arrival order, so bursts and op counters are
+    byte-identical to the undeferred run — deferral only trades
+    latency for fewer IPC round-trips.
+  - ``"sample_streams"``: while overloaded, drops whole chunks for a
+    rotating subset of streams.  Lossy by design; the report records
+    exactly which (stream, round, points) were sacrificed.
+  - ``"coarsen_sat"``: while overloaded, collapses each stream's SAT to
+    the two-level structure built from its top level (see
+    :func:`coarsen_structure`), and restores the trained structure on
+    exit.  Swaps land on aligned stream positions (see
+    :func:`swap_alignment`), so the run finds exactly the same bursts
+    — emission order may interleave differently around a swap — while
+    only the per-window filtering cost model degrades (op counters
+    differ).
+* :class:`RuntimeStats` — the one-shot snapshot ``stats()`` returns:
+  latency percentiles, queue depth, overload state, shed totals,
+  restarts, and the degraded flag.
+
+Everything here is clock-free (lint rule RL005): latency samples are
+the accumulated poll-interval waits measured by the pool's
+deadline-aware receive, not wall-clock reads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..core.structure import SATStructure
+
+__all__ = [
+    "SHEDDING_POLICIES",
+    "OverloadConfig",
+    "OverloadDetector",
+    "ShedAction",
+    "SheddingReport",
+    "ShedPlanner",
+    "RuntimeStats",
+    "coarsen_structure",
+    "latency_percentiles",
+    "swap_alignment",
+    "swap_split",
+]
+
+#: The shedding policy ladder, mildest first.
+SHEDDING_POLICIES = ("none", "widen_chunks", "sample_streams", "coarsen_sat")
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Tuning for the latency-EMA overload detector.
+
+    ``enter_latency`` / ``exit_latency`` are seconds of smoothed
+    per-round worker wait; the gap between them is the hysteresis band.
+    ``min_dwell_rounds`` is the minimum number of observations between
+    state transitions.  ``widen_factor`` and ``sample_fraction``
+    parameterise the respective shedding policies.
+    """
+
+    enter_latency: float = 1.0
+    exit_latency: float = 0.25
+    ema_alpha: float = 0.3
+    min_dwell_rounds: int = 3
+    widen_factor: int = 2
+    sample_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.enter_latency > 0.0:
+            raise ValueError("enter_latency must be > 0")
+        if not 0.0 < self.exit_latency < self.enter_latency:
+            raise ValueError(
+                "exit_latency must satisfy 0 < exit < enter "
+                "(the gap is the hysteresis band)"
+            )
+        if not 0.0 < self.ema_alpha <= 1.0:
+            raise ValueError("ema_alpha must be in (0, 1]")
+        if self.min_dwell_rounds < 1:
+            raise ValueError("min_dwell_rounds must be >= 1")
+        if self.widen_factor < 2:
+            raise ValueError("widen_factor must be >= 2")
+        if not 0.0 < self.sample_fraction < 1.0:
+            raise ValueError("sample_fraction must be in (0, 1)")
+
+
+class OverloadDetector:
+    """EMA latency tracker with hysteresis and minimum dwell.
+
+    The no-thrash guarantee is structural: a transition requires *both*
+    the EMA on the far side of the relevant threshold *and* at least
+    ``min_dwell_rounds`` observations since the last transition, so
+    ``transitions <= observations / min_dwell_rounds`` for any input,
+    and oscillation confined to the ``(exit, enter)`` band never
+    transitions at all.
+    """
+
+    def __init__(self, config: OverloadConfig | None = None) -> None:
+        self._config = config or OverloadConfig()
+        self._ema: float | None = None
+        self._overloaded = False
+        self._dwell = 0
+        self._rounds = 0
+        self._overloaded_rounds = 0
+        self._transitions = 0
+
+    @property
+    def config(self) -> OverloadConfig:
+        return self._config
+
+    @property
+    def ema(self) -> float:
+        """Current smoothed latency (0 before the first observation)."""
+        return 0.0 if self._ema is None else self._ema
+
+    @property
+    def overloaded(self) -> bool:
+        return self._overloaded
+
+    @property
+    def state(self) -> str:
+        return "overloaded" if self._overloaded else "normal"
+
+    @property
+    def rounds(self) -> int:
+        """Total observations seen."""
+        return self._rounds
+
+    @property
+    def overloaded_rounds(self) -> int:
+        """Observations spent in the overloaded state."""
+        return self._overloaded_rounds
+
+    @property
+    def transitions(self) -> int:
+        """State flips so far (enter + exit each count once)."""
+        return self._transitions
+
+    def observe(self, latency: float) -> bool:
+        """Fold one round's latency sample in; returns the new state."""
+        if latency < 0.0:
+            raise ValueError("latency must be >= 0")
+        cfg = self._config
+        if self._ema is None:
+            self._ema = latency
+        else:
+            self._ema = cfg.ema_alpha * latency + (1 - cfg.ema_alpha) * self._ema
+        self._rounds += 1
+        self._dwell += 1
+        if self._dwell >= cfg.min_dwell_rounds:
+            if not self._overloaded and self._ema >= cfg.enter_latency:
+                self._overloaded = True
+                self._transitions += 1
+                self._dwell = 0
+            elif self._overloaded and self._ema <= cfg.exit_latency:
+                self._overloaded = False
+                self._transitions += 1
+                self._dwell = 0
+        if self._overloaded:
+            self._overloaded_rounds += 1
+        return self._overloaded
+
+
+@dataclass(frozen=True)
+class ShedAction:
+    """One recorded shed decision: what happened, to whom, how much.
+
+    ``action`` is one of ``"defer"`` (chunk buffered, nothing lost),
+    ``"flush"`` (buffered chunks dispatched in one batched round),
+    ``"drop"`` (chunk discarded — real data loss), ``"coarsen"`` /
+    ``"restore"`` (a stream's SAT structure swapped).  ``points`` is the
+    exact number of data points involved.
+    """
+
+    policy: str
+    action: str
+    round_index: int
+    stream: str
+    points: int = 0
+    detail: str = ""
+
+    def __str__(self) -> str:
+        base = f"{self.action}@r{self.round_index}[{self.stream}]"
+        if self.points:
+            base += f" points={self.points}"
+        if self.detail:
+            base += f" ({self.detail})"
+        return base
+
+
+class SheddingReport:
+    """The accountable-shedding ledger (lint rule RL008).
+
+    Every shed decision the runtime takes must be recorded here before
+    (or as) it happens; consumers can then reconcile input sizes against
+    ``dropped_points`` / ``deferred_points`` exactly.
+    """
+
+    def __init__(self, policy: str) -> None:
+        if policy not in SHEDDING_POLICIES:
+            raise ValueError(
+                f"unknown shedding policy {policy!r}; "
+                f"one of {SHEDDING_POLICIES}"
+            )
+        self.policy = policy
+        self._actions: list[ShedAction] = []
+
+    @property
+    def actions(self) -> tuple[ShedAction, ...]:
+        return tuple(self._actions)
+
+    def record(self, action: ShedAction) -> None:
+        self._actions.append(action)
+
+    def _total(self, kind: str) -> int:
+        return sum(a.points for a in self._actions if a.action == kind)
+
+    @property
+    def dropped_points(self) -> int:
+        """Points discarded outright (``sample_streams`` only)."""
+        return self._total("drop")
+
+    @property
+    def deferred_points(self) -> int:
+        """Points buffered for a later wide flush (losslessly)."""
+        return self._total("defer")
+
+    @property
+    def coarsened_streams(self) -> int:
+        """Streams whose structure was coarsened at least once."""
+        return len(
+            {a.stream for a in self._actions if a.action == "coarsen"}
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "policy": self.policy,
+            "actions": len(self._actions),
+            "dropped_points": self.dropped_points,
+            "deferred_points": self.deferred_points,
+            "coarsened_streams": self.coarsened_streams,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"shed={self.policy} actions={len(self._actions)} "
+            f"dropped={self.dropped_points} "
+            f"deferred={self.deferred_points} "
+            f"coarsened={self.coarsened_streams}"
+        )
+
+
+# A pure structure transform: no stream data is touched, so there is
+# nothing to account for — the ShedPlanner records the coarsen/restore
+# decisions that apply it.
+def coarsen_structure(structure: SATStructure) -> SATStructure:  # repro: noqa[RL008]
+    """The degraded-mode SAT: level 0 plus the original top level only.
+
+    Any two-level structure ``[(top.size, top.shift)]`` is valid (sizes
+    increase from 1, any shift divides itself, and coverage is
+    unchanged), and because the top level is preserved the chunked
+    engine's history requirement — ``top.size + top.shift`` — is
+    identical, which is what makes the carry/from_carry swap legal in
+    *both* directions mid-run (at aligned stream positions, see
+    :func:`swap_alignment`).  Structures already at one level come
+    back unchanged.
+    """
+    if structure.num_levels <= 1:
+        return structure
+    top = structure.top
+    return SATStructure.from_pairs([(top.size, top.shift)])
+
+
+def swap_alignment(old: SATStructure, new: SATStructure) -> int:
+    """Stream-position granularity at which a structure swap is exact.
+
+    Node grids are *global*: the level with shift ``s`` owns exactly
+    the window ends congruent to ``s - 1 (mod s)``, regardless of how
+    the stream was chunked.  A carry/from_carry handover at stream
+    position ``B`` is therefore burst-exact iff every level of both
+    structures has a node boundary at ``B`` — i.e. ``B`` is divisible
+    by the lcm of all their shifts.  At any other position the new
+    structure's sparser (or denser) grids re-search window ends the old
+    one already covered and skip ends it never reached, producing
+    duplicate and missing bursts.
+    """
+    shifts = [lvl.shift for lvl in old.levels]
+    shifts += [lvl.shift for lvl in new.levels]
+    return math.lcm(*shifts)
+
+
+def swap_split(position: int, chunk_len: int, align: int) -> int | None:
+    """Offset inside the next chunk where a pending swap may land.
+
+    ``position`` is the stream length consumed so far.  Returns the
+    smallest split offset ``k`` such that ``position + k`` is a
+    multiple of ``align`` (``0`` when already aligned), or ``None``
+    when no aligned position falls within this chunk — the swap stays
+    pending and the whole chunk runs under the old structure.
+    """
+    ahead = (-position) % align
+    return ahead if ahead <= chunk_len else None
+
+
+class ShedPlanner:
+    """Per-run policy engine: decides and records every shed action.
+
+    The planner owns the :class:`OverloadDetector` and the
+    :class:`SheddingReport`; the runtime feeds it one latency sample per
+    round (:meth:`observe`) and routes each round's chunks through
+    :meth:`shed_round`.  Structure swaps for ``coarsen_sat`` are
+    decided here (:meth:`coarsen_now` / :meth:`restore_now`) but
+    executed by the runtime, which owns the workers.
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        config: OverloadConfig | None = None,
+    ) -> None:
+        self.detector = OverloadDetector(config)
+        self.report = SheddingReport(policy)
+        self._pending: dict[str, list[np.ndarray]] = {}
+        self._pending_rounds = 0
+        self._coarse = False
+
+    @property
+    def policy(self) -> str:
+        return self.report.policy
+
+    @property
+    def overloaded(self) -> bool:
+        return self.detector.overloaded
+
+    @property
+    def coarse(self) -> bool:
+        """Whether streams currently run the coarsened structure."""
+        return self._coarse
+
+    @property
+    def pending_points(self) -> int:
+        """Points currently buffered awaiting a wide flush."""
+        return sum(
+            c.size for chunks in self._pending.values() for c in chunks
+        )
+
+    def observe(self, latency: float) -> bool:
+        return self.detector.observe(latency)
+
+    # -- round planning ----------------------------------------------------
+    def shed_round(
+        self, round_index: int, chunks: Mapping[str, np.ndarray]
+    ) -> dict[str, list[np.ndarray]]:
+        """Apply the policy to one round's chunks; returns the dispatch set.
+
+        The returned mapping is what should actually be processed this
+        round, as an *ordered list of chunks per stream*.  It may be
+        empty (everything deferred), a subset (``sample_streams``), or
+        carry several chunks per stream — earlier deferred points
+        released by a ``widen_chunks`` flush, processed in arrival
+        order within a single dispatch round.
+        """
+        policy = self.report.policy
+        if policy == "widen_chunks":
+            return self._shed_widen(round_index, chunks)
+        if policy == "sample_streams":
+            return self._shed_sample(round_index, chunks)
+        # "none" and "coarsen_sat" dispatch every chunk unchanged;
+        # coarsening acts on structures, not on the data path.
+        return {name: [chunk] for name, chunk in chunks.items()}
+
+    def _shed_widen(
+        self, round_index: int, chunks: Mapping[str, np.ndarray]
+    ) -> dict[str, list[np.ndarray]]:
+        if not self.detector.overloaded and not self._pending:
+            return {name: [chunk] for name, chunk in chunks.items()}
+        for name, chunk in chunks.items():
+            self._pending.setdefault(name, []).append(chunk)
+        self._pending_rounds += 1
+        factor = self.detector.config.widen_factor
+        if self.detector.overloaded and self._pending_rounds < factor:
+            for name, chunk in chunks.items():
+                self.report.record(
+                    ShedAction(
+                        "widen_chunks", "defer", round_index, name,
+                        points=int(chunk.size),
+                        detail=f"buffered round {self._pending_rounds}"
+                        f"/{factor}",
+                    )
+                )
+            return {}
+        return self._flush_pending(round_index)
+
+    def _flush_pending(self, round_index: int) -> dict[str, list[np.ndarray]]:
+        """Release everything buffered by widen_chunks in one round.
+
+        The backlog is shipped as the original chunks, batched into a
+        single dispatch round: each deferred chunk is still processed
+        separately and in arrival order, so bursts keep their exact
+        emission order — only the number of IPC round-trips shrinks.
+        """
+        out: dict[str, list[np.ndarray]] = {}
+        for name, parts in self._pending.items():
+            out[name] = list(parts)
+            self.report.record(
+                ShedAction(
+                    "widen_chunks", "flush", round_index, name,
+                    points=int(sum(c.size for c in parts)),
+                    detail=f"{len(parts)} chunk(s) in one round",
+                )
+            )
+        self._pending.clear()
+        self._pending_rounds = 0
+        return out
+
+    def _shed_sample(
+        self, round_index: int, chunks: Mapping[str, np.ndarray]
+    ) -> dict[str, list[np.ndarray]]:
+        if not self.detector.overloaded:
+            return {name: [chunk] for name, chunk in chunks.items()}
+        # Rotate the sacrificed subset so no stream is starved: stream i
+        # is dropped when (i + round) lands in the shed stride.
+        fraction = self.detector.config.sample_fraction
+        stride = max(2, round(1.0 / (1.0 - fraction)))
+        out: dict[str, list[np.ndarray]] = {}
+        for i, name in enumerate(sorted(chunks)):
+            if (i + round_index) % stride == stride - 1:
+                self.report.record(
+                    ShedAction(
+                        "sample_streams", "drop", round_index, name,
+                        points=int(chunks[name].size),
+                        detail=f"stride {stride} rotation",
+                    )
+                )
+            else:
+                out[name] = [chunks[name]]
+        return out
+
+    # -- structure swaps (coarsen_sat) -------------------------------------
+    def coarsen_now(self, round_index: int, streams: Iterable[str]) -> bool:
+        """Should the runtime coarsen structures before this round?
+
+        Records a ``coarsen`` action per stream when firing; idempotent
+        while already coarse.
+        """
+        if (
+            self.report.policy != "coarsen_sat"
+            or self._coarse
+            or not self.detector.overloaded
+        ):
+            return False
+        self._coarse = True
+        for name in streams:
+            self.report.record(
+                ShedAction(
+                    "coarsen_sat", "coarsen", round_index, name,
+                    detail="collapsed to [level0, top]",
+                )
+            )
+        return True
+
+    def restore_now(self, round_index: int, streams: Iterable[str]) -> bool:
+        """Should the runtime restore trained structures this round?"""
+        if not self._coarse or self.detector.overloaded:
+            return False
+        self._coarse = False
+        for name in streams:
+            self.report.record(
+                ShedAction(
+                    "coarsen_sat", "restore", round_index, name,
+                    detail="trained structure reinstated",
+                )
+            )
+        return True
+
+    def drain_for_finish(self, round_index: int) -> dict[str, list[np.ndarray]]:
+        """Flush any widen_chunks backlog before the final fold."""
+        if not self._pending:
+            return {}
+        return self._flush_pending(round_index)
+
+
+@dataclass(frozen=True)
+class RuntimeStats:
+    """One ``stats()`` snapshot of the runtime's health.
+
+    Latency fields are seconds of accumulated poll-interval wait per
+    worker command (granularity one poll interval, see
+    :mod:`repro.runtime.pool`); ``queue_depth`` is the current maximum
+    number of in-flight commands across workers.
+    """
+
+    backend: str
+    workers: int
+    latency_p50: float
+    latency_p99: float
+    queue_depth: int
+    max_inflight: int
+    overloaded: bool
+    overloaded_rounds: int
+    transitions: int
+    shedding: str
+    shed_actions: int
+    dropped_points: int
+    deferred_points: int
+    coarsened_streams: int
+    total_restarts: int
+    degraded: bool
+
+    def describe(self) -> str:
+        """A stable one-line rendering for logs and the CLI."""
+        return (
+            f"backend={self.backend} workers={self.workers} "
+            f"p50={self.latency_p50:.3f}s p99={self.latency_p99:.3f}s "
+            f"queue={self.queue_depth}/{self.max_inflight} "
+            f"overload={'yes' if self.overloaded else 'no'} "
+            f"shed={self.shedding} actions={self.shed_actions} "
+            f"dropped={self.dropped_points} "
+            f"deferred={self.deferred_points} "
+            f"coarsened={self.coarsened_streams} "
+            f"restarts={self.total_restarts} "
+            f"degraded={'yes' if self.degraded else 'no'}"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "queue_depth": self.queue_depth,
+            "max_inflight": self.max_inflight,
+            "overloaded": self.overloaded,
+            "overloaded_rounds": self.overloaded_rounds,
+            "transitions": self.transitions,
+            "shedding": self.shedding,
+            "shed_actions": self.shed_actions,
+            "dropped_points": self.dropped_points,
+            "deferred_points": self.deferred_points,
+            "coarsened_streams": self.coarsened_streams,
+            "total_restarts": self.total_restarts,
+            "degraded": self.degraded,
+        }
+
+
+def latency_percentiles(samples: Iterable[float]) -> tuple[float, float]:
+    """(p50, p99) of the recorded latency samples; zeros when empty."""
+    arr = np.asarray(tuple(samples), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0, 0.0
+    return (
+        float(np.percentile(arr, 50)),
+        float(np.percentile(arr, 99)),
+    )

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+from collections import deque
 from multiprocessing.connection import Connection
 from typing import Any
 
@@ -42,6 +43,12 @@ __all__ = [
 
 #: Seconds between liveness checks while waiting on a worker reply.
 _POLL_INTERVAL = 0.1
+
+#: Default bound on in-flight commands per worker (backpressure).
+DEFAULT_MAX_INFLIGHT = 32
+
+#: Recent latency samples kept for percentile reporting.
+_LATENCY_WINDOW = 512
 
 
 class WorkerError(RuntimeError):
@@ -92,7 +99,7 @@ def _recv_with_deadline(
     proc: mp.process.BaseProcess,
     worker: int,
     timeout: float | None,
-) -> tuple[Any, ...]:
+) -> tuple[tuple[Any, ...], float]:
     """Receive one reply, bounded by liveness *and* an optional deadline.
 
     This is the deadline-aware IPC helper every parent-side receive must
@@ -102,6 +109,11 @@ def _recv_with_deadline(
     timeout raises :class:`WorkerTimeout` once the accumulated poll time
     reaches it, leaving escalation (terminate/kill + restart) to the
     caller.
+
+    Returns ``(reply, waited)`` where ``waited`` is the accumulated poll
+    time in seconds — the clock-free latency sample the overload layer
+    feeds on (granularity one poll interval; an immediate reply reads as
+    0.0).
     """
     waited = 0.0
     while not conn.poll(_POLL_INTERVAL):
@@ -120,9 +132,11 @@ def _recv_with_deadline(
             )
     try:
         reply: tuple[Any, ...] = conn.recv()
-    except EOFError as exc:
+    except (EOFError, ConnectionResetError) as exc:
+        # A clean close raises EOFError; a peer that dies between the
+        # readiness poll and the read resets the connection instead.
         raise WorkerCrashed(f"worker {worker} closed its pipe") from exc
-    return reply
+    return reply, waited
 
 
 class WorkerPool:
@@ -132,6 +146,14 @@ class WorkerPool:
     :meth:`recv` when the caller gives no per-call timeout; ``None``
     (the default) preserves the legacy wait-forever-while-alive
     behaviour.
+
+    ``max_inflight`` bounds the commands outstanding per worker:
+    :meth:`send` refuses to queue past the bound, so a producer that
+    outruns its workers hits explicit backpressure instead of growing
+    the pipe buffer without limit.  The pool also keeps clock-free
+    telemetry — per-worker in-flight depth, a window of recent reply
+    waits, and a drainable per-round maximum wait — which the overload
+    layer turns into latency percentiles and overload decisions.
     """
 
     def __init__(
@@ -139,13 +161,22 @@ class WorkerPool:
         n_workers: int,
         context: mp.context.BaseContext | None = None,
         recv_timeout: float | None = None,
+        max_inflight: int | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("a pool needs at least one worker")
+        if max_inflight is None:
+            max_inflight = DEFAULT_MAX_INFLIGHT
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self._ctx = context or _default_context()
         self._recv_timeout = recv_timeout
+        self._max_inflight = max_inflight
         self._procs: list[mp.process.BaseProcess] = []
         self._conns: list[Connection] = []
+        self._inflight: list[int] = [0] * n_workers
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._wait_max = 0.0
         self._closed = False
         try:
             for i in range(n_workers):
@@ -176,14 +207,45 @@ class WorkerPool:
     def num_workers(self) -> int:
         return len(self._procs)
 
+    @property
+    def max_inflight(self) -> int:
+        """The backpressure bound on outstanding commands per worker."""
+        return self._max_inflight
+
     def alive(self, worker: int) -> bool:
         """Whether the worker process is currently running."""
         return self._procs[worker].is_alive()
+
+    # -- telemetry ---------------------------------------------------------
+    def queue_depths(self) -> tuple[int, ...]:
+        """Current in-flight command count per worker."""
+        return tuple(self._inflight)
+
+    def latency_samples(self) -> tuple[float, ...]:
+        """Recent reply waits (seconds), oldest first, bounded window."""
+        return tuple(self._latencies)
+
+    def drain_wait_max(self) -> float:
+        """Largest reply wait since the last drain; resets to zero.
+
+        The overload controller calls this once per round, turning the
+        pool's per-command waits into one round-level latency sample.
+        """
+        peak = self._wait_max
+        self._wait_max = 0.0
+        return peak
 
     # -- messaging ---------------------------------------------------------
     def send(self, worker: int, message: tuple[Any, ...]) -> None:
         if self._closed:
             raise RuntimeError("pool is closed")
+        if self._inflight[worker] >= self._max_inflight:
+            raise RuntimeError(
+                f"backpressure: worker {worker} already has "
+                f"{self._inflight[worker]} commands in flight "
+                f"(max_inflight={self._max_inflight}); recv replies "
+                "before sending more"
+            )
         try:
             self._conns[worker].send(message)
         except (BrokenPipeError, OSError) as exc:
@@ -191,6 +253,7 @@ class WorkerPool:
                 f"worker {worker} is gone (exitcode="
                 f"{self._procs[worker].exitcode})"
             ) from exc
+        self._inflight[worker] += 1
 
     def recv(
         self, worker: int, timeout: float | None = None
@@ -207,9 +270,16 @@ class WorkerPool:
             raise RuntimeError("pool is closed")
         if timeout is None:
             timeout = self._recv_timeout
-        reply = _recv_with_deadline(
+        reply, waited = _recv_with_deadline(
             self._conns[worker], self._procs[worker], worker, timeout
         )
+        # A reply arrived (even an error reply): the command is no
+        # longer in flight.  Crash/timeout paths leave the count as-is;
+        # restart() resets it with the worker's state.
+        self._inflight[worker] = max(0, self._inflight[worker] - 1)
+        self._latencies.append(waited)
+        if waited > self._wait_max:
+            self._wait_max = waited
         if reply and reply[0] == "error":
             _, err, tb = reply
             raise WorkerError(
@@ -260,6 +330,8 @@ class WorkerPool:
         except OSError:
             pass
         self._spawn(worker)
+        # The replacement starts with an empty pipe: nothing in flight.
+        self._inflight[worker] = 0
 
     # -- lifecycle ---------------------------------------------------------
     def close(self, join_timeout: float = 5.0) -> None:

@@ -30,6 +30,20 @@ Protocol (request -> reply):
   resends.  ``fault`` is a fault-injection directive
   (:mod:`repro.runtime.faults`) executed before the command, used only by
   the deterministic chaos harness.
+* ``("reshape", [(name, structure), ...])`` -> ``("reshaped", n)`` —
+  schedule a hot-swap of each named stream's SAT structure (the
+  overload layer's ``coarsen_sat`` policy and its restore path).  The
+  swap is *pending*, not immediate: node grids are global, so the
+  carry/from_carry handover is burst-exact only at stream positions
+  divisible by every level shift of both structures
+  (:func:`~repro.runtime.overload.swap_alignment`).  The worker applies
+  it at the first aligned offset inside a subsequent chunk, splitting
+  that chunk around the swap point; the parent mirrors the same rule to
+  know which structure each checkpoint was taken under.  The carry is
+  structure-independent and the swap preserves the engine history
+  requirement, so detection continues without losing tail state; op
+  counters keep their original depth.  All names are scheduled in one
+  command so a supervised exchange covers the whole shard atomically.
 * ``("finish",)`` -> ``("finished", [(name, bursts)], {name: counters})``
 * ``("counters",)`` -> ``("counters", {name: counters})``
 * ``("stop",)`` -> worker exits (no reply)
@@ -48,10 +62,15 @@ import traceback
 from multiprocessing.connection import Connection
 from typing import Any
 
+import numpy as np
+
 from ..core.aggregates import aggregate_by_name
 from ..core.chunked import ChunkedDetector, DetectorCarry
+from ..core.events import Burst
 from ..core.search import train_structure
+from ..core.structure import SATStructure
 from ..core.thresholds import NormalThresholds
+from .overload import swap_alignment, swap_split
 from .shm import ChunkCorruption, ChunkReader
 
 __all__ = ["worker_main"]
@@ -62,15 +81,20 @@ __all__ = ["worker_main"]
 _HANG_SECONDS = 600.0
 
 
-def _inject_fault(kind: str) -> None:
+def _inject_fault(directive: str | tuple[str, float]) -> None:
     """Execute a fault-injection directive (chaos testing only).
 
     ``kill`` SIGKILLs the process mid-command — the hard-crash case.
     ``hang`` goes silent while staying alive (terminate-able);
     ``hang_hard`` additionally masks SIGTERM so only SIGKILL works,
-    exercising the full escalation ladder.  ``drop_reply`` is handled by
-    the caller (the command runs, the reply is suppressed).
+    exercising the full escalation ladder.  ``("delay", seconds)`` is
+    the straggler: sleep, then run the command and reply normally —
+    nothing fails, the reply is just late.  ``drop_reply`` is handled
+    by the caller (the command runs, the reply is suppressed).
     """
+    kind, seconds = (
+        directive if isinstance(directive, tuple) else (directive, 0.0)
+    )
     if kind == "kill":
         os.kill(os.getpid(), signal.SIGKILL)
     elif kind in ("hang", "hang_hard"):
@@ -80,6 +104,8 @@ def _inject_fault(kind: str) -> None:
         # The parent should have killed us long ago; don't limp on with
         # state the supervisor has already replayed elsewhere.
         os._exit(3)
+    elif kind == "delay":
+        time.sleep(seconds)
     elif kind != "drop_reply":
         raise ValueError(f"unknown fault directive {kind!r}")
 
@@ -88,6 +114,7 @@ def worker_main(conn: Connection, worker_id: int) -> None:
     """Run the worker loop until a ``stop`` command or EOF."""
     reader = ChunkReader()
     detectors: dict[str, ChunkedDetector] = {}
+    pending: dict[str, SATStructure] = {}
     try:
         while True:
             try:
@@ -105,7 +132,7 @@ def worker_main(conn: Connection, worker_id: int) -> None:
             if fault is not None:
                 _inject_fault(fault)
             try:
-                reply = _dispatch(cmd, msg, detectors, reader)
+                reply = _dispatch(cmd, msg, detectors, pending, reader)
             except ChunkCorruption as exc:
                 # No detector advanced (refs are validated up front):
                 # tell the parent so it can rewrite the slots and resend
@@ -124,10 +151,54 @@ def worker_main(conn: Connection, worker_id: int) -> None:
         conn.close()
 
 
+def _process_stream(
+    name: str,
+    chunk: np.ndarray,
+    detectors: dict[str, ChunkedDetector],
+    pending: dict[str, SATStructure],
+) -> list[Burst]:
+    """Advance one stream by one chunk, applying any pending swap.
+
+    A scheduled structure swap lands at the first stream position
+    divisible by the alignment of the two structures; the chunk is
+    split there so the prefix runs under the old structure and the
+    suffix under the new one.  When no aligned position falls inside
+    this chunk the swap stays pending.  The parent predicts this rule
+    with the same arithmetic, so its per-stream config records track
+    exactly which structure each checkpoint carry was taken under.
+    """
+    det = detectors[name]
+    target = pending.get(name)
+    if target is None:
+        return det.process(chunk)
+    if target == det.structure:
+        # Coarsen scheduled, then restore scheduled before it ever
+        # landed: the net swap is a no-op.
+        del pending[name]
+        return det.process(chunk)
+    align = swap_alignment(det.structure, target)
+    split = swap_split(det.length, int(chunk.size), align)
+    if split is None:
+        return det.process(chunk)
+    bursts = det.process(chunk[:split]) if split else []
+    det = ChunkedDetector.from_carry(
+        target,
+        det.thresholds,
+        det.carry(),
+        refine_filter=det.refine_filter,
+    )
+    detectors[name] = det
+    del pending[name]
+    if split < chunk.size:
+        bursts.extend(det.process(chunk[split:]))
+    return bursts
+
+
 def _dispatch(
     cmd: str,
     msg: tuple[Any, ...],
     detectors: dict[str, ChunkedDetector],
+    pending: dict[str, SATStructure],
     reader: ChunkReader,
 ) -> tuple[Any, ...]:
     if cmd == "build":
@@ -144,6 +215,9 @@ def _dispatch(
         detectors[name] = ChunkedDetector.from_carry(
             structure, thresholds, carry, refine_filter=refine
         )
+        # A restore supersedes any swap scheduled for the old detector;
+        # the parent re-sends still-pending swaps after re-priming.
+        pending.pop(name, None)
         return ("restored", name)
     if cmd == "train":
         _, name, ref, probability, window_sizes, params, agg_name, refine = msg
@@ -166,12 +240,22 @@ def _dispatch(
         # detector: a corrupt slot must not leave a shard half-advanced.
         views = [(name, reader.view(ref)) for name, ref in work]
         results = [
-            (name, detectors[name].process(chunk)) for name, chunk in views
+            (name, _process_stream(name, chunk, detectors, pending))
+            for name, chunk in views
         ]
         carries: dict[str, DetectorCarry] | None = None
         if want_carry:
             carries = {name: detectors[name].carry() for name, _ in work}
         return ("bursts", results, carries)
+    if cmd == "reshape":
+        _, swaps = msg
+        for name, structure in swaps:
+            # Scheduled, not applied: the carry/from_carry handover is
+            # exact only at aligned stream positions, so the swap waits
+            # for the first aligned offset in a future chunk (see
+            # _process_stream).  A newer schedule replaces an older one.
+            pending[name] = structure
+        return ("reshaped", len(swaps))
     if cmd == "finish":
         _, = msg
         tails = [

@@ -1,0 +1,27 @@
+"""RL008 fixture: work shed off the books — no SheddingReport in sight."""
+
+
+# BAD: drops whole streams and nobody will ever know. -> RL008 here
+def drop_slow_streams(chunks, overloaded):
+    if not overloaded:
+        return dict(chunks)
+    return {name: c for name, c in chunks.items() if name < "m"}
+
+
+class SilentPlanner:
+    def __init__(self):
+        self._pending = []
+
+    # BAD: deferring is shedding too; the ledger misses it. -> RL008 here
+    def defer_round(self, chunks):
+        self._pending.append(dict(chunks))
+        return {}
+
+    # BAD: swapping structures without a coarsen entry. -> RL008 here
+    def coarsen_all(self, structures):
+        return {name: s.top for name, s in structures.items()}
+
+
+# BAD: sampling away half the load, untracked. -> RL008 here
+async def sample_every_other(chunks):
+    return {n: c for i, (n, c) in enumerate(sorted(chunks.items())) if i % 2}

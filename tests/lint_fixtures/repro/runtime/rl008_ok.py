@@ -1,0 +1,39 @@
+"""RL008 fixture: accountable shedding — every shed lands in the ledger."""
+
+
+class Ledger:
+    def __init__(self):
+        self.actions = []
+
+    def record(self, action):
+        self.actions.append(action)
+
+
+class AccountablePlanner:
+    def __init__(self, report):
+        self.report = report
+        self._policy = "sample_streams"
+
+    # OK: every dropped stream becomes a ShedAction-shaped entry.
+    def drop_round(self, round_index, chunks):
+        for name, chunk in chunks.items():
+            self.report.record(("drop", round_index, name, chunk.size))
+        return {}
+
+    # OK: deferral is recorded per stream before buffering.
+    def defer_chunks(self, round_index, chunks, report):
+        for name in chunks:
+            report.record(("defer", round_index, name))
+        return {}
+
+    # OK: accessors shed nothing; @property is exempt by design.
+    @property
+    def shedding(self):
+        return self._policy
+
+
+# OK: the ledger is threaded in and written before the coarse swap.
+def coarsen_with_receipt(structures, report):
+    for name in sorted(structures):
+        report.record(("coarsen", name))
+    return structures

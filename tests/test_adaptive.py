@@ -1,10 +1,19 @@
 """Tests for adaptive detection over time-evolving streams."""
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.core.adaptive import AdaptiveConfig, AdaptiveDetector, DriftMonitor
+from repro.core.adaptive import (
+    AdaptiveConfig,
+    AdaptiveDetector,
+    DriftMonitor,
+    InlineRetrainer,
+    ProcessRetrainer,
+)
 from repro.core.chunked import ChunkedDetector
+from repro.core.events import BurstSet
 from repro.core.naive import naive_detect
 from repro.core.search import SearchParams, train_structure
 from repro.core.thresholds import NormalThresholds, all_sizes
@@ -197,3 +206,96 @@ class TestPreload:
         d.process(data)
         with pytest.raises(RuntimeError):
             d.preload(data)
+
+
+class TestBackgroundRetrain:
+    """The hot-swap contract: retraining off the ingest path changes
+    *when* the handover lands (one chunk later than blocking, or
+    whenever the search process finishes), never *which* bursts the
+    stream yields — structure selection affects cost, not detection."""
+
+    def _make(self, train, **kwargs):
+        thresholds = NormalThresholds.from_data(train, 1e-5, all_sizes(48))
+        config = AdaptiveConfig(
+            min_era_points=15_000,
+            retrain_window=8_000,
+            search_params=FAST_SEARCH,
+        )
+        return (
+            AdaptiveDetector(thresholds, train, config, **kwargs),
+            thresholds,
+        )
+
+    def test_inline_background_identical_to_blocking(self):
+        data = drifting_stream(40_000, seed=3)
+        train = data[:8_000]
+        blocking, thresholds = self._make(train)
+        want = blocking.detect(data, chunk_size=7_777)
+        assert len(blocking.eras) >= 2
+        background, _ = self._make(
+            train, retrain="background", retrainer=InlineRetrainer()
+        )
+        got = background.detect(data, chunk_size=7_777)
+        assert len(background.eras) >= 2
+        assert got == want
+        # The handover is deferred by exactly the poll cadence: the
+        # background era starts one chunk after the blocking one.
+        assert background.eras[1].start > blocking.eras[1].start
+
+    def test_process_retrainer_identical_to_blocking(self):
+        data = drifting_stream(40_000, seed=3)
+        train = data[:8_000]
+        blocking, thresholds = self._make(train)
+        want = blocking.detect(data, chunk_size=7_777)
+        retrainer = ProcessRetrainer()
+        try:
+            background, _ = self._make(
+                train, retrain="background", retrainer=retrainer
+            )
+            bursts = []
+            for lo in range(0, data.size, 7_777):
+                if retrainer.busy:
+                    # Give the search process time to finish so the next
+                    # chunk's poll lands the swap mid-stream rather than
+                    # the search being abandoned at finish().
+                    time.sleep(0.75)
+                bursts.extend(background.process(data[lo : lo + 7_777]))
+            bursts.extend(background.finish())
+            assert len(background.eras) >= 2
+            assert BurstSet(bursts) == want
+        finally:
+            retrainer.close()
+
+    def test_retrain_kwarg_validation(self):
+        data = poisson_stream(8.0, 9_000, seed=6)
+        with pytest.raises(ValueError, match="retrain must be"):
+            self._make(data[:8_000], retrain="eventually")
+        with pytest.raises(ValueError, match="requires retrain="):
+            self._make(data[:8_000], retrainer=InlineRetrainer())
+
+    def test_pending_search_abandoned_at_finish(self):
+        data = drifting_stream(20_000, seed=7)
+        retrainer = InlineRetrainer()
+        detector, thresholds = self._make(
+            data[:8_000], retrain="background", retrainer=retrainer
+        )
+        # One whole-stream chunk: drift is only visible at the end of
+        # the call, so the submit happens with no later poll to land it.
+        bursts = detector.process(data)
+        assert retrainer.busy  # the search ran and is awaiting delivery
+        bursts.extend(detector.finish())
+        assert len(detector.eras) == 1  # never swapped
+        assert retrainer.busy  # an injected retrainer is not reaped...
+        assert BurstSet(bursts) == naive_detect(data, thresholds)
+        retrainer.close()
+        assert not retrainer.busy  # ...until its owner closes it
+
+    def test_submit_while_busy_raises(self):
+        r = InlineRetrainer()
+        data = poisson_stream(5.0, 2_000, seed=8)
+        thresholds = NormalThresholds.from_data(data, 1e-3, all_sizes(16))
+        r.submit(data, thresholds, FAST_SEARCH)
+        with pytest.raises(RuntimeError, match="already pending"):
+            r.submit(data, thresholds, FAST_SEARCH)
+        assert r.poll() is not None
+        assert r.poll() is None  # delivery is one-shot

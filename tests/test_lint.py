@@ -46,6 +46,7 @@ def expected_lines(path: Path, code: str) -> list[int]:
         ("testkit/rl005_bad.py", "RL005"),
         ("core/rl006_bad.py", "RL006"),
         ("runtime/rl007_bad.py", "RL007"),
+        ("runtime/rl008_bad.py", "RL008"),
     ],
 )
 def test_bad_fixture_trips_rule_at_marked_lines(fixture, code):
@@ -68,7 +69,12 @@ def test_rl001_distinguishes_ownership_gaps():
 
 @pytest.mark.parametrize(
     "fixture",
-    ["runtime/rl001_ok.py", "runtime/rl007_ok.py", "experiments/scope_ok.py"],
+    [
+        "runtime/rl001_ok.py",
+        "runtime/rl007_ok.py",
+        "runtime/rl008_ok.py",
+        "experiments/scope_ok.py",
+    ],
 )
 def test_clean_fixtures_produce_no_findings(fixture):
     assert lint_fixture(fixture) == []

@@ -236,9 +236,9 @@ class TestInflightBound:
         # Force the sliding window to engage many times over: with the
         # bound at 2 and 25 streams on 2 workers, setup must interleave
         # sends and acks or it would not terminate correctly.
-        import repro.runtime.parallel as parallel_mod
+        import repro.runtime.pool as pool_mod
 
-        monkeypatch.setattr(parallel_mod, "_MAX_INFLIGHT", 2)
+        monkeypatch.setattr(pool_mod, "DEFAULT_MAX_INFLIGHT", 2)
         structure, thresholds = shared_setup
         streams = {
             f"s{i:02d}": rng.poisson(5.0, 120).astype(float)
@@ -251,9 +251,9 @@ class TestInflightBound:
         assert fleet.detect(streams) == serial.detect(streams)
 
     def test_per_stream_training_with_tiny_window(self, rng, monkeypatch):
-        import repro.runtime.parallel as parallel_mod
+        import repro.runtime.pool as pool_mod
 
-        monkeypatch.setattr(parallel_mod, "_MAX_INFLIGHT", 1)
+        monkeypatch.setattr(pool_mod, "DEFAULT_MAX_INFLIGHT", 1)
         training = {
             f"s{i}": rng.poisson(6.0, 300).astype(float) for i in range(7)
         }
