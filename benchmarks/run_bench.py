@@ -40,8 +40,16 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.aggregates import MAX, SUM
+from repro.core.chunked import ChunkedDetector
+from repro.core.kernel import numba_available
 from repro.core.sbt import shifted_binary_tree
-from repro.core.thresholds import NormalThresholds, all_sizes
+from repro.core.structure import single_level_structure
+from repro.core.thresholds import (
+    FixedThresholds,
+    NormalThresholds,
+    all_sizes,
+)
 from repro.runtime import OverloadConfig, ParallelMultiStreamDetector
 
 
@@ -105,9 +113,118 @@ def median_runs(samples):
     }
 
 
+# ---------------------------------------------------------------------------
+# Kernel trajectory: fused-scan throughput, kernel vs NumPy fallback
+# ---------------------------------------------------------------------------
+
+def kernel_run_once(data, structure, thresholds, aggregate, backend, chunk):
+    """Time one single-stream chunked pass under one kernel backend."""
+    det = ChunkedDetector(structure, thresholds, aggregate, backend=backend)
+    t0 = time.perf_counter()
+    for lo in range(0, data.size, chunk):
+        det.process(data[lo : lo + chunk])
+    det.finish()
+    elapsed = time.perf_counter() - t0
+    return elapsed, det.counters
+
+
+def kernel_trajectory(args):
+    """points/s + op-count trajectory of the fused scan kernel.
+
+    Four workloads (dense and sparse SAT structures x sum and max
+    aggregates) run under every available backend.  Backends must agree
+    on the exact RAM-model op counts — that equality is asserted and
+    recorded, because the kernel's contract is "same operations, less
+    interpreter" — so the points/s column is the only thing allowed to
+    move.  The headline is the dense/sum speedup of the compiled kernel
+    over the NumPy fallback (target: >= 5x); on machines without numba
+    the numpy column is still recorded so the trajectory stays
+    comparable across PRs.
+    """
+    rng = np.random.default_rng(args.seed + 1)
+    train = rng.poisson(7.0, 20_000).astype(float)
+    data = rng.poisson(7.0, args.kernel_points).astype(float)
+    sizes = all_sizes(args.max_window)
+    sum_thresholds = NormalThresholds.from_data(train, 1e-5, sizes)
+    # For max, a flat high-quantile cut gives a small but non-zero alarm
+    # rate on every window size (a window's max clears it when any of
+    # its points does).
+    max_cut = float(np.quantile(train, 1.0 - 1e-4))
+    max_thresholds = FixedThresholds({int(w): max_cut for w in sizes})
+    structures = {
+        "dense": single_level_structure(args.max_window),
+        "sparse": shifted_binary_tree(args.max_window),
+    }
+    aggregates = {"sum": (SUM, sum_thresholds), "max": (MAX, max_thresholds)}
+    backends = ["numpy"] + (["numba"] if numba_available() else [])
+
+    cases = {}
+    for sname, structure in structures.items():
+        for aname, (aggregate, thresholds) in aggregates.items():
+            per_backend = {}
+            ref_ops = None
+            for backend in backends:
+                runs = [
+                    kernel_run_once(
+                        data, structure, thresholds, aggregate,
+                        backend, args.chunk,
+                    )
+                    for _ in range(args.kernel_repeats)
+                ]
+                seconds = min(r[0] for r in runs)
+                counters = runs[0][1]
+                ops = counters.total_operations
+                if ref_ops is None:
+                    ref_ops = ops
+                # The kernel contract: identical RAM-model work.
+                assert ops == ref_ops, (
+                    f"{sname}/{aname}: backend {backend} changed the "
+                    f"op count ({ops} != {ref_ops})"
+                )
+                per_backend[backend] = {
+                    "seconds_min": seconds,
+                    "points_per_s": data.size / seconds,
+                    "ops_per_point": ops / data.size,
+                    "repeats": args.kernel_repeats,
+                }
+            entry = {
+                "backends": per_backend,
+                "op_counts_identical": True,
+                "total_operations": ref_ops,
+            }
+            if "numba" in per_backend:
+                entry["speedup_numba_over_numpy"] = (
+                    per_backend["numba"]["points_per_s"]
+                    / per_backend["numpy"]["points_per_s"]
+                )
+            cases[f"{sname}/{aname}"] = entry
+
+    headline = cases["dense/sum"].get("speedup_numba_over_numpy")
+    return {
+        "numba_available": numba_available(),
+        "points": int(data.size),
+        "chunk": args.chunk,
+        "max_window": args.max_window,
+        "cases": cases,
+        "headline": {
+            "case": "dense/sum",
+            "speedup_numba_over_numpy": headline,
+            "target": 5.0,
+            "meets_target": (
+                None if headline is None else headline >= 5.0
+            ),
+            "note": (
+                None
+                if headline is not None
+                else "numba not installed; numpy trajectory recorded only"
+            ),
+        },
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--pr", type=int, default=6)
+    parser.add_argument("--pr", type=int, default=7)
     parser.add_argument("--streams", type=int, default=8)
     parser.add_argument("--points", type=int, default=60_000)
     parser.add_argument("--chunk", type=int, default=4_096)
@@ -115,6 +232,18 @@ def main(argv=None):
     parser.add_argument("--max-window", type=int, default=64)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--seed", type=int, default=12345)
+    parser.add_argument(
+        "--kernel-points",
+        type=int,
+        default=200_000,
+        help="stream length of the single-stream kernel trajectory",
+    )
+    parser.add_argument(
+        "--kernel-repeats",
+        type=int,
+        default=3,
+        help="timed repeats per kernel trajectory cell (min is kept)",
+    )
     parser.add_argument(
         "-o",
         "--output",
@@ -173,6 +302,7 @@ def main(argv=None):
             "seed": args.seed,
         },
         "scenarios": scenarios,
+        "kernel_trajectory": kernel_trajectory(args),
         "overload_idle_overhead": {
             "relative": overhead,
             "absolute_s": idle_s - base_s,

@@ -95,6 +95,36 @@ def _add_skip_bad_records(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=("auto", "numba", "numpy"), default="auto",
+        help="detection kernel: auto (numba when installed, default), "
+        "numba (require the compiled kernel; install the 'speed' "
+        "extra), or numpy (pure-NumPy fallback)",
+    )
+
+
+def _make_fleet(args: argparse.Namespace, names, spec):
+    """Build the detection fleet, turning backend errors actionable."""
+    from .runtime import ParallelMultiStreamDetector
+
+    try:
+        return ParallelMultiStreamDetector.shared(
+            names,
+            spec.structure,
+            spec.thresholds,
+            workers=args.workers,
+            aggregate=spec.aggregate,
+            backend=args.backend,
+            faults=args.faults,
+            shedding=args.shedding,
+            overload=_overload_config(args),
+        )
+    except RuntimeError as exc:
+        # e.g. --backend numba without numba installed.
+        raise SystemExit(f"error: {exc}") from None
+
+
 def _add_faults(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--faults", choices=("raise", "restart", "degrade"),
@@ -156,20 +186,9 @@ def _burst_csv(bursts) -> str:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    from .runtime import ParallelMultiStreamDetector
-
     spec = load_spec(args.spec)
     name = Path(args.stream).stem
-    fleet = ParallelMultiStreamDetector.shared(
-        [name],
-        spec.structure,
-        spec.thresholds,
-        workers=args.workers,
-        aggregate=spec.aggregate,
-        faults=args.faults,
-        shedding=args.shedding,
-        overload=_overload_config(args),
-    )
+    fleet = _make_fleet(args, [name], spec)
     bursts = []
     points = 0
     source = CSVSource(args.stream, skip_bad_records=args.skip_bad_records)
@@ -197,8 +216,6 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
 
 def _cmd_detect_many(args: argparse.Namespace) -> int:
-    from .runtime import ParallelMultiStreamDetector
-
     directory = Path(args.streams)
     # Skip our own outputs: without -o they land in the stream directory,
     # and a rerun must not ingest them as streams.
@@ -216,16 +233,7 @@ def _cmd_detect_many(args: argparse.Namespace) -> int:
     out_dir = Path(args.output) if args.output else directory
     out_dir.mkdir(parents=True, exist_ok=True)
 
-    fleet = ParallelMultiStreamDetector.shared(
-        names,
-        spec.structure,
-        spec.thresholds,
-        workers=args.workers,
-        aggregate=spec.aggregate,
-        faults=args.faults,
-        shedding=args.shedding,
-        overload=_overload_config(args),
-    )
+    fleet = _make_fleet(args, names, spec)
     collected: dict[str, list] = {name: [] for name in names}
     points = {name: 0 for name in names}
     errors: dict[str, str] = {}
@@ -335,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
         "a single stream always degrades to serial)",
     )
     _add_skip_bad_records(p_detect)
+    _add_backend(p_detect)
     _add_faults(p_detect)
     _add_overload(p_detect)
     p_detect.set_defaults(func=_cmd_detect)
@@ -357,6 +366,7 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes: auto, serial, or a count (default auto)",
     )
     _add_skip_bad_records(p_many)
+    _add_backend(p_many)
     _add_faults(p_many)
     _add_overload(p_many)
     p_many.set_defaults(func=_cmd_detect_many)

@@ -252,6 +252,21 @@ class WindowEngine:
         """
         raise NotImplementedError
 
+    def kernel_state(self) -> tuple[str, np.ndarray, int]:
+        """Raw trailing state for the native kernel, ``(kind, buf, offset)``.
+
+        ``kind`` tags the buffer's meaning (``"sum"`` — prefix sums,
+        ``"max"`` — raw values); ``offset`` is the global index of
+        ``buf[0]``.  The returned buffer is the engine's *live* array,
+        not a copy — the kernel reads it between :meth:`append` calls
+        and never writes to it.  Engines without a native kernel simply
+        do not override this.
+        """
+        raise NotImplementedError(
+            "engine exposes no state for the native kernel; "
+            "use backend='numpy'"
+        )
+
     def _restore_check(
         self, offset: int, tail: np.ndarray, length: int, entries: int
     ) -> None:
@@ -315,6 +330,9 @@ class SumWindowEngine(WindowEngine):
         self._prefix = tail.copy()
         self._offset = offset
         self._length = length
+
+    def kernel_state(self) -> tuple[str, np.ndarray, int]:
+        return ("sum", self._prefix, self._offset)
 
     def _p(self, idx: int | np.ndarray) -> float | np.ndarray:
         return self._prefix[idx - self._offset]
@@ -397,6 +415,9 @@ class MaxWindowEngine(WindowEngine):
         self._offset = offset
         self._length = length
         self._rebuild()
+
+    def kernel_state(self) -> tuple[str, np.ndarray, int]:
+        return ("max", self._buf, self._offset)
 
     def _rebuild(self) -> None:
         self._table = [self._buf]

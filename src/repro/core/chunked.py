@@ -2,11 +2,15 @@
 
 Semantically identical to :class:`repro.core.detector.StreamingDetector`
 (same bursts, same operation counts), but node updates and trigger
-comparisons for a whole chunk of the stream are performed as NumPy batch
-operations; Python-level work happens only for nodes that actually alarm.
-Since the whole point of a good SAT is to make alarms rare, the common path
-is pure NumPy and the detector comfortably sustains hundreds of thousands
-of points per second even for dense structures.
+comparisons for a whole chunk of the stream run through the fused scan
+kernel in :mod:`repro.core.kernel`: one pass over a level-major packed
+layout that performs the SAT node update, the threshold comparison, and
+alarm-candidate collection together, in either a numba-compiled loop
+(``backend="numba"``) or NumPy batch operations (``backend="numpy"``).
+Python-level work happens only for nodes that actually alarm — since
+the whole point of a good SAT is to make alarms rare, the detector
+comfortably sustains hundreds of thousands of points per second even
+for dense structures, and millions with the native kernel.
 
 This is the detector the benchmark harness times: operation counts are the
 hardware-independent cost metric (the paper's RAM model), wall time of this
@@ -16,12 +20,21 @@ detector is the hardware-dependent one.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import ModuleType
 
 import numpy as np
 
 from .aggregates import SUM, AggregateFunction, aggregate_by_name
 from .dsr import LevelPlan, build_plans, find_triggered, search_dsr
 from .events import Burst, BurstSet
+from .kernel import (
+    KernelLayout,
+    KernelScratch,
+    grow_capacity,
+    load_native,
+    resolve_backend,
+    scan_chunk,
+)
 from .opcount import OpCounters
 from .structure import SATStructure
 from .thresholds import ThresholdModel
@@ -77,27 +90,6 @@ def initial_carry(
     )
 
 
-class _LevelScratch:
-    """Reusable per-level work buffers for :meth:`ChunkedDetector.process`.
-
-    One instance per active SAT level, sized for chunks up to a given
-    capacity and grown only when a larger chunk arrives — the steady
-    state performs node updates with zero per-chunk allocations for the
-    ends/values/mask arrays (alarm handling still allocates, but alarms
-    are rare by design).
-    """
-
-    __slots__ = ("iota", "ends", "vals", "mask")
-
-    def __init__(self, shift: int, capacity: int) -> None:
-        # Nodes of this level ending inside a chunk of `capacity` points.
-        n = capacity // shift + 2
-        self.iota = np.arange(n, dtype=np.int64) * shift
-        self.ends = np.empty(n, dtype=np.int64)
-        self.vals = np.empty(n, dtype=np.float64)
-        self.mask = np.empty(n, dtype=bool)
-
-
 class ChunkedDetector:
     """Elastic burst detector over a SAT, vectorized per chunk.
 
@@ -105,6 +97,12 @@ class ChunkedDetector:
     with :meth:`process`, flush with :meth:`finish`, or use :meth:`detect`
     for a complete array.  ``counters`` carries the per-level operation
     counts of the run.
+
+    ``backend`` selects the fused-scan implementation: ``"numba"`` (the
+    compiled kernel, requires the ``speed`` extra), ``"numpy"`` (the
+    pure-NumPy pass), or ``"auto"`` (numba when available, NumPy
+    otherwise).  Both backends are byte-identical — bursts and counters
+    — so the choice is purely about wall-clock speed.
     """
 
     def __init__(
@@ -113,6 +111,7 @@ class ChunkedDetector:
         thresholds: ThresholdModel,
         aggregate: AggregateFunction = SUM,
         refine_filter: bool = True,
+        backend: str = "auto",
     ) -> None:
         self.structure = structure
         self.thresholds = thresholds
@@ -121,6 +120,12 @@ class ChunkedDetector:
         #: region instead of binary-searching for the largest triggered
         #: size first (paper §3.2) — kept as an ablation switch.
         self.refine_filter = refine_filter
+        #: The backend as requested; :attr:`resolved_backend` is what runs.
+        self.backend = backend
+        self._resolved = resolve_backend(backend)
+        self._native: ModuleType | None = (
+            load_native() if self._resolved == "numba" else None
+        )
         self.plans = build_plans(structure, thresholds)
         self.counters = OpCounters(structure.num_levels)
         history = structure.top.size + structure.top.shift
@@ -128,21 +133,16 @@ class ChunkedDetector:
         self._check_size_one = 1 in thresholds
         self._f1 = thresholds.threshold(1) if self._check_size_one else None
         self._finished = False
-        # Per-level scratch buffers, lazily sized to the largest chunk seen.
-        self._scratch: list[_LevelScratch] = []
-        self._mask0 = np.empty(0, dtype=bool)
-        self._scratch_capacity = 0
+        self._layout = KernelLayout(
+            self.plans, structure.num_levels, self._check_size_one, self._f1
+        )
+        # Kernel scratch, lazily sized to the largest chunk seen.
+        self._scratch: KernelScratch | None = None
 
-    def _grow_scratch(self, chunk_size: int) -> None:
-        # Round up so a stream of slightly varying chunk lengths settles
-        # into one allocation instead of regrowing every few chunks (at
-        # most log2 regrows ever happen).
-        capacity = 1 << max(10, int(chunk_size - 1).bit_length())
-        self._scratch = [
-            _LevelScratch(plan.shift, capacity) for plan in self.plans
-        ]
-        self._mask0 = np.empty(capacity, dtype=bool)
-        self._scratch_capacity = capacity
+    @property
+    def resolved_backend(self) -> str:
+        """The backend actually running (``"numba"`` or ``"numpy"``)."""
+        return self._resolved
 
     @property
     def length(self) -> int:
@@ -203,6 +203,7 @@ class ChunkedDetector:
         thresholds: ThresholdModel,
         carry: DetectorCarry,
         refine_filter: bool = True,
+        backend: str = "auto",
     ) -> "ChunkedDetector":
         """Build a detector resumed from ``carry``."""
         det = cls(
@@ -210,6 +211,7 @@ class ChunkedDetector:
             thresholds,
             aggregate_by_name(carry.aggregate),
             refine_filter,
+            backend,
         )
         det.restore_carry(carry)
         return det
@@ -219,56 +221,128 @@ class ChunkedDetector:
         if self._finished:
             raise RuntimeError("detector already finished; create a new one")
         chunk = np.asarray(chunk, dtype=np.float64)
-        if chunk.size > self._scratch_capacity:
-            self._grow_scratch(chunk.size)
+        scratch = self._scratch
+        if scratch is None or chunk.size > scratch.capacity:
+            scratch = self._scratch = KernelScratch(
+                self._layout, grow_capacity(chunk.size)
+            )
         start = self._engine.length
         self._engine.append(chunk)
+        if self._native is not None:
+            self._scan_native(scratch, start, chunk)
+        else:
+            scan_chunk(self._engine, self._layout, scratch, start, chunk)
+        return self._refine_candidates(scratch)
+
+    def _scan_native(
+        self, scratch: KernelScratch, start: int, chunk: np.ndarray
+    ) -> None:
+        """Run the compiled fused scan over the engine's raw state."""
         end = start + chunk.size
+        kind, state, state_offset = self._engine.kernel_state()
+        # The compiled loops index the state buffer unchecked; enforce
+        # the engine's retained-history contract up front (the NumPy
+        # path gets the same check inside WindowEngine.values).
+        for plan in self.plans:
+            shift = plan.shift
+            first = ((start + shift) // shift) * shift - 1
+            if first < end and max(0, first + 1 - plan.size) < state_offset:
+                raise IndexError(
+                    "window reaches behind retained history "
+                    f"(oldest retained index {state_offset})"
+                )
+        layout = self._layout
+        native = self._native
+        assert native is not None
+        if kind == "sum":
+            native.scan_sum(
+                state,
+                state_offset,
+                start,
+                end,
+                chunk,
+                layout.check_size_one,
+                layout.f1,
+                layout.levels,
+                layout.shifts,
+                layout.sizes,
+                layout.active,
+                layout.min_thresholds,
+                scratch.update_counts,
+                scratch.filter_counts,
+                scratch.cand_ends,
+                scratch.cand_values,
+                scratch.cand_offsets,
+            )
+        elif kind == "max":
+            native.scan_max(
+                state,
+                state_offset,
+                start,
+                end,
+                chunk,
+                layout.check_size_one,
+                layout.f1,
+                layout.levels,
+                layout.shifts,
+                layout.sizes,
+                layout.active,
+                layout.min_thresholds,
+                scratch.update_counts,
+                scratch.filter_counts,
+                scratch.cand_ends,
+                scratch.cand_values,
+                scratch.cand_offsets,
+                scratch.deque_idx,
+            )
+        else:
+            raise ValueError(
+                f"no native kernel for engine state kind {kind!r}; "
+                "use backend='numpy'"
+            )
+
+    def _refine_candidates(self, scratch: KernelScratch) -> list[Burst]:
+        """Turn the kernel's candidate segments into bursts.
+
+        Consumes the CSR candidate buffers in row order (level 0 first,
+        then plans in order), charging counters exactly as the
+        pre-kernel per-plan loop did: the kernel reports node updates
+        and trigger comparisons; alarms and the detailed search stay in
+        Python where :func:`search_dsr` refinement runs.
+        """
         counters = self.counters
+        # A detector resumed from a coarser-structure hot-swap keeps the
+        # carried counters, which may have MORE levels than the current
+        # structure; the extra trailing levels simply stop accumulating.
+        n = scratch.update_counts.size
+        counters.updates[:n] += scratch.update_counts
+        counters.filter_comparisons[:n] += scratch.filter_counts
+        offsets = scratch.cand_offsets
         out: list[Burst] = []
-
-        # Level 0: raw values against f(1).
-        counters.updates[0] += chunk.size
-        if self._check_size_one:
-            counters.filter_comparisons[0] += chunk.size
-            mask0 = np.greater_equal(
-                chunk, self._f1, out=self._mask0[: chunk.size]
+        for i in range(int(offsets[1])):
+            out.append(
+                Burst(
+                    int(scratch.cand_ends[i]),
+                    1,
+                    float(scratch.cand_values[i]),
+                )
             )
-            hits = np.nonzero(mask0)[0]
-            for idx in hits:
-                out.append(Burst(start + int(idx), 1, float(chunk[idx])))
-                counters.bursts += 1
-
-        # Levels 1..L: batch-update all nodes ending inside this chunk,
-        # reusing the level's preallocated ends/values/mask buffers.
-        for plan, scratch in zip(self.plans, self._scratch):
-            s = plan.shift
-            first = ((start + s) // s) * s - 1  # first node end >= start
-            if first >= end:
-                continue
-            m = (end - first + s - 1) // s  # len(range(first, end, s))
-            ends = np.add(scratch.iota[:m], first, out=scratch.ends[:m])
-            values = self._engine.values(
-                ends, plan.size, out=scratch.vals[:m]
-            )
-            counters.updates[plan.level] += m
+            counters.bursts += 1
+        for r, plan in enumerate(self.plans):
             if not plan.active:
                 continue
-            counters.filter_comparisons[plan.level] += m
-            alarm_mask = np.greater_equal(
-                values, plan.min_threshold, out=scratch.mask[:m]
-            )
-            alarm_idx = np.nonzero(alarm_mask)[0]
-            counters.alarms[plan.level] += alarm_idx.size
-            if alarm_idx.size == 0:
+            lo = int(offsets[r + 1])
+            hi = int(offsets[r + 2])
+            counters.alarms[plan.level] += hi - lo
+            if hi == lo:
                 continue
+            ends = scratch.cand_ends[lo:hi]
+            values = scratch.cand_values[lo:hi]
             if plan.monotone:
-                self._search_alarms_batched(
-                    plan, ends[alarm_idx], values[alarm_idx], out
-                )
+                self._search_alarms_batched(plan, ends, values, out)
             else:
                 # Non-monotone thresholds: rare; per-alarm linear scan.
-                for k in alarm_idx:
+                for k in range(hi - lo):
                     value = float(values[k])
                     sizes, size_thresholds = (
                         find_triggered(plan, value, counters)
@@ -279,7 +353,7 @@ class ChunkedDetector:
                         self._engine,
                         plan,
                         int(ends[k]),
-                        s,
+                        plan.shift,
                         sizes,
                         size_thresholds,
                         counters,

@@ -1,0 +1,127 @@
+"""Native-speed detection kernel: backend selection and packed layout.
+
+The per-chunk hot loop of :class:`~repro.core.chunked.ChunkedDetector` —
+SAT node update, trigger-threshold comparison, alarm-candidate
+collection — is a single fused pass over a level-major contiguous
+layout (:class:`~repro.core.kernel.layout.KernelLayout`).  Two
+implementations of that pass exist:
+
+* :mod:`repro.core.kernel.fallback` — pure NumPy, always available.
+* :mod:`repro.core.kernel.native` — ``numba @njit(cache=True)`` loops,
+  used when the optional ``speed`` extra (numba) is installed.
+
+Both write the same candidate buffers and the same exact per-level
+operation counts; the detector's Python refinement path
+(:func:`~repro.core.dsr.search_dsr`) consumes the candidates, so bursts
+and :class:`~repro.core.opcount.OpCounters` stay byte-identical to
+:class:`~repro.core.detector.StreamingDetector` regardless of backend.
+
+Backend policy (``resolve_backend``):
+
+* ``"auto"`` — numba when importable, else NumPy with a one-time
+  :class:`RuntimeWarning` (silent when disabled via the
+  ``REPRO_DISABLE_NUMBA`` environment variable).
+* ``"numba"`` — hard requirement; raises an actionable
+  :class:`RuntimeError` when numba is unavailable.
+* ``"numpy"`` — always the fallback pass, even with numba installed
+  (the forced-fallback parity tests pin the two byte-identical).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from types import ModuleType
+
+from .fallback import scan_chunk
+from .layout import KernelLayout, KernelScratch, grow_capacity
+
+__all__ = [
+    "ENV_DISABLE",
+    "KNOWN_BACKENDS",
+    "KernelLayout",
+    "KernelScratch",
+    "grow_capacity",
+    "load_native",
+    "numba_available",
+    "resolve_backend",
+    "scan_chunk",
+]
+
+#: Accepted values for the public ``backend=`` parameter.
+KNOWN_BACKENDS: tuple[str, ...] = ("auto", "numba", "numpy")
+
+#: Environment variable forcing the NumPy fallback even with numba
+#: installed — the parity tests use it to diff the two paths in one
+#: process tree.
+ENV_DISABLE = "REPRO_DISABLE_NUMBA"
+
+_MISSING_MSG = (
+    "backend='numba' requires the numba package; install the speed "
+    "extra (pip install 'repro[speed]') or select backend='auto' / "
+    "'numpy' to use the NumPy fallback"
+)
+
+_warned_fallback = False
+
+
+def numba_available() -> bool:
+    """Whether the native kernel can be used in this process."""
+    if os.environ.get(ENV_DISABLE):
+        return False
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def load_native() -> ModuleType:
+    """Import and return the compiled-kernel module.
+
+    Raises an actionable :class:`RuntimeError` when numba is missing or
+    disabled, naming the install command and the fallback options.
+    """
+    if not numba_available():
+        if os.environ.get(ENV_DISABLE):
+            raise RuntimeError(
+                f"native kernel disabled via {ENV_DISABLE}; unset it or "
+                "select backend='numpy'"
+            )
+        raise RuntimeError(_MISSING_MSG)
+    from . import native
+
+    return native
+
+
+def resolve_backend(backend: str) -> str:
+    """Map a requested backend to the one that will actually run.
+
+    Returns ``"numba"`` or ``"numpy"``.  ``"auto"`` degrades to the
+    NumPy fallback with a one-time :class:`RuntimeWarning` when numba is
+    not importable (silently when ``REPRO_DISABLE_NUMBA`` is set — that
+    is a deliberate choice, not a missing dependency).
+    """
+    global _warned_fallback
+    if backend not in KNOWN_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {KNOWN_BACKENDS}"
+        )
+    if backend == "numpy":
+        return "numpy"
+    available = numba_available()
+    if backend == "numba":
+        if not available:
+            load_native()  # raises the actionable RuntimeError
+        return "numba"
+    if available:
+        return "numba"
+    if not _warned_fallback and not os.environ.get(ENV_DISABLE):
+        _warned_fallback = True
+        warnings.warn(
+            "numba is not installed; detection kernels fall back to "
+            "NumPy (pip install 'repro[speed]' for the native kernel)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return "numpy"

@@ -1,0 +1,86 @@
+"""Pure-NumPy fused scan — the always-available kernel backend.
+
+Performs the same pass as :mod:`repro.core.kernel.native` with NumPy
+batch operations: per-plan node ends, window values from the engine,
+threshold comparison, and candidate collection into the scratch's CSR
+buffers.  The arithmetic is the exact prefix-difference / range-max
+arithmetic of :class:`~repro.core.aggregates.WindowEngine.values`, so
+this path is byte-identical to the native one (pinned by the
+forced-fallback parity tests) and to the pre-kernel detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..aggregates import WindowEngine
+from .layout import KernelLayout, KernelScratch
+
+__all__ = ["scan_chunk"]
+
+
+def scan_chunk(
+    engine: WindowEngine,
+    layout: KernelLayout,
+    scratch: KernelScratch,
+    start: int,
+    chunk: np.ndarray,
+) -> int:
+    """Fused node update + trigger filter over one appended chunk.
+
+    ``start`` is the global index of ``chunk[0]``; the chunk must
+    already be appended to ``engine``.  Writes candidate (end, value)
+    segments and exact per-level op counts into ``scratch``; returns
+    the total candidate count.
+    """
+    end = start + chunk.size
+    update_counts = scratch.update_counts
+    filter_counts = scratch.filter_counts
+    update_counts[:] = 0
+    filter_counts[:] = 0
+    offsets = scratch.cand_offsets
+    offsets[0] = 0
+    pos = 0
+
+    # Level 0: raw values against f(1).
+    update_counts[0] += chunk.size
+    if layout.check_size_one:
+        filter_counts[0] += chunk.size
+        mask0 = np.greater_equal(
+            chunk, layout.f1, out=scratch.mask0[: chunk.size]
+        )
+        hits = np.nonzero(mask0)[0]
+        pos = int(hits.size)
+        np.add(hits, start, out=scratch.cand_ends[:pos])
+        scratch.cand_values[:pos] = chunk[hits]
+    offsets[1] = pos
+
+    # Levels 1..L: batch-update all nodes ending inside this chunk.
+    for r in range(int(layout.shifts.size)):
+        shift = int(layout.shifts[r])
+        level = int(layout.levels[r])
+        first = ((start + shift) // shift) * shift - 1
+        if first >= end:
+            offsets[r + 2] = pos
+            continue
+        m = (end - first + shift - 1) // shift
+        ends = np.add(scratch.iota[r][:m], first, out=scratch.ends[r][:m])
+        values = engine.values(
+            ends, int(layout.sizes[r]), out=scratch.vals[r][:m]
+        )
+        update_counts[level] += m
+        if not layout.active[r]:
+            offsets[r + 2] = pos
+            continue
+        filter_counts[level] += m
+        alarm_mask = np.greater_equal(
+            values, layout.min_thresholds[r], out=scratch.mask[r][:m]
+        )
+        alarm_idx = np.nonzero(alarm_mask)[0]
+        k = int(alarm_idx.size)
+        if k:
+            scratch.cand_ends[pos : pos + k] = ends[alarm_idx]
+            scratch.cand_values[pos : pos + k] = values[alarm_idx]
+            pos += k
+        offsets[r + 2] = pos
+    return pos

@@ -1,0 +1,149 @@
+"""Packed level-major layout and reusable scratch for the fused scan.
+
+The kernel iterates SAT levels in plan order over flat, dtype-pinned
+arrays instead of chasing Python objects: one :class:`KernelLayout` is
+built per detector from its :class:`~repro.core.dsr.LevelPlan` list and
+never changes, while one :class:`KernelScratch` holds every per-chunk
+buffer and is reused across chunks (grown geometrically, so a slowly
+increasing chunk schedule settles into a single allocation).
+
+Candidate output is CSR-style: ``cand_offsets`` has one segment per
+row — row 0 collects size-one hits (level 0), row ``r + 1`` collects
+the alarmed nodes of ``plans[r]`` — and ``cand_ends`` / ``cand_values``
+hold the segment payloads back to back.  Rows appear in plan order, so
+consuming segments in order reproduces the exact burst ordering of the
+pre-kernel implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..dsr import LevelPlan
+
+__all__ = ["KernelLayout", "KernelScratch", "grow_capacity"]
+
+
+def grow_capacity(chunk_size: int) -> int:
+    """Geometric growth: next power of two >= ``chunk_size`` (min 1024).
+
+    Growing to the next power of two means at most ``log2`` regrows ever
+    happen for a stream of increasing chunk lengths, and repeated
+    same-size chunks always reuse the same buffers.
+    """
+    return 1 << max(10, int(max(1, chunk_size) - 1).bit_length())
+
+
+class KernelLayout:
+    """Immutable per-detector level table, packed into flat arrays.
+
+    One row per :class:`~repro.core.dsr.LevelPlan` (levels 1..L in plan
+    order); level 0 (raw values against the size-one threshold) is
+    described by ``check_size_one`` / ``f1``.
+    """
+
+    __slots__ = (
+        "num_levels",
+        "levels",
+        "shifts",
+        "sizes",
+        "active",
+        "min_thresholds",
+        "check_size_one",
+        "f1",
+        "max_size",
+    )
+
+    def __init__(
+        self,
+        plans: Sequence[LevelPlan],
+        num_levels: int,
+        check_size_one: bool,
+        f1: float | None,
+    ) -> None:
+        n = len(plans)
+        #: Number of SAT levels (rows of the per-level counter arrays
+        #: minus the level-0 row).
+        self.num_levels = int(num_levels)
+        self.levels = np.fromiter(
+            (p.level for p in plans), dtype=np.int64, count=n
+        )
+        self.shifts = np.fromiter(
+            (p.shift for p in plans), dtype=np.int64, count=n
+        )
+        self.sizes = np.fromiter(
+            (p.size for p in plans), dtype=np.int64, count=n
+        )
+        #: 1 where the level has responsible sizes (its trigger fires),
+        #: 0 where nodes are updated but never compared.
+        self.active = np.fromiter(
+            (1 if p.active else 0 for p in plans), dtype=np.uint8, count=n
+        )
+        self.min_thresholds = np.fromiter(
+            (p.min_threshold for p in plans), dtype=np.float64, count=n
+        )
+        self.check_size_one = bool(check_size_one)
+        #: Size-one threshold; only read when ``check_size_one`` is set.
+        self.f1 = float(f1) if f1 is not None else 0.0
+        self.max_size = int(self.sizes.max()) if n else 1
+
+
+class KernelScratch:
+    """Every per-chunk buffer of the fused scan, reused across chunks.
+
+    Sized for chunks up to ``capacity`` points.  The detector replaces
+    the whole scratch (via :func:`grow_capacity`) only when a larger
+    chunk arrives; the steady state runs with zero per-chunk
+    allocations on the update/filter path.
+    """
+
+    __slots__ = (
+        "capacity",
+        "mask0",
+        "iota",
+        "ends",
+        "vals",
+        "mask",
+        "cand_ends",
+        "cand_values",
+        "cand_offsets",
+        "update_counts",
+        "filter_counts",
+        "deque_idx",
+    )
+
+    def __init__(self, layout: KernelLayout, capacity: int) -> None:
+        self.capacity = int(capacity)
+        # Level-0 comparison mask (NumPy pass only).
+        self.mask0 = np.empty(capacity, dtype=bool)
+        # Per-plan node buffers (NumPy pass only): ends, values, mask.
+        self.iota: list[np.ndarray] = []
+        self.ends: list[np.ndarray] = []
+        self.vals: list[np.ndarray] = []
+        self.mask: list[np.ndarray] = []
+        cand_cap = capacity  # level-0 hits: at most one per point
+        for shift in layout.shifts:
+            n = capacity // int(shift) + 2
+            self.iota.append(np.arange(n, dtype=np.int64) * int(shift))
+            self.ends.append(np.empty(n, dtype=np.int64))
+            self.vals.append(np.empty(n, dtype=np.float64))
+            self.mask.append(np.empty(n, dtype=bool))
+            cand_cap += n
+        # CSR candidate output shared by both backends: row 0 holds
+        # level-0 hits, row r + 1 the alarms of plans[r].
+        self.cand_ends = np.empty(cand_cap, dtype=np.int64)
+        self.cand_values = np.empty(cand_cap, dtype=np.float64)
+        self.cand_offsets = np.zeros(
+            int(layout.shifts.size) + 2, dtype=np.int64
+        )
+        # Exact per-level operation counts of the scan, accumulated
+        # into the detector's OpCounters after each chunk.
+        self.update_counts = np.zeros(layout.num_levels + 1, dtype=np.int64)
+        self.filter_counts = np.zeros(layout.num_levels + 1, dtype=np.int64)
+        # Monotonic-deque index ring for the native sliding-max scan;
+        # a level pushes at most capacity + window-size indices.
+        self.deque_idx = np.empty(
+            capacity + layout.max_size + 2, dtype=np.int64
+        )

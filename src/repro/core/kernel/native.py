@@ -1,0 +1,186 @@
+"""Numba-compiled fused scans — the optional native kernel backend.
+
+Importing this module requires numba (the ``speed`` extra); callers go
+through :func:`repro.core.kernel.load_native` which turns a missing
+dependency into an actionable error.  The compiled entry points
+``scan_sum`` / ``scan_max`` take the engine's raw trailing state
+(prefix sums / raw values plus the global offset of entry 0) and the
+packed :class:`~repro.core.kernel.layout.KernelLayout` arrays, and
+write the same CSR candidate segments and per-level op counts as the
+NumPy fallback:
+
+* ``scan_sum`` evaluates each node as the same float64 subtraction of
+  two prefix entries the engine would perform — identical IEEE
+  operation, identical bits.
+* ``scan_max`` uses a monotonic-deque sliding maximum per level; max
+  selects one of the input values, so any correct algorithm returns
+  the engine's exact float.
+
+Both are single allocation-free passes: candidates and counts land in
+caller-owned scratch arrays (``cache=True`` persists the compiled
+machine code next to this file across processes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+from numba import njit
+
+
+def scan_sum_py(
+    prefix: np.ndarray,
+    prefix_offset: int,
+    start: int,
+    end: int,
+    chunk: np.ndarray,
+    check_size_one: bool,
+    f1: float,
+    levels: np.ndarray,
+    shifts: np.ndarray,
+    sizes: np.ndarray,
+    active: np.ndarray,
+    min_thresholds: np.ndarray,
+    update_counts: np.ndarray,
+    filter_counts: np.ndarray,
+    cand_ends: np.ndarray,
+    cand_values: np.ndarray,
+    cand_offsets: np.ndarray,
+) -> int:
+    """Fused scan over a sum engine's prefix buffer (compiled below)."""
+    n = chunk.shape[0]
+    for i in range(update_counts.shape[0]):
+        update_counts[i] = 0
+        filter_counts[i] = 0
+    pos = 0
+    cand_offsets[0] = 0
+    update_counts[0] += n
+    if check_size_one:
+        filter_counts[0] += n
+        for i in range(n):
+            if chunk[i] >= f1:
+                cand_ends[pos] = start + i
+                cand_values[pos] = chunk[i]
+                pos += 1
+    cand_offsets[1] = pos
+    for r in range(shifts.shape[0]):
+        shift = shifts[r]
+        first = ((start + shift) // shift) * shift - 1
+        if first >= end:
+            cand_offsets[r + 2] = pos
+            continue
+        m = (end - first + shift - 1) // shift
+        update_counts[levels[r]] += m
+        if active[r] == 0:
+            cand_offsets[r + 2] = pos
+            continue
+        filter_counts[levels[r]] += m
+        size = sizes[r]
+        threshold = min_thresholds[r]
+        node_end = first
+        for _ in range(m):
+            window_start = node_end + 1 - size
+            if window_start < 0:
+                window_start = 0
+            value = (
+                prefix[node_end + 1 - prefix_offset]
+                - prefix[window_start - prefix_offset]
+            )
+            if value >= threshold:
+                cand_ends[pos] = node_end
+                cand_values[pos] = value
+                pos += 1
+            node_end += shift
+        cand_offsets[r + 2] = pos
+    return pos
+
+
+def scan_max_py(
+    buf: np.ndarray,
+    buf_offset: int,
+    start: int,
+    end: int,
+    chunk: np.ndarray,
+    check_size_one: bool,
+    f1: float,
+    levels: np.ndarray,
+    shifts: np.ndarray,
+    sizes: np.ndarray,
+    active: np.ndarray,
+    min_thresholds: np.ndarray,
+    update_counts: np.ndarray,
+    filter_counts: np.ndarray,
+    cand_ends: np.ndarray,
+    cand_values: np.ndarray,
+    cand_offsets: np.ndarray,
+    deque_idx: np.ndarray,
+) -> int:
+    """Fused scan over a max engine's raw buffer (compiled below)."""
+    n = chunk.shape[0]
+    for i in range(update_counts.shape[0]):
+        update_counts[i] = 0
+        filter_counts[i] = 0
+    pos = 0
+    cand_offsets[0] = 0
+    update_counts[0] += n
+    if check_size_one:
+        filter_counts[0] += n
+        for i in range(n):
+            if chunk[i] >= f1:
+                cand_ends[pos] = start + i
+                cand_values[pos] = chunk[i]
+                pos += 1
+    cand_offsets[1] = pos
+    for r in range(shifts.shape[0]):
+        shift = shifts[r]
+        first = ((start + shift) // shift) * shift - 1
+        if first >= end:
+            cand_offsets[r + 2] = pos
+            continue
+        m = (end - first + shift - 1) // shift
+        update_counts[levels[r]] += m
+        if active[r] == 0:
+            cand_offsets[r + 2] = pos
+            continue
+        filter_counts[levels[r]] += m
+        size = sizes[r]
+        threshold = min_thresholds[r]
+        # Monotonic deque of global indices with decreasing values:
+        # the front is the argmax of the current window.
+        head = 0
+        tail = 0
+        push_next = first + 1 - size
+        if push_next < 0:
+            push_next = 0
+        node_end = first
+        for _ in range(m):
+            window_start = node_end + 1 - size
+            if window_start < 0:
+                window_start = 0
+            while push_next <= node_end:
+                x = buf[push_next - buf_offset]
+                while tail > head and (
+                    buf[deque_idx[tail - 1] - buf_offset] <= x
+                ):
+                    tail -= 1
+                deque_idx[tail] = push_next
+                tail += 1
+                push_next += 1
+            while deque_idx[head] < window_start:
+                head += 1
+            value = buf[deque_idx[head] - buf_offset]
+            if value >= threshold:
+                cand_ends[pos] = node_end
+                cand_values[pos] = value
+                pos += 1
+            node_end += shift
+        cand_offsets[r + 2] = pos
+    return pos
+
+
+#: Compiled entry points.  Assignment form (not decorator form) keeps
+#: the pure-Python originals importable for tests and mypy-clean under
+#: --strict despite numba shipping no stubs.
+scan_sum: Callable[..., Any] = njit(cache=True)(scan_sum_py)
+scan_max: Callable[..., Any] = njit(cache=True)(scan_max_py)

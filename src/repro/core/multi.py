@@ -51,6 +51,7 @@ class MultiStreamDetector:
         *,
         aggregate: AggregateFunction = SUM,
         refine_filter: bool = True,
+        backend: str = "auto",
     ) -> "MultiStreamDetector":
         """Same structure and thresholds for every stream."""
         return cls(
@@ -60,6 +61,7 @@ class MultiStreamDetector:
                     thresholds,
                     aggregate,
                     refine_filter=refine_filter,
+                    backend=backend,
                 )
                 for name in names
             }
@@ -75,6 +77,7 @@ class MultiStreamDetector:
         *,
         aggregate: AggregateFunction = SUM,
         refine_filter: bool = True,
+        backend: str = "auto",
     ) -> "MultiStreamDetector":
         """Fit thresholds and adapt a structure to each stream."""
         detectors = {}
@@ -87,7 +90,11 @@ class MultiStreamDetector:
                 data, thresholds, params=search_params
             )
             detectors[name] = ChunkedDetector(
-                structure, thresholds, aggregate, refine_filter=refine_filter
+                structure,
+                thresholds,
+                aggregate,
+                refine_filter=refine_filter,
+                backend=backend,
             )
         return cls(detectors)
 

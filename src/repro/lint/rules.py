@@ -27,6 +27,7 @@ __all__ = [
     "ExplicitDtypes",
     "DeadlineAwareIPC",
     "AccountableShedding",
+    "KernelBoundary",
 ]
 
 
@@ -693,6 +694,126 @@ class AccountableShedding(Rule):
         return False
 
 
+class KernelBoundary(Rule):
+    """RL009 — the native kernel stays a leaf with accountable scans.
+
+    The kernel layer (ISSUE 7) is the innermost hot loop: it must be
+    importable with nothing but numpy (numba optional), safe to compile,
+    and byte-accountable.  Two failure modes defeat that.  First, an
+    import of the runtime or I/O layers drags process pools, shared
+    memory, or file formats into every kernel import — and numba cannot
+    compile around them.  Second, a scan entry point that counts nothing
+    silently breaks the RAM-model contract: every update and threshold
+    comparison must surface as op counts the caller routes through
+    :class:`~repro.core.opcount.OpCounters`, or the paper's cost claims
+    drift from what actually ran.
+    """
+
+    code = "RL009"
+    name = "kernel-boundary"
+    invariant = (
+        "modules under repro.core.kernel import neither repro.runtime "
+        "nor repro.io, and every scan entry point carries op counts "
+        "for the caller to route through OpCounters"
+    )
+
+    _FORBIDDEN = ("runtime", "io")
+    _COUNT_EVIDENCE = re.compile(r"count|counter", re.IGNORECASE)
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.in_dir("repro", "core", "kernel")
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        yield from self._check_imports(module)
+        yield from self._check_scans(module)
+
+    # -- part (a): no upward imports ------------------------------------
+    def _check_imports(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    layer = self._forbidden_absolute(alias.name)
+                    if layer:
+                        yield self._import_finding(module, node, layer)
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                layer = self._forbidden_from(node)
+                if layer:
+                    yield self._import_finding(module, node, layer)
+
+    @classmethod
+    def _forbidden_absolute(cls, dotted: str) -> str | None:
+        parts = dotted.split(".")
+        if (
+            len(parts) >= 2
+            and parts[0] == "repro"
+            and parts[1] in cls._FORBIDDEN
+        ):
+            return f"repro.{parts[1]}"
+        return None
+
+    @classmethod
+    def _forbidden_from(cls, node: ast.ImportFrom) -> str | None:
+        if node.level == 0:
+            return cls._forbidden_absolute(node.module or "")
+        # Relative: from inside repro/core/kernel, level 1 is the kernel
+        # package itself; level >= 2 climbs out of it, so a first module
+        # component naming a forbidden layer reaches repro.runtime/.io.
+        if node.level >= 2 and node.module:
+            head = node.module.split(".")[0]
+            if head in cls._FORBIDDEN:
+                return f"repro.{head}"
+        return None
+
+    def _import_finding(
+        self, module: LintModule, node: ast.AST, layer: str
+    ) -> Finding:
+        return module.finding(
+            node,
+            self,
+            f"kernel module imports {layer}; the kernel layer is a "
+            "leaf — it may depend on numpy (and optionally numba) but "
+            "never on the runtime or I/O layers",
+        )
+
+    # -- part (b): scan entry points carry op counts --------------------
+    def _check_scans(self, module: LintModule) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if not node.name.lstrip("_").startswith("scan"):
+                continue
+            if self._has_count_evidence(node):
+                continue
+            yield module.finding(
+                node,
+                self,
+                f"{node.name}() scans without op counts; every kernel "
+                "entry point must fill per-level update/filter counts "
+                "for the caller to route through OpCounters",
+            )
+
+    def _has_count_evidence(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and self._COUNT_EVIDENCE.search(
+                sub.id
+            ):
+                return True
+            if isinstance(
+                sub, ast.Attribute
+            ) and self._COUNT_EVIDENCE.search(sub.attr):
+                return True
+            if isinstance(sub, ast.arg) and self._COUNT_EVIDENCE.search(
+                sub.arg
+            ):
+                return True
+        return False
+
+
 ALL_RULES: tuple[Rule, ...] = (
     SharedMemoryLifecycle(),
     BoundedSendLoops(),
@@ -702,6 +823,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ExplicitDtypes(),
     DeadlineAwareIPC(),
     AccountableShedding(),
+    KernelBoundary(),
 )
 
 

@@ -68,6 +68,7 @@ from ..core.chunked import (
     initial_carry,
 )
 from ..core.events import Burst, BurstSet
+from ..core.kernel import resolve_backend
 from ..core.multi import MultiStreamDetector
 from ..core.opcount import OpCounters
 from ..core.search import SearchParams
@@ -107,10 +108,15 @@ class _StreamConfig:
     thresholds: ThresholdModel
     aggregate: str
     refine: bool
+    backend: str = "auto"
 
     def from_carry(self, carry: DetectorCarry) -> ChunkedDetector:
         return ChunkedDetector.from_carry(
-            self.structure, self.thresholds, carry, refine_filter=self.refine
+            self.structure,
+            self.thresholds,
+            carry,
+            refine_filter=self.refine,
+            backend=self.backend,
         )
 
 
@@ -243,6 +249,7 @@ class ParallelMultiStreamDetector:
         workers: int | str = "auto",
         aggregate: AggregateFunction = SUM,
         refine_filter: bool = True,
+        backend: str = "auto",
         faults: str = "raise",
         supervision: SupervisorPolicy | None = None,
         fault_plan: FaultPlan | None = None,
@@ -253,6 +260,9 @@ class ParallelMultiStreamDetector:
         """Same structure and thresholds for every stream."""
         names = cls._check_names(names)
         checksum = cls._check_faults(faults, fault_plan)
+        # Fail fast in the parent on an unknown backend or a missing
+        # numba install, before any worker process spawns.
+        resolve_backend(backend)
         n_workers = resolve_workers(workers, len(names))
         if n_workers == 0:
             serial = MultiStreamDetector.shared(
@@ -261,6 +271,7 @@ class ParallelMultiStreamDetector:
                 thresholds,
                 aggregate=aggregate,
                 refine_filter=refine_filter,
+                backend=backend,
             )
             det = cls(names, None, None, {}, serial)
             det._faults = faults
@@ -290,6 +301,7 @@ class ParallelMultiStreamDetector:
                         thresholds,
                         aggregate.name,
                         refine_filter,
+                        backend,
                     ),
                 )
                 inflight[w] += 1
@@ -306,7 +318,11 @@ class ParallelMultiStreamDetector:
             fault_plan,
             {
                 name: _StreamConfig(
-                    structure, thresholds, aggregate.name, refine_filter
+                    structure,
+                    thresholds,
+                    aggregate.name,
+                    refine_filter,
+                    backend,
                 )
                 for name in names
             },
@@ -325,6 +341,7 @@ class ParallelMultiStreamDetector:
         workers: int | str = "auto",
         aggregate: AggregateFunction = SUM,
         refine_filter: bool = True,
+        backend: str = "auto",
         faults: str = "raise",
         supervision: SupervisorPolicy | None = None,
         fault_plan: FaultPlan | None = None,
@@ -341,6 +358,7 @@ class ParallelMultiStreamDetector:
         """
         names = cls._check_names(training)
         checksum = cls._check_faults(faults, fault_plan)
+        resolve_backend(backend)
         n_workers = resolve_workers(workers, len(names))
         if n_workers == 0:
             serial = MultiStreamDetector.per_stream(
@@ -350,6 +368,7 @@ class ParallelMultiStreamDetector:
                 search_params,
                 aggregate=aggregate,
                 refine_filter=refine_filter,
+                backend=backend,
             )
             det = cls(names, None, None, {}, serial)
             det._faults = faults
@@ -393,6 +412,7 @@ class ParallelMultiStreamDetector:
                         search_params,
                         aggregate.name,
                         refine_filter,
+                        backend,
                     ),
                 )
                 inflight[w] += 1
@@ -419,6 +439,7 @@ class ParallelMultiStreamDetector:
                     fitted[name],
                     aggregate.name,
                     refine_filter,
+                    backend,
                 )
                 for name in names
             },
@@ -622,6 +643,7 @@ class ParallelMultiStreamDetector:
                     cfg.thresholds,
                     cfg.aggregate,
                     cfg.refine,
+                    cfg.backend,
                     self._checkpoints[name],
                 ),
             )

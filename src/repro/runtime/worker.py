@@ -10,15 +10,15 @@ per-stream checkpoint carries.
 
 Protocol (request -> reply):
 
-* ``("build", name, structure, thresholds, aggregate_name, refine)``
-  -> ``("built", name)``
+* ``("build", name, structure, thresholds, aggregate_name, refine,
+  backend)`` -> ``("built", name)``
 * ``("restore", name, structure, thresholds, aggregate_name, refine,
-  carry)`` -> ``("restored", name)`` — rebuild a stream's detector from a
-  :class:`~repro.core.chunked.DetectorCarry` checkpoint (replacing any
-  existing detector for that name); this is how a restarted worker
-  re-enters a run mid-stream.
+  backend, carry)`` -> ``("restored", name)`` — rebuild a stream's
+  detector from a :class:`~repro.core.chunked.DetectorCarry` checkpoint
+  (replacing any existing detector for that name); this is how a
+  restarted worker re-enters a run mid-stream.
 * ``("train", name, ref, burst_probability, window_sizes, params,
-  aggregate_name, refine)`` -> ``("trained", name, structure,
+  aggregate_name, refine, backend)`` -> ``("trained", name, structure,
   thresholds)``
 * ``("process", [(name, ref), ...][, want_carry[, fault]])`` ->
   ``("bursts", [(name, bursts)], carries)`` where ``carries`` is a
@@ -186,6 +186,7 @@ def _process_stream(
         det.thresholds,
         det.carry(),
         refine_filter=det.refine_filter,
+        backend=det.backend,
     )
     detectors[name] = det
     del pending[name]
@@ -202,25 +203,45 @@ def _dispatch(
     reader: ChunkReader,
 ) -> tuple[Any, ...]:
     if cmd == "build":
-        _, name, structure, thresholds, aggregate_name, refine = msg
+        _, name, structure, thresholds, aggregate_name, refine, backend = msg
         detectors[name] = ChunkedDetector(
             structure,
             thresholds,
             aggregate_by_name(aggregate_name),
             refine_filter=refine,
+            backend=backend,
         )
         return ("built", name)
     if cmd == "restore":
-        _, name, structure, thresholds, aggregate_name, refine, carry = msg
+        (
+            _,
+            name,
+            structure,
+            thresholds,
+            aggregate_name,
+            refine,
+            backend,
+            carry,
+        ) = msg
         detectors[name] = ChunkedDetector.from_carry(
-            structure, thresholds, carry, refine_filter=refine
+            structure, thresholds, carry, refine_filter=refine, backend=backend
         )
         # A restore supersedes any swap scheduled for the old detector;
         # the parent re-sends still-pending swaps after re-priming.
         pending.pop(name, None)
         return ("restored", name)
     if cmd == "train":
-        _, name, ref, probability, window_sizes, params, agg_name, refine = msg
+        (
+            _,
+            name,
+            ref,
+            probability,
+            window_sizes,
+            params,
+            agg_name,
+            refine,
+            backend,
+        ) = msg
         data = reader.view(ref)
         thresholds = NormalThresholds.from_data(
             data, probability, window_sizes
@@ -231,6 +252,7 @@ def _dispatch(
             thresholds,
             aggregate_by_name(agg_name),
             refine_filter=refine,
+            backend=backend,
         )
         return ("trained", name, structure, thresholds)
     if cmd == "process":

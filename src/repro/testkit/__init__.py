@@ -62,6 +62,7 @@ from .oracles import (
     Mismatch,
     brute_force_bursts,
     brute_force_spatial_bursts,
+    default_backends,
     diff_burst_sets,
     differential_check,
     fault_plan_check,
@@ -92,6 +93,7 @@ __all__ = [
     "Mismatch",
     "brute_force_bursts",
     "brute_force_spatial_bursts",
+    "default_backends",
     "diff_burst_sets",
     "differential_check",
     "fault_plan_check",

@@ -86,6 +86,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stop after this many failing cases",
     )
     fuzz.add_argument(
+        "--backend",
+        choices=("auto", "numba", "numpy"),
+        default="auto",
+        help=(
+            "detection kernel coverage: auto includes the compiled "
+            "chunked-numba backend when numba is installed, numba "
+            "requires it (errors otherwise), numpy excludes it"
+        ),
+    )
+    fuzz.add_argument(
         "--no-shrink",
         action="store_true",
         help="report raw failing cases without minimization",
@@ -107,18 +117,26 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    config = FuzzConfig(
-        budget=args.budget,
-        seed=args.seed,
-        max_points=args.max_points,
-        corpus_dir=args.corpus_dir,
-        adaptive_every=args.adaptive_every,
-        parallel_every=args.parallel_every,
-        faults_every=args.faults_every,
-        spatial_every=args.spatial_every,
-        stop_after=args.stop_after,
-        shrink=not args.no_shrink,
-    )
+    numba_backend = {"auto": None, "numba": True, "numpy": False}[
+        args.backend
+    ]
+    try:
+        config = FuzzConfig(
+            budget=args.budget,
+            seed=args.seed,
+            max_points=args.max_points,
+            corpus_dir=args.corpus_dir,
+            adaptive_every=args.adaptive_every,
+            parallel_every=args.parallel_every,
+            faults_every=args.faults_every,
+            spatial_every=args.spatial_every,
+            stop_after=args.stop_after,
+            shrink=not args.no_shrink,
+            numba_backend=numba_backend,
+        )
+    except RuntimeError as exc:  # --backend numba without numba
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     log = (lambda line: None) if args.quiet else print
     report = run_fuzz(config, log=log)
     print(report.summary())

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..io.spec import DetectorSpec
 from .generators import FuzzCase
-from .oracles import Mismatch, differential_check
+from .oracles import Mismatch, default_backends, differential_check
 from .relations import run_relations
 
 __all__ = [
@@ -185,6 +185,8 @@ def replay_case(case: FuzzCase) -> list[Mismatch]:
         "big",
     )
     rng = np.random.default_rng(seed)
-    failures = differential_check(case)
+    # default_backends() folds in the compiled kernel when numba is
+    # importable, so corpus replay regression-checks the native path too.
+    failures = differential_check(case, default_backends())
     failures.extend(run_relations(case, rng))
     return failures

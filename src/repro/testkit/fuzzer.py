@@ -26,8 +26,8 @@ from ..core.thresholds import FixedThresholds, ThresholdModel
 from .corpus import save_reproducer, save_spatial_reproducer
 from .generators import FuzzCase, random_case, random_grid
 from .oracles import (
-    DEFAULT_BACKENDS,
     Mismatch,
+    default_backends,
     differential_check,
     fault_plan_check,
     spatial_differential_check,
@@ -60,6 +60,11 @@ class FuzzConfig:
     faults_every: int = 0
     #: Every Nth case is a 2-D grid against the spatial oracle.
     spatial_every: int = 20
+    #: Include the compiled ``chunked-numba`` backend in the cheap
+    #: battery: ``True`` forces it (fails fast when numba is missing),
+    #: ``False`` excludes it, ``None`` includes it iff numba is
+    #: importable and not disabled via ``REPRO_DISABLE_NUMBA``.
+    numba_backend: bool | None = None
     #: Stop early after this many failing cases (None = run the budget).
     stop_after: int | None = None
     relations: bool = True
@@ -71,6 +76,10 @@ class FuzzConfig:
             raise ValueError("budget must be >= 1")
         if self.max_points < 4:
             raise ValueError("max_points must be >= 4")
+        if self.numba_backend:
+            from ..core.kernel import load_native
+
+            load_native()  # fail fast with the actionable install hint
 
 
 @dataclass
@@ -124,7 +133,7 @@ def _check_battery(
     config: FuzzConfig,
     index: int,
 ) -> list[Mismatch]:
-    backends = list(DEFAULT_BACKENDS)
+    backends = list(default_backends(config.numba_backend))
     if config.adaptive_every and (index + 1) % config.adaptive_every == 0:
         backends.append("adaptive")
     failures = differential_check(case, backends)

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.adaptive import AdaptiveConfig, AdaptiveDetector
 from ..core.chunked import ChunkedDetector
 from ..core.detector import StreamingDetector
+from ..core.kernel import numba_available
 from ..core.events import Burst, BurstSet
 from ..core.naive import NaiveDetector, naive_detect
 from ..core.search import SearchParams
@@ -33,6 +34,7 @@ __all__ = [
     "Mismatch",
     "brute_force_bursts",
     "brute_force_spatial_bursts",
+    "default_backends",
     "diff_burst_sets",
     "differential_check",
     "fault_plan_check",
@@ -131,6 +133,12 @@ def _run_chunked_sweep(case: FuzzCase) -> BurstSet:
     return BurstSet(_feed(det, case))
 
 
+def _run_chunked_numba(case: FuzzCase) -> BurstSet:
+    """Chunked detector forced onto the compiled numba kernel."""
+    det = _make(ChunkedDetector, case, backend="numba")
+    return BurstSet(_feed(det, case))
+
+
 def _run_adaptive(case: FuzzCase) -> BurstSet:
     """Adaptive detector tuned to actually retrain mid-stream."""
     stream = case.stream
@@ -155,13 +163,15 @@ def _run_adaptive(case: FuzzCase) -> BurstSet:
     return BurstSet(_feed(det, case))
 
 
-def _make(cls, case: FuzzCase):
+def _make(cls, case: FuzzCase, backend: str | None = None):
     spec = case.spec
+    kwargs = {} if backend is None else {"backend": backend}
     return cls(
         spec.structure,
         spec.thresholds,
         spec.aggregate,
         refine_filter=case.refine_filter,
+        **kwargs,
     )
 
 
@@ -185,6 +195,7 @@ BACKENDS: dict[str, Callable[[FuzzCase], BurstSet]] = {
     "streaming": _run_streaming,
     "chunked": _run_chunked,
     "chunked-sweep": _run_chunked_sweep,
+    "chunked-numba": _run_chunked_numba,
     "adaptive": _run_adaptive,
 }
 
@@ -195,6 +206,21 @@ DEFAULT_BACKENDS: tuple[str, ...] = (
     "chunked",
     "chunked-sweep",
 )
+
+
+def default_backends(numba: bool | None = None) -> tuple[str, ...]:
+    """The cheap battery, optionally including the compiled kernel.
+
+    ``numba=None`` (the default) includes ``chunked-numba`` exactly when
+    numba is importable and not disabled via ``REPRO_DISABLE_NUMBA``, so
+    every differential run automatically covers the native kernel on
+    machines that have it without failing on machines that don't.
+    """
+    if numba is None:
+        numba = numba_available()
+    if numba:
+        return DEFAULT_BACKENDS + ("chunked-numba",)
+    return DEFAULT_BACKENDS
 
 
 def run_backend(case: FuzzCase, backend: str) -> BurstSet:
@@ -240,10 +266,11 @@ def differential_check(
     detectors: dict[str, object] = {}
     for name in backends:
         try:
-            if name in ("streaming", "chunked", "chunked-sweep"):
+            if name in _COUNTED:
                 det = _make(
                     StreamingDetector if name == "streaming" else ChunkedDetector,
                     case,
+                    backend="numba" if name == "chunked-numba" else None,
                 )
                 if name == "chunked":
                     got = det.detect(case.stream)
@@ -269,9 +296,20 @@ def differential_check(
     return out
 
 
+#: Backends whose RAM-model counters must match the streaming detector
+#: field-for-field (the kernel contract: candidates may be collected
+#: natively, but every operation is still charged identically).
+_COUNTED: tuple[str, ...] = (
+    "streaming",
+    "chunked",
+    "chunked-sweep",
+    "chunked-numba",
+)
+
+
 def _counter_check(detectors: dict[str, object]) -> list[Mismatch]:
     """Streaming/chunked counters must agree field-for-field."""
-    names = [n for n in ("streaming", "chunked", "chunked-sweep") if n in detectors]
+    names = [n for n in _COUNTED if n in detectors]
     if len(names) < 2:
         return []
     base = detectors[names[0]].counters

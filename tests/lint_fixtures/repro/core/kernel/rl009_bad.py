@@ -1,0 +1,28 @@
+"""RL009 fixture: kernel-boundary violations.
+
+The kernel layer is a leaf: importing the runtime or I/O layers from
+here (absolutely or relatively) must fire, and so must a scan entry
+point that carries no op counts.
+"""
+
+# -> RL009 here
+from repro.runtime.shm import ChunkReader
+
+# -> RL009 here
+import repro.io.spec
+
+# -> RL009 here
+from ...runtime import parallel
+
+
+# -> RL009 here
+def scan_candidates(prefix, start, end, threshold, out_ends):
+    # BAD: filters every window but charges nothing anywhere — the
+    # RAM-model totals silently under-count this whole pass.
+    pos = 0
+    for i in range(start, end):
+        value = prefix[i + 1] - prefix[start]
+        if value >= threshold:
+            out_ends[pos] = i
+            pos += 1
+    return pos

@@ -1,0 +1,28 @@
+"""RL009 fixture: a clean kernel leaf.
+
+Imports stay within numpy (and, optionally, sibling kernel modules or
+the detection core); every scan entry point fills per-level op counts
+for the caller to route through OpCounters.
+"""
+
+import numpy as np
+
+
+# OK: every update and comparison lands in a counts array the caller
+# merges into OpCounters.
+def scan_chunk(prefix, start, end, threshold, update_counts,
+               filter_counts, out_ends):
+    pos = 0
+    update_counts[0] += end - start
+    for i in range(start, end):
+        filter_counts[0] += 1
+        value = prefix[i + 1] - prefix[start]
+        if value >= threshold:
+            out_ends[pos] = i
+            pos += 1
+    return pos
+
+
+# OK: not a scan entry point, and dtypes are explicit.
+def pack_shifts(shifts):
+    return np.asarray(shifts, dtype=np.int64)

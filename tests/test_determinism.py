@@ -1,12 +1,14 @@
 """Determinism of the parallel runtime under scheduling freedom.
 
-The shared-memory pool makes two promises that scheduling must not be
+The shared-memory pool makes three promises that scheduling must not be
 able to break: the worker count is unobservable (1, 2 and 4 workers
-produce byte-identical results), and the order streams are registered
-and fed in is unobservable (any permutation produces byte-identical
-results).  Dyadic testkit streams make "byte-identical" literal — every
-aggregate is exact in float64, so we compare burst values and counter
-arrays bit for bit, with no tolerance.
+produce byte-identical results), the order streams are registered and
+fed in is unobservable (any permutation produces byte-identical
+results), and the detection kernel backend is unobservable (the NumPy
+fallback and — when installed — the compiled numba kernel produce
+byte-identical results).  Dyadic testkit streams make "byte-identical"
+literal — every aggregate is exact in float64, so we compare burst
+values and counter arrays bit for bit, with no tolerance.
 """
 
 from __future__ import annotations
@@ -14,10 +16,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.kernel import numba_available
 from repro.runtime import ParallelMultiStreamDetector
 from repro.testkit import random_case
 
 WORKER_COUNTS = (1, 2, 4)
+
+#: Every kernel backend usable in this environment.
+BACKENDS = ("numpy",) + (("numba",) if numba_available() else ())
 
 
 def _portfolio():
@@ -42,7 +48,7 @@ def _burst_bytes(bursts):
     )
 
 
-def _run(case, data, names, workers):
+def _run(case, data, names, workers, backend="auto"):
     det = ParallelMultiStreamDetector.shared(
         names,
         case.spec.structure,
@@ -50,6 +56,7 @@ def _run(case, data, names, workers):
         workers=workers,
         aggregate=case.spec.aggregate,
         refine_filter=case.refine_filter,
+        backend=backend,
     )
     with det:
         found = det.detect(
@@ -93,5 +100,17 @@ class TestParallelDeterminism:
         np.random.default_rng(order_seed).shuffle(names)
         assert names != sorted(data)  # the permutation is real
         bursts, merged = _run(case, data, names, 2)
+        assert bursts == ref_bursts
+        assert _counter_bytes(merged) == _counter_bytes(ref_merged)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", ["serial", 2])
+    def test_kernel_backend_is_unobservable(
+        self, reference, backend, workers
+    ):
+        case, data, ref_bursts, ref_merged = reference
+        bursts, merged = _run(
+            case, data, sorted(data), workers, backend=backend
+        )
         assert bursts == ref_bursts
         assert _counter_bytes(merged) == _counter_bytes(ref_merged)

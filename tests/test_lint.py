@@ -47,6 +47,7 @@ def expected_lines(path: Path, code: str) -> list[int]:
         ("core/rl006_bad.py", "RL006"),
         ("runtime/rl007_bad.py", "RL007"),
         ("runtime/rl008_bad.py", "RL008"),
+        ("core/kernel/rl009_bad.py", "RL009"),
     ],
 )
 def test_bad_fixture_trips_rule_at_marked_lines(fixture, code):
@@ -73,6 +74,7 @@ def test_rl001_distinguishes_ownership_gaps():
         "runtime/rl001_ok.py",
         "runtime/rl007_ok.py",
         "runtime/rl008_ok.py",
+        "core/kernel/rl009_ok.py",
         "experiments/scope_ok.py",
     ],
 )
@@ -112,6 +114,15 @@ def test_rules_scope_to_their_packages():
     out_of_scope = lint_source(source, "x/repro/core/mod.py", ALL_RULES)
     assert any(f.rule == "RL002" for f in in_scope)
     assert not any(f.rule == "RL002" for f in out_of_scope)
+
+
+def test_rl009_scopes_to_kernel_package():
+    # Identical code outside repro/core/kernel/ never trips RL009.
+    source = (FIXTURES / "repro/core/kernel/rl009_bad.py").read_text()
+    in_scope = lint_source(source, "x/repro/core/kernel/mod.py", ALL_RULES)
+    out_of_scope = lint_source(source, "x/repro/core/mod.py", ALL_RULES)
+    assert any(f.rule == "RL009" for f in in_scope)
+    assert not any(f.rule == "RL009" for f in out_of_scope)
 
 
 def test_syntax_error_becomes_parse_finding():
