@@ -4,28 +4,56 @@ The paper's correctness story rests on contracts the code can only state
 informally — aggregates must stay monotonic/associative, SAT detection
 must remain filter-then-verify exact, and the shared-memory runtime must
 never leak segments or deadlock its command pipes.  This package turns
-those contracts into machine-checked AST rules (`RL001`..`RL006`), each
+those contracts into machine-checked AST rules (`RL001`..`RL012`), each
 derived from a real past bug or review finding; see ``DESIGN.md``
-("Static analysis layer") for the incident behind every rule.
+("Static analysis layer" and "Whole-program analysis") for the incident
+behind every rule.
+
+Rules come in two shapes.  Per-file rules (:class:`Rule`) see one module
+at a time.  Whole-program rules (:class:`ProjectRule`) see a
+:class:`Project` — every module under each ``repro`` tree parsed once,
+with its import graph and per-module symbol/call index — and can check
+cross-module contracts: the import-layering spec (`RL010`), parent/worker
+IPC protocol conformance (`RL011`).
 
 Run it as ``python -m repro.lint [paths]``; findings are reported as
-``path:line:col: RLxxx message`` (or JSON with ``--format json``) and the
-exit status is non-zero when any finding survives suppression.  A finding
-is suppressed by a ``# repro: noqa[RL001]`` comment on its line (bare
-``# repro: noqa`` suppresses every rule on the line — use sparingly).
+``path:line:col: RLxxx message`` (JSON with ``--format json``, GitHub
+workflow annotations with ``--format github``) and the exit status is
+non-zero when any finding survives suppression.  A finding is suppressed
+by a ``# repro: noqa[RL001]`` comment on its line (bare ``# repro: noqa``
+suppresses every rule on the line — use sparingly); ``--baseline FILE``
+additionally accepts a committed set of known findings.
 """
 
 from __future__ import annotations
 
-from .engine import Finding, LintModule, Rule, lint_paths, lint_source
+from .engine import (
+    Finding,
+    LintModule,
+    Project,
+    ProjectRule,
+    ProjectTree,
+    Rule,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
 from .rules import ALL_RULES, rule_by_code
 
 __all__ = [
     "Finding",
     "LintModule",
+    "Project",
+    "ProjectRule",
+    "ProjectTree",
     "Rule",
     "ALL_RULES",
     "rule_by_code",
+    "apply_baseline",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "write_baseline",
 ]

@@ -1,8 +1,13 @@
-"""CLI entry point: ``python -m repro.lint [paths] [--format text|json]``.
+"""CLI entry point: ``python -m repro.lint [paths] [--format text|json|github]``.
 
 Exit status: 0 when the tree is clean, 1 when findings survive
-suppression, 2 on usage errors.  ``--list-rules`` prints every rule with
-the invariant it encodes.
+suppression (and the baseline, when one is given), 2 on usage errors.
+``--list-rules`` prints every rule with the invariant it encodes.
+
+Baselines: ``--write-baseline FILE`` records the current findings as
+accepted debt; a later run with ``--baseline FILE`` fails only on
+findings *not* in the file.  Entries match on (path, rule, message) so a
+baseline survives unrelated edits that shift line numbers.
 """
 
 from __future__ import annotations
@@ -12,8 +17,22 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from .engine import lint_paths, render_json, render_text
+from .engine import (
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    render_github,
+    render_json,
+    render_text,
+    write_baseline,
+)
 from .rules import ALL_RULES
+
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}
 
 
 def _default_paths() -> list[str]:
@@ -34,15 +53,31 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; github emits workflow "
+        "::error annotations)",
     )
     parser.add_argument(
         "--select",
+        "--rules",
+        dest="select",
         metavar="RULES",
         default=None,
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="accepted-findings file; only findings not in it fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write the surviving findings to FILE as the new baseline "
+        "and exit 0",
     )
     parser.add_argument(
         "--list-rules",
@@ -70,12 +105,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(f"no such path: {missing}")
 
     findings = lint_paths(paths, rules)
-    report = (
-        render_json(findings)
-        if args.format == "json"
-        else render_text(findings)
-    )
-    print(report)
+
+    if args.write_baseline:
+        write_baseline(findings, args.write_baseline)
+        print(f"wrote {len(findings)} finding(s) to {args.write_baseline}")
+        return 0
+
+    if args.baseline:
+        try:
+            accepted = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot read baseline {args.baseline}: {exc}")
+        findings = apply_baseline(findings, accepted)
+
+    print(_RENDERERS[args.format](findings))
     return 1 if findings else 0
 
 

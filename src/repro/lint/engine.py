@@ -1,17 +1,24 @@
 """The rule engine: file walking, AST parsing, suppression, reporting.
 
 A :class:`Rule` inspects one parsed module and yields :class:`Finding`
-records.  The engine owns everything rules should not care about:
-discovering files, parsing them once, normalizing paths for scoping,
-collecting ``# repro: noqa[...]`` suppressions from the token stream, and
-sorting/serializing the surviving findings.
+records; a :class:`ProjectRule` inspects the whole parsed tree at once
+through a :class:`Project`.  The engine owns everything rules should not
+care about: discovering files, parsing them once, normalizing paths for
+scoping, resolving the module import graph and per-module symbol/call
+index, collecting ``# repro: noqa[...]`` suppressions from the token
+stream, filtering against a committed baseline, and sorting/serializing
+the surviving findings.
 
 Scoping convention: rules match against a module's *posix-normalized*
 path (e.g. ``src/repro/runtime/pool.py``), so a rule scoped to
 ``repro/runtime/`` fires both on the real tree and on test fixtures laid
 out as ``tests/lint_fixtures/repro/runtime/<case>.py`` — the fixture
 tree mirrors the package layout precisely so scoping itself is under
-test.
+test.  Whole-program rules follow the same convention one level up: the
+path prefix before the ``repro/`` component identifies the *tree*, so
+``src/repro/...`` and a fixture tree at
+``tests/lint_fixtures/ipc_bad/repro/...`` are analyzed as independent
+programs in one run.
 """
 
 from __future__ import annotations
@@ -25,7 +32,18 @@ from io import StringIO
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
-__all__ = ["Finding", "LintModule", "Rule", "lint_paths", "lint_source"]
+__all__ = [
+    "Finding",
+    "LintModule",
+    "ModuleImport",
+    "ModuleIndex",
+    "Project",
+    "ProjectRule",
+    "ProjectTree",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+]
 
 #: ``# repro: noqa`` (all rules) or ``# repro: noqa[RL001,RL002]``.
 _NOQA = re.compile(
@@ -133,6 +151,274 @@ class Rule:
                 yield finding
 
 
+# -- whole-program analysis ------------------------------------------------
+@dataclass(frozen=True)
+class ModuleImport:
+    """One resolved intra-``repro`` import edge.
+
+    ``target`` is the dotted name the statement reaches (resolved through
+    relative levels, e.g. ``from ..core.chunked import X`` inside
+    ``repro.runtime.worker`` resolves to ``repro.core.chunked``).
+    ``lazy`` marks imports deferred into a function or method body —
+    they still bind the layering contract, but they are deliberate
+    cycle-breakers and are excluded from import-cycle detection.
+    """
+
+    target: str
+    node: ast.stmt
+    lazy: bool
+
+
+class ModuleIndex:
+    """Per-module symbol and call-site index for project rules.
+
+    ``functions`` maps qualified names (``name`` or ``Class.name``) to
+    their defs, ``classes`` maps class names to their defs, and
+    ``calls`` maps each *terminal* called name (``send`` for
+    ``pool.send(...)``) to its call sites in source order.
+    """
+
+    def __init__(self, module: LintModule) -> None:
+        self.module = module
+        self.functions: dict[
+            str, ast.FunctionDef | ast.AsyncFunctionDef
+        ] = {}
+        self.classes: dict[str, ast.ClassDef] = {}
+        self.calls: dict[str, list[ast.Call]] = {}
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+                for sub in node.body:
+                    if isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self.functions[f"{node.name}.{sub.name}"] = sub
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = _called_name(node.func)
+                if name:
+                    self.calls.setdefault(name, []).append(node)
+
+
+def _called_name(func: ast.AST) -> str:
+    """The terminal called name: ``f`` for ``f(...)``, ``c`` for
+    ``a.b.c(...)``; empty for anything unnameable."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _module_identity(scope_path: str) -> tuple[str, str, bool] | None:
+    """``(tree_root, dotted_name, is_package)`` for a repro module path.
+
+    The first path component named ``repro`` anchors the package; the
+    prefix before it is the tree root (``src`` for the real tree, the
+    fixture directory for mirrored test trees).  Returns ``None`` for
+    files outside any ``repro/`` tree — whole-program rules do not see
+    them.
+    """
+    parts = scope_path.split("/")
+    try:
+        anchor = parts.index("repro")
+    except ValueError:
+        return None
+    if parts[-1] == "repro":  # a directory path slipped in; not a module
+        return None
+    root = "/".join(parts[:anchor])
+    rel = parts[anchor:]
+    is_package = rel[-1] == "__init__.py"
+    if is_package:
+        dotted = ".".join(rel[:-1])
+    else:
+        dotted = ".".join(rel)[: -len(".py")]
+    return root, dotted, is_package
+
+
+class ProjectTree:
+    """One ``repro`` package instance: the real tree or a fixture mirror.
+
+    Holds the tree's modules keyed by dotted name, resolves each
+    module's intra-``repro`` imports, and serves per-module
+    :class:`ModuleIndex` views.  Everything is computed once and cached;
+    project rules share the same parse.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.modules: dict[str, LintModule] = {}
+        self._packages: set[str] = set()
+        self._imports: dict[str, tuple[ModuleImport, ...]] = {}
+        self._indexes: dict[str, ModuleIndex] = {}
+
+    def _add(self, dotted: str, module: LintModule, is_package: bool) -> None:
+        self.modules[dotted] = module
+        if is_package:
+            self._packages.add(dotted)
+
+    def module(self, dotted: str) -> LintModule | None:
+        """The tree's module named ``dotted``, if present."""
+        return self.modules.get(dotted)
+
+    def is_package(self, dotted: str) -> bool:
+        """Whether ``dotted`` names a package (an ``__init__.py``)."""
+        return dotted in self._packages
+
+    def index_of(self, dotted: str) -> ModuleIndex:
+        """The (cached) symbol/call index of one module."""
+        index = self._indexes.get(dotted)
+        if index is None:
+            index = ModuleIndex(self.modules[dotted])
+            self._indexes[dotted] = index
+        return index
+
+    def imports_of(self, dotted: str) -> tuple[ModuleImport, ...]:
+        """Resolved intra-``repro`` imports of one module, cached."""
+        cached = self._imports.get(dotted)
+        if cached is None:
+            cached = tuple(self._resolve_imports(dotted))
+            self._imports[dotted] = cached
+        return cached
+
+    def import_graph(self, include_lazy: bool = False) -> dict[str, set[str]]:
+        """Module -> imported modules, restricted to this tree's modules.
+
+        Module-level imports only by default: lazy (function-body)
+        imports are deliberate cycle breakers, so including them would
+        re-report exactly the cycles they were written to avoid.
+        """
+        graph: dict[str, set[str]] = {}
+        for name in self.modules:
+            edges = set()
+            for imp in self.imports_of(name):
+                if imp.lazy and not include_lazy:
+                    continue
+                if imp.target in self.modules and imp.target != name:
+                    edges.add(imp.target)
+            graph[name] = edges
+        return graph
+
+    def _resolve_imports(self, dotted: str) -> Iterator[ModuleImport]:
+        module = self.modules[dotted]
+        package = (
+            dotted if dotted in self._packages else dotted.rpartition(".")[0]
+        )
+        for node, lazy in _walk_imports(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro" or alias.name.startswith(
+                        "repro."
+                    ):
+                        yield ModuleImport(alias.name, node, lazy)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(node, package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    target = f"{base}.{alias.name}"
+                    if target not in self.modules:
+                        target = base  # a symbol, not a submodule
+                    yield ModuleImport(target, node, lazy)
+
+    def _import_base(
+        self, node: ast.ImportFrom, package: str
+    ) -> str | None:
+        """The dotted package/module a ``from ... import`` reads from."""
+        if node.level == 0:
+            base = node.module or ""
+        else:
+            parts = package.split(".") if package else []
+            # level 1 = the current package; each extra level climbs one.
+            climbed = len(parts) - (node.level - 1)
+            if climbed < 0:
+                return None
+            base = ".".join(parts[:climbed])
+            if node.module:
+                base = f"{base}.{node.module}" if base else node.module
+        if base == "repro" or base.startswith("repro."):
+            return base
+        return None
+
+
+def _walk_imports(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.Import | ast.ImportFrom, bool]]:
+    """Every import statement with whether it is deferred (function-level)."""
+
+    def visit(node: ast.AST, lazy: bool) -> Iterator[
+        tuple[ast.Import | ast.ImportFrom, bool]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.Import, ast.ImportFrom)):
+                yield child, lazy
+            elif isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                yield from visit(child, True)
+            else:
+                yield from visit(child, lazy)
+
+    yield from visit(tree, False)
+
+
+class Project:
+    """The whole-program view: every parsed module, grouped into trees.
+
+    One lint invocation may cover several independent ``repro`` package
+    instances — the real ``src/repro`` tree plus any number of fixture
+    mirrors — and each becomes its own :class:`ProjectTree`, so a
+    cross-module rule never conflates a fixture's ``worker.py`` with the
+    real one.
+    """
+
+    def __init__(self, modules: Iterable[LintModule]) -> None:
+        self.by_path: dict[str, LintModule] = {}
+        trees: dict[str, ProjectTree] = {}
+        for module in modules:
+            self.by_path[module.path] = module
+            identity = _module_identity(module.scope_path)
+            if identity is None:
+                continue
+            root, dotted, is_package = identity
+            tree = trees.get(root)
+            if tree is None:
+                tree = ProjectTree(root)
+                trees[root] = tree
+            tree._add(dotted, module, is_package)
+        self.trees: tuple[ProjectTree, ...] = tuple(
+            trees[root] for root in sorted(trees)
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for a whole-program invariant check.
+
+    Subclasses implement :meth:`check_project` over a :class:`Project`;
+    the per-file :meth:`check` is a no-op so project rules can sit in
+    the same registry (``--rules`` selection, ``--list-rules``) as
+    per-file rules.  Findings are anchored to real source positions in
+    real modules, so line-level ``# repro: noqa[...]`` suppression works
+    exactly as it does for per-file rules.
+    """
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Yield every violation found across ``project``."""
+        raise NotImplementedError
+
+    def run_project(self, project: Project) -> Iterator[Finding]:
+        """Run :meth:`check_project`, filtering through noqa comments."""
+        for finding in self.check_project(project):
+            module = project.by_path.get(finding.path)
+            if module is None or not _suppressed(module, finding):
+                yield finding
+
+
 def _collect_suppressions(source: str) -> dict[int, set[str]]:
     """Line -> suppressed rule codes (empty set = all rules).
 
@@ -183,10 +469,28 @@ def _iter_files(paths: Sequence[str | Path]) -> Iterator[Path]:
             yield path
 
 
+def _split_rules(
+    rules: Iterable[Rule],
+) -> tuple[list[Rule], list[ProjectRule]]:
+    file_rules: list[Rule] = []
+    project_rules: list[ProjectRule] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            project_rules.append(rule)
+        else:
+            file_rules.append(rule)
+    return file_rules, project_rules
+
+
 def lint_source(
     source: str, path: str, rules: Iterable[Rule]
 ) -> list[Finding]:
-    """Lint one in-memory module; parse errors become ``RL000`` findings."""
+    """Lint one in-memory module; parse errors become ``RL000`` findings.
+
+    Project rules run over a single-module project, so per-module
+    checks (like the layering contract) still apply; genuinely
+    cross-module checks simply see nothing to pair the module with.
+    """
     try:
         module = LintModule(path, source)
     except SyntaxError as exc:
@@ -199,18 +503,30 @@ def lint_source(
                 message=f"cannot parse file: {exc.msg}",
             )
         ]
+    file_rules, project_rules = _split_rules(rules)
     findings: list[Finding] = []
-    for rule in rules:
+    for rule in file_rules:
         findings.extend(rule.run(module))
+    if project_rules:
+        project = Project([module])
+        for rule in project_rules:
+            findings.extend(rule.run_project(project))
     return sorted(findings)
 
 
 def lint_paths(
     paths: Sequence[str | Path], rules: Iterable[Rule]
 ) -> list[Finding]:
-    """Lint every ``*.py`` file under ``paths`` with ``rules``, sorted."""
-    rules = list(rules)
+    """Lint every ``*.py`` file under ``paths`` with ``rules``, sorted.
+
+    Per-file rules see each module as it parses; whole-program rules
+    run once at the end over a :class:`Project` built from every module
+    that parsed (files with syntax errors surface as ``RL000`` and are
+    left out of the project view).
+    """
+    file_rules, project_rules = _split_rules(rules)
     findings: list[Finding] = []
+    modules: list[LintModule] = []
     for path in _iter_files(paths):
         try:
             source = path.read_text(encoding="utf-8")
@@ -225,8 +541,78 @@ def lint_paths(
                 )
             )
             continue
-        findings.extend(lint_source(source, str(path), rules))
+        try:
+            module = LintModule(str(path), source)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule=PARSE_ERROR,
+                    message=f"cannot parse file: {exc.msg}",
+                )
+            )
+            continue
+        modules.append(module)
+        for rule in file_rules:
+            findings.extend(rule.run(module))
+    if project_rules:
+        project = Project(modules)
+        for rule in project_rules:
+            findings.extend(rule.run_project(project))
     return sorted(findings)
+
+
+# -- baseline ---------------------------------------------------------------
+def finding_key(finding: Finding) -> str:
+    """The baseline identity of a finding: path + rule + message.
+
+    Line and column are deliberately excluded so unrelated edits above a
+    known finding do not churn the baseline; a finding only re-surfaces
+    when its location *file*, its rule, or its message text changes.
+    """
+    return f"{finding.path}::{finding.rule}::{finding.message}"
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """The set of accepted finding keys recorded in a baseline file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = payload.get("findings", [])
+    return {
+        f"{e['path']}::{e['rule']}::{e['message']}" for e in entries
+    }
+
+
+def write_baseline(findings: Sequence[Finding], path: str | Path) -> None:
+    """Record ``findings`` as the accepted baseline at ``path``."""
+    entries = sorted(
+        {
+            (f.path, f.rule, f.message)
+            for f in findings
+        }
+    )
+    payload = {
+        "comment": (
+            "repro-lint baseline: accepted findings, keyed by "
+            "path+rule+message (line-insensitive). Regenerate with "
+            "`python -m repro.lint src --write-baseline <file>`."
+        ),
+        "findings": [
+            {"path": p, "rule": r, "message": m} for p, r, m in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], accepted: set[str]
+) -> list[Finding]:
+    """Findings not covered by the baseline (the ones that should fail)."""
+    return [f for f in findings if finding_key(f) not in accepted]
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -247,3 +633,28 @@ def render_json(findings: Sequence[Finding]) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions annotations (``--format github``).
+
+    One ``::error`` workflow command per finding; GitHub renders these
+    as inline annotations on the pull request diff.  Message text is
+    escaped per the workflow-command rules (``%``, CR, LF).
+    """
+
+    def escape(text: str) -> str:
+        return (
+            text.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+        )
+
+    lines = [
+        f"::error file={f.path},line={f.line},col={f.col},"
+        f"title={f.rule}::{escape(f.message)}"
+        for f in findings
+    ]
+    n = len(findings)
+    lines.append(f"{n} finding{'s' if n != 1 else ''}")
+    return "\n".join(lines)

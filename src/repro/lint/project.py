@@ -1,0 +1,501 @@
+"""Whole-program rules: import layering and IPC protocol conformance.
+
+These rules run over a :class:`~repro.lint.engine.Project` rather than a
+single module.  Both are derived from bug classes that actually shipped:
+cross-module import tangles (PR 2's serial-fallback config loss hid behind
+an undeclared ``runtime -> io`` coupling) and parent/worker protocol drift
+(PR 5's unpaired reply from a SIGKILLed worker).
+
+RL010 — import-layering contract.  The package layout declares a layer
+  order (``core.kernel`` below ``core`` below everything else); the rule
+  checks every static import edge in the module graph against the declared
+  spec and reports cycles among non-lazy edges.  Lazy (function-body)
+  imports are deliberate cycle breakers and are exempt from cycle
+  detection but still layer-checked.
+
+RL011 — IPC protocol conformance.  The parent side
+  (``runtime.parallel``/``runtime.supervisor``/``runtime.pool``) sends
+  tagged tuples; ``runtime.worker`` dispatches on ``msg[0]``.  The rule
+  extracts both surfaces from the ASTs and reports commands sent but never
+  handled, handlers for commands never sent, a handled ``stop`` terminator
+  that no parent ever sends, per-tag reply-tuple arity drift, and parent
+  references to reply tags the worker never produces.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+
+from .engine import Finding, Project, ProjectRule, ProjectTree
+
+__all__ = ["ImportLayering", "IpcProtocolConformance"]
+
+
+# --------------------------------------------------------------------------
+# RL010: import layering
+# --------------------------------------------------------------------------
+
+#: Allowed *other*-layer imports per layer.  A layer may always import
+#: itself.  ``""`` (top-level ``repro`` modules: cli, __main__, ...) is the
+#: outermost layer and may import anything, so it has no entry here.
+LAYER_SPEC: dict[str, frozenset[str]] = {
+    "core.kernel": frozenset({"core"}),
+    "core": frozenset({"core.kernel"}),
+    "streams": frozenset({"core"}),
+    "spatial": frozenset({"core"}),
+    "io": frozenset({"core"}),
+    "mining": frozenset({"core"}),
+    "runtime": frozenset({"core", "core.kernel"}),
+    "testkit": frozenset({"core", "core.kernel", "io", "runtime", "spatial", "streams"}),
+    "experiments": frozenset({"core", "io", "mining", "spatial", "streams"}),
+    "lint": frozenset(),
+}
+
+
+def layer_of(tree: ProjectTree, dotted: str) -> str | None:
+    """The layer a module belongs to, or ``None`` for top-level modules.
+
+    ``repro.core.kernel.native`` -> ``"core.kernel"``;
+    ``repro.core.chunked`` -> ``"core"``; ``repro.cli`` -> ``None``.
+    """
+    parts = dotted.split(".")
+    if len(parts) < 2:
+        return None
+    if len(parts) == 2 and not tree.is_package(dotted):
+        return None  # top-level module such as repro.cli
+    sub = ".".join(parts[1:3])
+    if len(parts) >= 3 and sub in LAYER_SPEC:
+        return sub
+    return parts[1]
+
+
+class ImportLayering(ProjectRule):
+    """RL010: imports must respect the declared package layering."""
+
+    code = "RL010"
+    name = "import-layering"
+    invariant = (
+        "Static imports follow the layer spec (core.kernel <-> core; leaf "
+        "layers import core only; testkit/experiments sit on top) and the "
+        "non-lazy import graph is acyclic."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for tree in project.trees:
+            yield from self._check_layers(tree)
+            yield from self._check_cycles(tree)
+
+    def _check_layers(self, tree: ProjectTree) -> Iterator[Finding]:
+        for dotted, module in sorted(tree.modules.items()):
+            layer = layer_of(tree, dotted)
+            if layer is None:
+                continue  # top-level modules may import any layer
+            allowed = LAYER_SPEC.get(layer)
+            for imp in tree.imports_of(dotted):
+                target_layer = self._target_layer(tree, imp.target)
+                if target_layer is None or target_layer == layer:
+                    continue
+                if allowed is None:
+                    yield self._finding(
+                        module.path,
+                        imp.node,
+                        f"package layer {layer!r} is not in the declared layer "
+                        f"spec; declare it before importing repro.{target_layer}",
+                    )
+                    continue
+                # core.kernel is contained in core: importing the parent
+                # package is the containment edge, always legal.
+                if layer.startswith(target_layer + "."):
+                    continue
+                if target_layer not in allowed:
+                    yield self._finding(
+                        module.path,
+                        imp.node,
+                        f"layer {layer!r} must not import layer {target_layer!r} "
+                        f"(allowed: {', '.join(sorted(allowed)) or 'none'})",
+                    )
+
+    def _target_layer(self, tree: ProjectTree, target: str) -> str | None:
+        if target == "repro":
+            return None
+        # Resolve the *module* the import lands in: the longest known prefix.
+        parts = target.split(".")
+        for cut in range(len(parts), 1, -1):
+            prefix = ".".join(parts[:cut])
+            if tree.module(prefix) is not None:
+                return layer_of(tree, prefix)
+        return layer_of(tree, target)
+
+    def _check_cycles(self, tree: ProjectTree) -> Iterator[Finding]:
+        graph = tree.import_graph(include_lazy=False)
+        for cycle in _import_cycles(graph):
+            anchor = cycle[0]
+            module = tree.module(anchor)
+            if module is None:  # pragma: no cover - members come from modules
+                continue
+            node = self._edge_node(tree, anchor, cycle[1] if len(cycle) > 1 else anchor)
+            line = node.lineno if node is not None else 1
+            col = node.col_offset + 1 if node is not None else 1
+            yield Finding(
+                path=module.path,
+                line=line,
+                col=col,
+                rule=self.code,
+                message=f"import cycle: {' -> '.join([*cycle, cycle[0]])}",
+            )
+
+    def _edge_node(self, tree: ProjectTree, src: str, dst: str) -> ast.stmt | None:
+        for imp in tree.imports_of(src):
+            if imp.lazy:
+                continue
+            target = imp.target
+            if target == dst or target.startswith(dst + "."):
+                return imp.node
+        return None
+
+    def _finding(self, path: str, node: ast.stmt, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            rule=self.code,
+            message=message,
+        )
+
+
+def _import_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components of size > 1 (plus self-loops).
+
+    Each returned cycle is rotated to start at its smallest member so the
+    report is deterministic, and components are sorted by that anchor.
+    Iterative Tarjan; recursion would overflow on deep module chains.
+    """
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = 0
+    sccs: list[list[str]] = []
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for succ in edges:
+                if succ not in index:
+                    index[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph.get(node, ()):
+                    sccs.append(_cycle_path(component, graph))
+    return sorted(sccs, key=lambda cycle: cycle[0])
+
+
+def _cycle_path(component: list[str], graph: dict[str, set[str]]) -> list[str]:
+    """An actual import path around the component, starting at its
+    smallest member (shortest such loop, for a readable message)."""
+    comp = set(component)
+    start = min(component)
+    if len(comp) == 1:
+        return [start]
+    seen = {start}
+    queue: list[list[str]] = [[start]]
+    while queue:
+        path = queue.pop(0)
+        for succ in sorted(graph.get(path[-1], ())):
+            if succ == start:
+                return path
+            if succ in comp and succ not in seen:
+                seen.add(succ)
+                queue.append(path + [succ])
+    return sorted(comp)  # pragma: no cover - an SCC always loops back
+
+
+# --------------------------------------------------------------------------
+# RL011: IPC protocol conformance
+# --------------------------------------------------------------------------
+
+_WORKER = "repro.runtime.worker"
+_PARENTS = ("repro.runtime.parallel", "repro.runtime.pool", "repro.runtime.supervisor")
+_DISPATCH_NAMES = frozenset({"cmd", "command"})
+
+
+class _TagSite:
+    """A tagged-tuple occurrence: the tag plus where it appears."""
+
+    __slots__ = ("tag", "arity", "path", "node")
+
+    def __init__(self, tag: str, arity: int, path: str, node: ast.AST) -> None:
+        self.tag = tag
+        self.arity = arity
+        self.path = path
+        self.node = node
+
+
+def _str_const(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _tuple_tag(node: ast.expr) -> tuple[str, int] | None:
+    """``("tag", a, b)`` -> ("tag", 3); anything else -> None."""
+    if isinstance(node, ast.Tuple) and node.elts:
+        tag = _str_const(node.elts[0])
+        if tag is not None:
+            return tag, len(node.elts)
+    return None
+
+
+def _is_subscript_zero(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.slice, ast.Constant)
+        and node.slice.value == 0
+    )
+
+
+def _dispatch_compares(tree: ast.AST, names: frozenset[str]) -> Iterator[tuple[str, ast.Compare]]:
+    """``cmd == "tag"`` / ``msg[0] == "tag"`` / ``cmd in ("a", "b")`` sites."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        left, op, right = node.left, node.ops[0], node.comparators[0]
+        if isinstance(op, ast.Eq):
+            for subject, other in ((left, right), (right, left)):
+                if isinstance(subject, ast.Name) and subject.id in names:
+                    tag = _str_const(other)
+                    if tag is not None:
+                        yield tag, node
+                elif _is_subscript_zero(subject):
+                    tag = _str_const(other)
+                    if tag is not None:
+                        yield tag, node
+        elif isinstance(op, ast.In):
+            subject = left
+            if (isinstance(subject, ast.Name) and subject.id in names) or _is_subscript_zero(
+                subject
+            ):
+                if isinstance(right, (ast.Tuple, ast.List, ast.Set)):
+                    for elt in right.elts:
+                        tag = _str_const(elt)
+                        if tag is not None:
+                            yield tag, node
+
+
+class IpcProtocolConformance(ProjectRule):
+    """RL011: parent command surface must mirror the worker dispatch chain."""
+
+    code = "RL011"
+    name = "ipc-protocol-conformance"
+    invariant = (
+        "Every command tag the parent side sends has a worker handler, every "
+        "worker handler has a sender, the stop terminator is paired, reply "
+        "tuples keep a single arity per tag, and parents only dispatch on "
+        "reply tags the worker produces."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for tree in project.trees:
+            worker = tree.module(_WORKER)
+            parents = [(name, tree.module(name)) for name in _PARENTS]
+            parents = [(name, mod) for name, mod in parents if mod is not None]
+            if worker is None or not parents:
+                continue
+
+            sent = [
+                site
+                for name, _mod in parents
+                for site in self._command_sites(tree, name)
+            ]
+            handled = list(self._handled_tags(worker.tree))
+            handler_arity = self._handler_arities(worker.tree)
+            replies = list(self._reply_sites(tree, _WORKER))
+
+            sent_tags = {site.tag for site in sent}
+            handled_tags = {tag for tag, _ in handled}
+            reply_tags = {site.tag for site in replies}
+
+            # (a) commands sent but never dispatched by the worker.
+            for site in sent:
+                if site.tag not in handled_tags:
+                    yield self._finding(
+                        site.path,
+                        site.node,
+                        f"command {site.tag!r} is sent to workers but "
+                        f"{_WORKER} never dispatches it",
+                    )
+            # (b) worker handlers for commands no parent ever sends.
+            for tag, node in handled:
+                if tag not in sent_tags:
+                    yield self._finding(
+                        worker.path,
+                        node,
+                        f"worker dispatches command {tag!r} but no parent "
+                        "module ever sends it (dead protocol surface)",
+                    )
+            # (c) a handled stop terminator must have a sender.  (An *unsent*
+            # stop is already covered by (b); an unhandled sent stop by (a);
+            # this arm exists so the invariant reads completely.)
+            if "stop" not in handled_tags and "stop" not in sent_tags:
+                anchor = worker.tree.body[0] if worker.tree.body else None
+                line = anchor.lineno if anchor is not None else 1
+                yield Finding(
+                    path=worker.path,
+                    line=line,
+                    col=1,
+                    rule=self.code,
+                    message=(
+                        "IPC protocol has no 'stop' terminator: the worker "
+                        "loop can never be shut down cleanly"
+                    ),
+                )
+            # (d) command send arity must match the handler's destructure.
+            for site in sent:
+                want = handler_arity.get(site.tag)
+                if want is not None and site.arity != want:
+                    yield self._finding(
+                        site.path,
+                        site.node,
+                        f"command {site.tag!r} sent with {site.arity} fields "
+                        f"but the worker handler destructures {want}",
+                    )
+            # (e) reply-tuple arity must be consistent per tag.
+            first_arity: dict[str, _TagSite] = {}
+            for site in sorted(replies, key=lambda s: (s.node.lineno, s.node.col_offset)):
+                seen = first_arity.setdefault(site.tag, site)
+                if seen is not site and site.arity != seen.arity:
+                    yield self._finding(
+                        site.path,
+                        site.node,
+                        f"reply {site.tag!r} built with {site.arity} fields "
+                        f"here but {seen.arity} at line {seen.node.lineno}",
+                    )
+            # (f) parents must only dispatch on reply tags the worker sends.
+            for name, mod in parents:
+                for tag, node in _dispatch_compares(mod.tree, frozenset({"reply"})):
+                    if tag not in reply_tags and tag not in sent_tags:
+                        yield self._finding(
+                            mod.path,
+                            node,
+                            f"parent dispatches on reply tag {tag!r} that the "
+                            "worker never produces",
+                        )
+
+    # -- extraction ---------------------------------------------------------
+
+    def _command_sites(
+        self, tree: ProjectTree, dotted: str
+    ) -> Iterator[_TagSite]:
+        """Tagged tuples a parent module hands to workers.
+
+        Two shapes, by convention: literal tuples passed to a
+        ``send(...)``/``request(...)`` call (found through the module's
+        call index), and literal tuples *returned* from parent helpers
+        (command builders such as ``make_builder``) that are sent
+        elsewhere by name.
+        """
+        index = tree.index_of(dotted)
+        path = index.module.path
+        for called in ("send", "request"):
+            for call in index.calls.get(called, ()):
+                for arg in call.args:
+                    tagged = _tuple_tag(arg)
+                    if tagged is not None:
+                        yield _TagSite(tagged[0], tagged[1], path, arg)
+        for node in ast.walk(index.module.tree):
+            if isinstance(node, ast.Return) and node.value is not None:
+                tagged = _tuple_tag(node.value)
+                if tagged is not None:
+                    yield _TagSite(tagged[0], tagged[1], path, node.value)
+
+    def _handled_tags(
+        self, tree: ast.AST
+    ) -> Iterator[tuple[str, ast.Compare]]:
+        seen: set[str] = set()
+        for tag, node in _dispatch_compares(tree, _DISPATCH_NAMES):
+            if tag not in seen:
+                seen.add(tag)
+                yield tag, node
+
+    def _handler_arities(self, tree: ast.AST) -> dict[str, int]:
+        """tag -> arity of the whole-message destructure in its handler."""
+        arities: dict[str, int] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.If):
+                continue
+            tags = [tag for tag, _ in _dispatch_compares(node.test, _DISPATCH_NAMES)]
+            if len(tags) != 1:
+                continue
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Tuple)
+                    and isinstance(stmt.value, ast.Name)
+                ):
+                    elts = stmt.targets[0].elts
+                    if any(isinstance(e, ast.Starred) for e in elts):
+                        break  # variadic destructure: arity unconstrained
+                    arities.setdefault(tags[0], len(elts))
+                    break
+        return arities
+
+    def _reply_sites(
+        self, tree: ProjectTree, dotted: str
+    ) -> Iterator[_TagSite]:
+        """Tagged tuples the worker produces: sent on a conn or returned."""
+        index = tree.index_of(dotted)
+        path = index.module.path
+        for call in index.calls.get("send", ()):
+            for arg in call.args:
+                tagged = _tuple_tag(arg)
+                if tagged is not None:
+                    yield _TagSite(tagged[0], tagged[1], path, arg)
+        for node in ast.walk(index.module.tree):
+            if isinstance(node, ast.Return) and node.value is not None:
+                tagged = _tuple_tag(node.value)
+                if tagged is not None:
+                    yield _TagSite(tagged[0], tagged[1], path, node.value)
+
+    def _finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.code,
+            message=message,
+        )
+
+
+def project_rules() -> Sequence[ProjectRule]:
+    """The whole-program rules, in code order."""
+    return (ImportLayering(), IpcProtocolConformance())

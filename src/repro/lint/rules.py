@@ -15,6 +15,7 @@ import re
 from typing import Iterator
 
 from .engine import Finding, LintModule, Rule
+from .project import ImportLayering, IpcProtocolConformance
 
 __all__ = [
     "ALL_RULES",
@@ -28,6 +29,9 @@ __all__ = [
     "DeadlineAwareIPC",
     "AccountableShedding",
     "KernelBoundary",
+    "ImportLayering",
+    "IpcProtocolConformance",
+    "DroppedCounterDataflow",
 ]
 
 
@@ -814,6 +818,120 @@ class KernelBoundary(Rule):
         return False
 
 
+class DroppedCounterDataflow(Rule):
+    """RL012 — a constructed OpCounters object must go somewhere.
+
+    RL003 pins *how* operations are charged (to OpCounters attributes);
+    this rule pins *where the object itself flows*.  The failure mode it
+    encodes: a helper builds a local ``OpCounters``, charges work to it,
+    and then forgets to merge it into (or return it to) the caller's
+    accounting — the work happened, the RAM-model totals never saw it,
+    and nothing errs.  Intraprocedural dataflow: for every
+    ``name = OpCounters(...)`` binding, some later *use* of ``name`` must
+    route the object out of the function — a ``return``/``yield``, a call
+    argument (``total.merge(name)``, ``f(name)``), or the value side of
+    an assignment (``self.counters = name``).  Increments on the object
+    (``name.updates[i] += 1``) charge it but route nothing, so they are
+    not evidence.
+    """
+
+    code = "RL012"
+    name = "dropped-counter-dataflow"
+    invariant = (
+        "every locally constructed OpCounters is merged, returned, or "
+        "stored; no operation accounting dies in a local variable"
+    )
+
+    def applies_to(self, module: LintModule) -> bool:
+        return (
+            module.in_dir("repro", "core")
+            or module.in_dir("repro", "runtime")
+            or module.in_dir("repro", "spatial")
+        )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        parents = _Parents(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _terminal_name(node.func) != "OpCounters":
+                continue
+            binding = self._local_binding(node, parents)
+            if binding is None:
+                continue  # routed by construction (arg, return, attribute)
+            name, func = binding
+            if func is None:
+                continue  # module-level constant: visible to importers
+            if not self._routed(name, node, func):
+                yield module.finding(
+                    node,
+                    self,
+                    f"OpCounters bound to {name!r} is never merged, "
+                    "returned, or stored; the operations it counts vanish "
+                    "from the RAM-model totals",
+                )
+
+    @staticmethod
+    def _local_binding(
+        node: ast.Call, parents: _Parents
+    ) -> tuple[str, ast.FunctionDef | ast.AsyncFunctionDef | None] | None:
+        """``name`` and enclosing function when ``name = OpCounters(...)``.
+
+        ``None`` when the construction is already routed at the call site:
+        passed as an argument, returned, stored on an attribute, etc.
+        """
+        parent = next(parents.ancestors(node), None)
+        if (
+            not isinstance(parent, ast.Assign)
+            or len(parent.targets) != 1
+            or not isinstance(parent.targets[0], ast.Name)
+            or parent.value is not node
+        ):
+            return None
+        func = parents.nearest(node, ast.FunctionDef, ast.AsyncFunctionDef)
+        assert func is None or isinstance(
+            func, (ast.FunctionDef, ast.AsyncFunctionDef)
+        )
+        return parent.targets[0].id, func
+
+    @staticmethod
+    def _routed(
+        name: str,
+        construction: ast.Call,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> bool:
+        def mentions(expr: ast.AST | None) -> bool:
+            if expr is None:
+                return False
+            return any(
+                isinstance(sub, ast.Name) and sub.id == name
+                for sub in ast.walk(expr)
+            )
+
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if mentions(node.value):
+                    return True
+            elif isinstance(node, ast.Call) and node is not construction:
+                if any(mentions(arg) for arg in node.args) or any(
+                    mentions(kw.value) for kw in node.keywords
+                ):
+                    return True
+                # total.merge(...) style: the object *receives* the merge.
+                if isinstance(node.func, ast.Attribute) and mentions(
+                    node.func.value
+                ):
+                    if node.func.attr in ("merge", "merged", "copy"):
+                        continue  # reading from it is not routing
+                    return True
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = node.value
+                if value is not None and value is not construction:
+                    if mentions(value):
+                        return True
+        return False
+
+
 ALL_RULES: tuple[Rule, ...] = (
     SharedMemoryLifecycle(),
     BoundedSendLoops(),
@@ -824,6 +942,9 @@ ALL_RULES: tuple[Rule, ...] = (
     DeadlineAwareIPC(),
     AccountableShedding(),
     KernelBoundary(),
+    ImportLayering(),
+    IpcProtocolConformance(),
+    DroppedCounterDataflow(),
 )
 
 

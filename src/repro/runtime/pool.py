@@ -287,16 +287,6 @@ class WorkerPool:
             )
         return reply
 
-    def request(
-        self,
-        worker: int,
-        message: tuple[Any, ...],
-        timeout: float | None = None,
-    ) -> tuple[Any, ...]:
-        """``send`` + ``recv`` for one worker."""
-        self.send(worker, message)
-        return self.recv(worker, timeout)
-
     # -- supervision -------------------------------------------------------
     def ensure_dead(self, worker: int, grace: float = 1.0) -> None:
         """Force a worker down: ``terminate``, then ``kill`` stragglers.

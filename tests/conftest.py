@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _oracles import brute_force_bursts
 from repro.core.thresholds import NormalThresholds, all_sizes
+from repro.testkit.oracles import brute_force_bursts
 
 
 @pytest.fixture

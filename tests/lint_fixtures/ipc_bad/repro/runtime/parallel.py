@@ -1,0 +1,23 @@
+"""Parent side of a drifted worker protocol."""
+
+
+def build_one(conn, name, spec):
+    # BAD: three fields sent, the handler destructures four -> RL011 here.
+    conn.send(("build", name, spec))
+
+
+def poke(conn):
+    # BAD: no worker handler dispatches this tag -> RL011 here.
+    conn.send(("ping",))
+
+
+def collect(conn, reply):
+    conn.send(("finish",))
+    # BAD: the worker never produces this reply tag -> RL011 here.
+    if reply and reply[0] == "summary":
+        return reply[1]
+    return None
+
+
+def stop(conn):
+    conn.send(("stop",))

@@ -1,0 +1,19 @@
+"""Worker side of the drifted protocol."""
+
+
+def dispatch(conn, msg):
+    cmd = msg[0]
+    if cmd == "build":
+        _, name, spec, backend = msg
+        conn.send(("built", name, backend))
+        return
+    if cmd == "finish":
+        conn.send(("finished", 1))
+        return
+    # BAD: dead protocol surface, no parent sends this tag -> RL011 here.
+    if cmd == "legacy":
+        # BAD: 'finished' was built with 2 fields above -> RL011 here.
+        conn.send(("finished", 1, 2))
+        return
+    if cmd == "stop":
+        return

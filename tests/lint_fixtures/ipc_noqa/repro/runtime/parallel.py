@@ -1,0 +1,10 @@
+"""Protocol drift silenced by an explicit suppression on the send."""
+
+
+def poke(conn):
+    # Deliberate one-way debug tag; the worker logs unknown commands.
+    conn.send(("ping",))  # repro: noqa[RL011]
+
+
+def stop(conn):
+    conn.send(("stop",))

@@ -1,0 +1,8 @@
+"""Minimal worker: the suppressed ping tag has no handler here."""
+
+
+def dispatch(conn, msg):
+    cmd = msg[0]
+    if cmd == "stop":
+        return
+    conn.send(("error", repr(msg)))

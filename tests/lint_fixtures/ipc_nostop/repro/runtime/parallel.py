@@ -1,0 +1,5 @@
+"""Parent that never sends a stop terminator."""
+
+
+def build_one(conn, name):
+    conn.send(("build", name))

@@ -1,0 +1,8 @@
+"""Worker with no stop arm: its command loop can never exit cleanly."""
+
+
+def dispatch(conn, msg):
+    cmd = msg[0]
+    if cmd == "build":
+        _, name = msg
+        conn.send(("built", name))

@@ -1,0 +1,16 @@
+"""Parent side of a symmetric worker protocol: mirrors ipc_bad, fixed."""
+
+
+def build_one(conn, name, spec, backend):
+    conn.send(("build", name, spec, backend))
+
+
+def collect(conn, reply):
+    conn.send(("finish",))
+    if reply and reply[0] == "finished":
+        return reply[1]
+    return None
+
+
+def stop(conn):
+    conn.send(("stop",))

@@ -1,0 +1,14 @@
+"""Worker side of the symmetric protocol."""
+
+
+def dispatch(conn, msg):
+    cmd = msg[0]
+    if cmd == "build":
+        _, name, spec, backend = msg
+        conn.send(("built", name))
+        return
+    if cmd == "finish":
+        conn.send(("finished", 1))
+        return
+    if cmd == "stop":
+        return

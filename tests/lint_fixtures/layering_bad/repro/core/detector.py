@@ -1,0 +1,8 @@
+"""Layer violation: the detection core reaching up into the runtime."""
+
+# BAD: core may import core.kernel only, never the runtime -> RL010 here.
+from repro.runtime.pool import WorkerPool
+
+
+def detect(pool: WorkerPool):
+    return pool

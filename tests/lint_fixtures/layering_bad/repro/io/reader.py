@@ -1,0 +1,8 @@
+"""Half of an import cycle (reader -> writer -> reader)."""
+
+# BAD: import cycle, anchored at the smallest member -> RL010 here.
+from repro.io.writer import write_row
+
+
+def read_row():
+    return write_row

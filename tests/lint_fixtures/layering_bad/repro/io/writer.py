@@ -1,0 +1,7 @@
+"""Other half of the cycle; only the anchor module is reported."""
+
+from repro.io.reader import read_row
+
+
+def write_row():
+    return read_row

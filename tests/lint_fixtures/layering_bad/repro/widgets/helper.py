@@ -1,0 +1,9 @@
+"""A package outside the declared layer spec."""
+
+# BAD: undeclared layer importing another layer -> RL010 here.
+from repro.core.opcount import OpCounters
+
+
+def fresh():
+    counters = OpCounters(1)
+    return counters

@@ -1,0 +1,8 @@
+"""Lazy import as a deliberate cycle breaker: not a cycle finding."""
+
+
+def use_b():
+    # Lazy (function-body) imports are exempt from cycle detection.
+    from repro.core.b import helper
+
+    return helper

@@ -1,0 +1,7 @@
+"""The non-lazy half of the lazily broken would-be cycle."""
+
+from repro.core.a import use_b
+
+
+def helper():
+    return use_b

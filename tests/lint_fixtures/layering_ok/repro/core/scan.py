@@ -1,0 +1,7 @@
+"""Legal layering: core reaching down into its kernel sublayer."""
+
+from repro.core.kernel.native import scan_sum
+
+
+def run(values, counts):
+    return scan_sum(values, counts)

@@ -1,0 +1,7 @@
+"""Legal layering: runtime sits above core and may import it."""
+
+from repro.core.opcount import OpCounters
+
+
+def fresh_counters(levels):
+    return OpCounters(levels)

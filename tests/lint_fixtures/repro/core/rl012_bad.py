@@ -1,0 +1,19 @@
+"""RL012 fixture: OpCounters constructed, charged, and dropped."""
+
+from repro.core.opcount import OpCounters
+
+
+def merge_shard(shards, total):
+    # BAD: charged locally, never routed anywhere -> RL012 here.
+    counters = OpCounters(4)
+    for shard in shards:
+        counters.updates[0] += shard.size
+    return total
+
+
+def process(points):
+    # BAD: increments charge the object but route nothing -> RL012 here.
+    counters = OpCounters(2)
+    for _point in points:
+        counters.bursts += 1
+    return len(points)

@@ -1,0 +1,32 @@
+"""RL012 clean mirror: every constructed OpCounters is routed out."""
+
+from repro.core.opcount import OpCounters
+
+
+def merged_shards(shards):
+    # OK: returned to the caller.
+    counters = OpCounters(4)
+    for shard in shards:
+        counters.updates[0] += shard.size
+    return counters
+
+
+def charge(total):
+    # OK: merged into the caller's accounting.
+    counters = OpCounters(4)
+    counters.bursts += 1
+    total.merge(counters)
+
+
+def chain(other):
+    # OK: flows out through the value side of an assignment.
+    counters = OpCounters(3)
+    combined = other.merged(counters)
+    return combined
+
+
+class Holder:
+    def rebuild(self, levels):
+        # OK: stored on the instance.
+        counters = OpCounters(levels)
+        self.counters = counters

@@ -9,8 +9,7 @@ from repro.core.naive import naive_detect
 from repro.core.sbt import shifted_binary_tree
 from repro.core.structure import SATStructure, single_level_structure
 from repro.core.thresholds import FixedThresholds, NormalThresholds, all_sizes
-
-from _oracles import brute_force_bursts
+from repro.testkit.oracles import brute_force_bursts
 
 
 def structures_for(maxw):

@@ -10,13 +10,20 @@ stay silent, and the real source tree must lint clean.
 from __future__ import annotations
 
 import json
+import shutil
 from pathlib import Path
 
 import pytest
 
 from repro.lint import ALL_RULES, lint_paths, lint_source, rule_by_code
 from repro.lint.__main__ import main as lint_main
-from repro.lint.engine import PARSE_ERROR, Finding, render_json, render_text
+from repro.lint.engine import (
+    PARSE_ERROR,
+    Finding,
+    render_github,
+    render_json,
+    render_text,
+)
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 SRC = Path(__file__).parent.parent / "src"
@@ -24,6 +31,11 @@ SRC = Path(__file__).parent.parent / "src"
 
 def lint_fixture(name: str) -> list:
     return lint_paths([FIXTURES / "repro" / name], ALL_RULES)
+
+
+def lint_tree(name: str) -> list:
+    """Lint a standalone fixture tree (``lint_fixtures/<name>/repro/...``)."""
+    return lint_paths([FIXTURES / name], ALL_RULES)
 
 
 def expected_lines(path: Path, code: str) -> list[int]:
@@ -48,6 +60,7 @@ def expected_lines(path: Path, code: str) -> list[int]:
         ("runtime/rl007_bad.py", "RL007"),
         ("runtime/rl008_bad.py", "RL008"),
         ("core/kernel/rl009_bad.py", "RL009"),
+        ("core/rl012_bad.py", "RL012"),
     ],
 )
 def test_bad_fixture_trips_rule_at_marked_lines(fixture, code):
@@ -75,6 +88,7 @@ def test_rl001_distinguishes_ownership_gaps():
         "runtime/rl007_ok.py",
         "runtime/rl008_ok.py",
         "core/kernel/rl009_ok.py",
+        "core/rl012_ok.py",
         "experiments/scope_ok.py",
     ],
 )
@@ -123,6 +137,110 @@ def test_rl009_scopes_to_kernel_package():
     out_of_scope = lint_source(source, "x/repro/core/mod.py", ALL_RULES)
     assert any(f.rule == "RL009" for f in in_scope)
     assert not any(f.rule == "RL009" for f in out_of_scope)
+
+
+# -- whole-program rules ------------------------------------------------
+def _assert_marked_lines(tree_name: str, code: str) -> list:
+    """Every finding in the tree sits on a ``-> RLxxx here`` marked line."""
+    findings = lint_tree(tree_name)
+    assert findings, f"{tree_name} produced no findings"
+    for path in sorted((FIXTURES / tree_name).rglob("*.py")):
+        got = sorted(
+            f.line
+            for f in findings
+            if f.rule == code and Path(f.path) == path
+        )
+        assert got == expected_lines(path, code), path
+    return findings
+
+
+def test_rl010_flags_layer_violations_and_cycles():
+    findings = _assert_marked_lines("layering_bad", "RL010")
+    messages = [f.message for f in findings]
+    assert any("must not import layer 'runtime'" in m for m in messages)
+    assert any(
+        "import cycle: repro.io.reader -> repro.io.writer -> repro.io.reader"
+        in m
+        for m in messages
+    )
+    assert any("not in the declared layer spec" in m for m in messages)
+
+
+def test_rl010_clean_tree_with_lazy_cycle_breaker():
+    # The tree contains a would-be a <-> b cycle whose back edge is a
+    # function-body import: layer-checked but exempt from cycle detection.
+    assert lint_tree("layering_ok") == []
+
+
+def test_rl011_flags_protocol_drift_at_marked_lines():
+    findings = _assert_marked_lines("ipc_bad", "RL011")
+    messages = [f.message for f in findings]
+    assert any("never dispatches it" in m for m in messages)
+    assert any("dead protocol surface" in m for m in messages)
+    assert any(
+        "sent with 3 fields but the worker handler destructures 4" in m
+        for m in messages
+    )
+    assert any("built with 3 fields here but 2 at line" in m for m in messages)
+    assert any("never produces" in m for m in messages)
+
+
+def test_rl011_symmetric_protocol_is_clean():
+    assert lint_tree("ipc_ok") == []
+
+
+def test_rl011_missing_stop_terminator():
+    findings = lint_tree("ipc_nostop")
+    assert [f.rule for f in findings] == ["RL011"]
+    assert "no 'stop' terminator" in findings[0].message
+    assert findings[0].path.endswith("worker.py")
+
+
+def test_rl011_applies_per_tree_not_across_trees():
+    # ipc_bad's ping sender must not be "handled" by another tree's
+    # worker: linting both trees at once reports the same drift.
+    both = lint_paths([FIXTURES / "ipc_bad", FIXTURES / "ipc_ok"], ALL_RULES)
+    assert [f for f in both if "ipc_ok" in f.path] == []
+    assert any("'ping'" in f.message for f in both)
+
+
+# -- suppression edge cases ---------------------------------------------
+def test_project_finding_suppressed_on_sending_line(tmp_path):
+    # The noqa sits on the *sending* line in parallel.py even though the
+    # rule's evidence spans both sides of the protocol.
+    assert lint_tree("ipc_noqa") == []
+    target = tmp_path / "ipc_noqa"
+    shutil.copytree(FIXTURES / "ipc_noqa", target)
+    parallel = target / "repro" / "runtime" / "parallel.py"
+    parallel.write_text(
+        parallel.read_text().replace("  # repro: noqa[RL011]", "")
+    )
+    findings = lint_paths([target], ALL_RULES)
+    assert [f.rule for f in findings] == ["RL011"]
+    assert "'ping'" in findings[0].message
+
+
+def test_noqa_multi_code_list():
+    source = (
+        "import time\n"
+        "\n"
+        "def f():\n"
+        "    t = time.time()  # repro: noqa[RL005, RL006]\n"
+        "    return t\n"
+    )
+    assert lint_source(source, "x/repro/core/mod.py", ALL_RULES) == []
+
+
+def test_noqa_inside_string_literal_does_not_suppress():
+    source = (
+        "import time\n"
+        "\n"
+        "def f():\n"
+        '    s = "# repro: noqa[RL005]"; t = time.time()\n'
+        "    return s, t\n"
+    )
+    findings = lint_source(source, "x/repro/core/mod.py", ALL_RULES)
+    assert [f.rule for f in findings] == ["RL005"]
 
 
 def test_syntax_error_becomes_parse_finding():
@@ -188,3 +306,60 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for rule in ALL_RULES:
         assert rule.code in out
+
+
+def test_cli_rules_alias_selects_subset(capsys):
+    assert lint_main([str(FIXTURES), "--rules", "RL010,RL011"]) == 1
+    out = capsys.readouterr().out
+    assert "RL010" in out and "RL011" in out
+    assert "RL001" not in out and "RL002" not in out
+
+
+def test_cli_github_format(capsys):
+    assert lint_main([str(FIXTURES), "--format", "github", "--rules", "RL002"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out and "title=RL002::" in out
+
+
+def test_render_github_escapes_newlines():
+    finding = Finding("a/b.py", 3, 7, "RL005", "line one\nline % two")
+    out = render_github([finding])
+    assert (
+        "::error file=a/b.py,line=3,col=7,title=RL005::line one%0Aline %25 two"
+        in out
+    )
+
+
+def test_cli_baseline_roundtrip(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    target = str(FIXTURES / "repro" / "runtime" / "rl002_bad.py")
+    assert lint_main([target, "--write-baseline", str(baseline)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    # Accepted findings no longer fail the run...
+    assert lint_main([target, "--baseline", str(baseline)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+    # ...but anything not in the baseline still does.
+    runtime_dir = str(FIXTURES / "repro" / "runtime")
+    assert lint_main([runtime_dir, "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out and "RL002" not in out
+
+
+def test_cli_baseline_is_line_insensitive(tmp_path, capsys):
+    # Entries match on (path, rule, message); unrelated edits that shift
+    # line numbers must not resurrect accepted findings.
+    bad = FIXTURES / "repro" / "runtime" / "rl002_bad.py"
+    work = tmp_path / "repro" / "runtime" / "mod.py"
+    work.parent.mkdir(parents=True)
+    work.write_text(bad.read_text())
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(work), "--write-baseline", str(baseline)]) == 0
+    work.write_text("# a new leading comment\n" + bad.read_text())
+    assert lint_main([str(work), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_rejects_unreadable_baseline():
+    with pytest.raises(SystemExit) as exc:
+        lint_main([str(SRC), "--baseline", "no/such/baseline.json"])
+    assert exc.value.code == 2

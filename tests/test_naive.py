@@ -6,8 +6,7 @@ import pytest
 from repro.core.aggregates import MAX
 from repro.core.naive import NaiveDetector, naive_detect, naive_operation_count
 from repro.core.thresholds import FixedThresholds, NormalThresholds, all_sizes
-
-from _oracles import brute_force_bursts
+from repro.testkit.oracles import brute_force_bursts
 
 
 class TestNaiveDetect:
