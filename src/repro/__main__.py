@@ -7,11 +7,17 @@ Usage::
     python -m repro train train.csv --max-window 250 -p 1e-6 -o spec.json
 
     # Detect bursts in a stream with a saved spec (CSV out: end,size,value).
+    # Plain stream CSVs are one value per line, rows in time order.
     python -m repro detect spec.json stream.csv -o bursts.csv
 
     # Detect over a directory of streams (one CSV per stream), sharding
-    # the streams across worker processes.
+    # the streams across worker processes.  Rows must be in time order.
     python -m repro detect-many spec.json streams/ -o results/ --workers auto
+
+    # Out-of-order feeds: 'timestamp,value' rows in arbitrary order,
+    # reordered by the watermark ingestion layer (repro.ingest).
+    python -m repro detect spec.json feed.csv --timestamped \
+        --max-lateness 8 --late-policy drop
 
     # Show what a spec contains.
     python -m repro inspect spec.json
@@ -28,7 +34,7 @@ import numpy as np
 from .core.chunked import DEFAULT_CHUNK
 from .core.thresholds import all_sizes, stepped_sizes
 from .io import DetectorSpec, load_spec, save_spec
-from .streams.source import CSVSource
+from .streams.source import CSVSource, TimestampedCSVSource
 
 
 def _read_csv(path: str, skip_bad_records: bool = False) -> np.ndarray:
@@ -92,6 +98,28 @@ def _add_skip_bad_records(parser: argparse.ArgumentParser) -> None:
         "--skip-bad-records", action="store_true",
         help="drop unparsable/NaN/inf/negative records (counted on "
         "stderr) instead of failing the stream",
+    )
+
+
+def _add_ingestion(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timestamped", action="store_true",
+        help="rows are 'timestamp,value' in arbitrary order; the "
+        "watermark ingestion layer reorders them before detection "
+        "(without this flag, rows MUST be in time order)",
+    )
+    parser.add_argument(
+        "--max-lateness", type=int, default=0, metavar="BINS",
+        help="with --timestamped: how many bins a record may trail the "
+        "largest timestamp seen before it counts as late (default 0)",
+    )
+    parser.add_argument(
+        "--late-policy", choices=("raise", "drop", "amend"),
+        default="raise",
+        help="with --timestamped: late records raise (fail the stream, "
+        "default), drop (discard, counted in the ledger), or amend "
+        "(revise sealed history, re-check affected windows and emit "
+        "amendment events; requires --workers serial)",
     )
 
 
@@ -185,9 +213,67 @@ def _burst_csv(bursts) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _make_ingestor(args: argparse.Namespace, fleet, spec):
+    """The fleet-wide ingestor for --timestamped runs, gated for amend."""
+    from .ingest import MultiStreamIngestor
+
+    if args.late_policy == "amend" and fleet.num_workers:
+        raise SystemExit(
+            "error: --late-policy amend rewrites sealed detector state, "
+            "which only the in-process fleet supports; add --workers serial"
+        )
+    return MultiStreamIngestor(
+        fleet,
+        spec.thresholds,
+        spec.aggregate,
+        max_lateness=args.max_lateness,
+        late_policy=args.late_policy,
+    )
+
+
+def _cmd_detect_timestamped(args: argparse.Namespace, spec, name) -> int:
+    from .ingest import LateRecordError
+
+    fleet = _make_fleet(args, [name], spec)
+    ingest = _make_ingestor(args, fleet, spec)
+    source = TimestampedCSVSource(
+        args.stream, skip_bad_records=args.skip_bad_records
+    )
+    with fleet:
+        try:
+            for ts, vals in source.batches(DEFAULT_CHUNK):
+                ingest.push_batch(name, ts, vals)
+        except LateRecordError as exc:
+            raise SystemExit(f"error: {args.stream}: {exc}") from None
+        ingest.finish()
+        counters = fleet.merged_counters()
+        stats = fleet.stats().describe()
+    _report_skipped(args.stream, source)
+    ledger = ingest.ledger()
+    bursts = sorted(ingest.ingestor(name).final_bursts())
+    text = _burst_csv(bursts)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"{len(bursts)} bursts -> {args.output}")
+    else:
+        sys.stdout.write(text)
+    points = ledger.records
+    print(
+        f"# {points} records, {counters.total_operations} "
+        f"operations ({counters.total_operations / max(1, points):.1f}"
+        f"/record)",
+        file=sys.stderr,
+    )
+    print(f"# ingest: {ledger.summary()}", file=sys.stderr)
+    print(f"# stats: {stats}", file=sys.stderr)
+    return 0
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec)
     name = Path(args.stream).stem
+    if args.timestamped:
+        return _cmd_detect_timestamped(args, spec, name)
     fleet = _make_fleet(args, [name], spec)
     bursts = []
     points = 0
@@ -234,6 +320,10 @@ def _cmd_detect_many(args: argparse.Namespace) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
 
     fleet = _make_fleet(args, names, spec)
+    if args.timestamped:
+        return _detect_many_timestamped(
+            args, fleet, spec, names, paths, out_dir
+        )
     collected: dict[str, list] = {name: [] for name in names}
     points = {name: 0 for name in names}
     errors: dict[str, str] = {}
@@ -301,6 +391,83 @@ def _cmd_detect_many(args: argparse.Namespace) -> int:
     return 0
 
 
+def _detect_many_timestamped(
+    args: argparse.Namespace, fleet, spec, names, paths, out_dir: Path
+) -> int:
+    """detect-many over out-of-order 'timestamp,value' feeds.
+
+    Same round-robin shape as the in-order path — bounded memory, one
+    failing stream never takes down the batch — but batches go through
+    the per-stream watermark ingestors, and the outputs are each
+    stream's *final* bursts (amendments and retractions applied).
+    """
+    from .ingest import LateRecordError
+
+    ingest = _make_ingestor(args, fleet, spec)
+    sources = {
+        name: TimestampedCSVSource(
+            path, skip_bad_records=args.skip_bad_records
+        )
+        for name, path in zip(names, paths)
+    }
+    errors: dict[str, str] = {}
+    with fleet:
+        iters = {
+            name: sources[name].batches(DEFAULT_CHUNK) for name in names
+        }
+        while iters:
+            for name in list(iters):
+                try:
+                    batch = next(iters[name], None)
+                except (ValueError, OSError) as exc:
+                    errors[name] = str(exc)
+                    del iters[name]
+                    continue
+                if batch is None:
+                    del iters[name]
+                    continue
+                try:
+                    ingest.push_batch(name, *batch)
+                except LateRecordError as exc:
+                    errors[name] = str(exc)
+                    del iters[name]
+        ingest.finish()
+        counters = fleet.merged_counters()
+        stats = fleet.stats().describe()
+    ok_names = [name for name in names if name not in errors]
+    total_points = 0
+    for name in ok_names:
+        _report_skipped(sources[name].path, sources[name])
+        stream_ingestor = ingest.ingestor(name)
+        bursts = sorted(stream_ingestor.final_bursts())
+        records = stream_ingestor.ledger.records
+        total_points += records
+        out_path = out_dir / f"{name}.bursts.csv"
+        out_path.write_text(_burst_csv(bursts))
+        print(
+            f"{name}: {records} records, {len(bursts)} bursts -> {out_path}"
+        )
+    print(
+        f"# {len(ok_names)} streams, {total_points} records, "
+        f"{counters.total_operations} operations "
+        f"({counters.total_operations / max(1, total_points):.1f}/record), "
+        f"workers={fleet.num_workers or 'serial'}",
+        file=sys.stderr,
+    )
+    print(f"# ingest: {ingest.ledger().summary()}", file=sys.stderr)
+    print(f"# stats: {stats}", file=sys.stderr)
+    for name in sorted(errors):
+        print(f"error: {name}: {errors[name]}", file=sys.stderr)
+    if errors:
+        print(
+            f"error: {len(errors)} of {len(names)} streams failed; "
+            "their outputs were not written",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     print(load_spec(args.spec).describe())
     return 0
@@ -333,7 +500,11 @@ def main(argv: list[str] | None = None) -> int:
 
     p_detect = sub.add_parser("detect", help="detect bursts in a stream")
     p_detect.add_argument("spec", help="detector spec JSON from `train`")
-    p_detect.add_argument("stream", help="stream CSV (one value/line)")
+    p_detect.add_argument(
+        "stream",
+        help="stream CSV: one value per line, rows in time order "
+        "(or 'timestamp,value' rows in any order with --timestamped)",
+    )
     p_detect.add_argument(
         "-o", "--output", default=None, help="bursts CSV (default: stdout)"
     )
@@ -343,6 +514,7 @@ def main(argv: list[str] | None = None) -> int:
         "a single stream always degrades to serial)",
     )
     _add_skip_bad_records(p_detect)
+    _add_ingestion(p_detect)
     _add_backend(p_detect)
     _add_faults(p_detect)
     _add_overload(p_detect)
@@ -354,7 +526,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_many.add_argument("spec", help="detector spec JSON from `train`")
     p_many.add_argument(
-        "streams", help="directory of stream CSVs (one stream per file)"
+        "streams",
+        help="directory of stream CSVs, one stream per file; rows must "
+        "be in time order ('timestamp,value' rows in any order with "
+        "--timestamped)",
     )
     p_many.add_argument(
         "-o", "--output", default=None,
@@ -366,6 +541,7 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes: auto, serial, or a count (default auto)",
     )
     _add_skip_bad_records(p_many)
+    _add_ingestion(p_many)
     _add_backend(p_many)
     _add_faults(p_many)
     _add_overload(p_many)

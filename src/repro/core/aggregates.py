@@ -267,6 +267,37 @@ class WindowEngine:
             "use backend='numpy'"
         )
 
+    def amend(self, index: int, value: float) -> None:
+        """Rewrite the already-appended stream value at ``index``.
+
+        The ingestion layer's straggler path: a late record lands on a
+        bin the detector has already consumed, and every window that
+        reaches the bin — including windows that have not been *sealed*
+        yet — must aggregate the corrected value from now on.  ``value``
+        is the bin's new value (set semantics, not a delta), so the
+        caller decides how a late record combines with what was there.
+
+        Constraints mirror :meth:`append`: the value must be finite and
+        non-negative (monotonic filtering is unsound otherwise) and
+        ``index`` must lie before the current length.  An index that has
+        fallen behind the retained history is a silent no-op for engines
+        whose state no longer represents it — by the retention contract
+        no legal future query can reach such a bin, so there is nothing
+        left to correct.
+        """
+        raise NotImplementedError
+
+    def _amend_check(self, index: int, value: float) -> None:
+        if index < 0 or index >= self._length:
+            raise IndexError(
+                f"amend index {index} outside stream length {self._length}"
+            )
+        if not np.isfinite(value) or value < 0:
+            raise ValueError(
+                "amended values must be finite and non-negative "
+                "(monotonic filtering is unsound otherwise)"
+            )
+
     def _restore_check(
         self, offset: int, tail: np.ndarray, length: int, entries: int
     ) -> None:
@@ -333,6 +364,21 @@ class SumWindowEngine(WindowEngine):
 
     def kernel_state(self) -> tuple[str, np.ndarray, int]:
         return ("sum", self._prefix, self._offset)
+
+    def amend(self, index: int, value: float) -> None:
+        # Every retained prefix entry P[j] with j > index includes
+        # x[index], so setting the bin shifts them all by the same delta
+        # (dyadic streams keep this exact; see repro.testkit.generators).
+        # When the bin's own entries are gone (index < offset), both
+        # sides of every legal P[end+1] - P[start] difference contain
+        # x[index], the delta cancels, and the amendment is a no-op.
+        self._amend_check(index, value)
+        if index < self._offset:
+            return
+        local = index - self._offset
+        delta = value - float(self._prefix[local + 1] - self._prefix[local])
+        if delta != 0.0:
+            self._prefix[local + 1 :] += delta
 
     def _p(self, idx: int | np.ndarray) -> float | np.ndarray:
         return self._prefix[idx - self._offset]
@@ -418,6 +464,18 @@ class MaxWindowEngine(WindowEngine):
 
     def kernel_state(self) -> tuple[str, np.ndarray, int]:
         return ("max", self._buf, self._offset)
+
+    def amend(self, index: int, value: float) -> None:
+        # The buffer holds raw stream values, so an amendment is a point
+        # write plus a sparse-table rebuild (same cost as one append).
+        # A bin behind the retained buffer is unreachable by any legal
+        # query, so there is nothing to rewrite.
+        self._amend_check(index, value)
+        if index < self._offset:
+            return
+        if self._buf[index - self._offset] != value:
+            self._buf[index - self._offset] = value
+            self._rebuild()
 
     def _rebuild(self) -> None:
         self._table = [self._buf]

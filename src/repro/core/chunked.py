@@ -164,6 +164,24 @@ class ChunkedDetector:
         history = np.asarray(history, dtype=np.float64)
         self._engine.append(history)
 
+    def amend(self, index: int, value: float) -> None:
+        """Rewrite the consumed stream value at ``index`` (set semantics).
+
+        The out-of-order ingestion layer's straggler hook
+        (:mod:`repro.ingest`): when a late record changes a bin the
+        detector has already processed, windows *not yet* scanned must
+        aggregate the corrected value.  Delegates to
+        :meth:`~repro.core.aggregates.WindowEngine.amend`, so the effect
+        is exactly as if the stream had carried ``value`` at ``index``
+        all along for every window end processed after this call.
+        Windows already reported are NOT re-detected here — re-checking
+        sealed windows (and emitting amendment events for them) is the
+        ingestion layer's job, where the sealed series lives.
+        """
+        if self._finished:
+            raise RuntimeError("cannot amend() a finished detector")
+        self._engine.amend(index, value)
+
     def carry(self) -> DetectorCarry:
         """Checkpoint the detector's resumable state at a chunk boundary."""
         if self._finished:

@@ -112,6 +112,14 @@ class MultiStreamDetector:
         """RAM-model operations summed over all streams."""
         return self.merged_counters().total_operations
 
+    def amend(self, name: str, index: int, value: float) -> None:
+        """Rewrite one consumed stream value of stream ``name``.
+
+        Straggler plumbing for the ingestion layer — see
+        :meth:`repro.core.chunked.ChunkedDetector.amend`.
+        """
+        self._detectors[name].amend(index, value)
+
     def merged_counters(self) -> OpCounters:
         """Per-level counters merged over all streams.
 

@@ -1,0 +1,367 @@
+"""Out-of-order buffer: a treap of time bins with partial aggregates.
+
+The unsealed region of a timestamped stream — everything at or above the
+watermark — is held in an order-statistic treap keyed by bin timestamp.
+Each node aggregates the records that landed on its bin, and each
+subtree carries the combined aggregate plus record/bin counts, so the
+structure supports the operations sliding-window aggregation papers
+(FiBA and its finger-tree relatives) identify as the out-of-order
+workload:
+
+* ``insert`` — a record at any unsealed timestamp, O(log n) expected;
+* ``bulk_insert`` — a straggler batch, built sorted in O(k) and merged
+  by treap union rather than k independent inserts;
+* ``evict_below`` — watermark advance, splitting off every bin below
+  the new watermark in O(log n) and yielding them in time order;
+* ``range_value`` / ``total`` — partial-aggregate queries over bins.
+
+Determinism matters here: tree shape must be a pure function of the
+*set* of timestamps (not arrival order, not a clock, not a global RNG),
+or replay and the arrival-order-invariance harness could not compare
+runs structurally.  Priorities therefore come from a splitmix64-style
+integer hash of the timestamp itself.
+
+``check_invariants`` recomputes every partial aggregate brute-force;
+the property suite calls it after each mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.aggregates import AggregateFunction
+from .records import validate_records
+
+__all__ = ["BinAggregate", "OutOfOrderBuffer"]
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _priority(timestamp: int) -> int:
+    """splitmix64 finalizer: deterministic heap priority for a bin."""
+    z = (timestamp + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+@dataclass(frozen=True)
+class BinAggregate:
+    """One time bin as sealed or snapshotted: combined value + count."""
+
+    timestamp: int
+    value: float
+    count: int
+
+
+class _Node:
+    __slots__ = (
+        "ts",
+        "prio",
+        "value",
+        "count",
+        "left",
+        "right",
+        "sub_value",
+        "sub_records",
+        "sub_bins",
+    )
+
+    def __init__(self, ts: int, value: float) -> None:
+        self.ts = ts
+        self.prio = _priority(ts)
+        self.value = value
+        self.count = 1
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.sub_value = value
+        self.sub_records = 1
+        self.sub_bins = 1
+
+
+class OutOfOrderBuffer:
+    """Unsealed bins of one stream, ordered by timestamp.
+
+    All mutators keep the subtree partials exact; all queries run off
+    the partials without touching per-record state (records are already
+    combined into their bin on insert).
+    """
+
+    def __init__(self, aggregate: AggregateFunction) -> None:
+        self._aggregate = aggregate
+        self._combine = aggregate.combine
+        self._root: _Node | None = None
+
+    # -- partial-aggregate maintenance ---------------------------------
+    def _pull(self, node: _Node) -> None:
+        value = node.value
+        records = node.count
+        bins = 1
+        for child in (node.left, node.right):
+            if child is not None:
+                value = self._combine(value, child.sub_value)
+                records += child.sub_records
+                bins += child.sub_bins
+        node.sub_value = value
+        node.sub_records = records
+        node.sub_bins = bins
+
+    def _merge(self, a: _Node | None, b: _Node | None) -> _Node | None:
+        """Join two treaps; every key in ``a`` precedes every key in ``b``."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a.prio >= b.prio:
+            a.right = self._merge(a.right, b)
+            self._pull(a)
+            return a
+        b.left = self._merge(a, b.left)
+        self._pull(b)
+        return b
+
+    def _split(
+        self, node: _Node | None, ts: int
+    ) -> tuple[_Node | None, _Node | None]:
+        """Split into (keys < ts, keys >= ts)."""
+        if node is None:
+            return None, None
+        if node.ts < ts:
+            node.right, high = self._split(node.right, ts)
+            self._pull(node)
+            return node, high
+        low, node.left = self._split(node.left, ts)
+        self._pull(node)
+        return low, node
+
+    # -- mutators ------------------------------------------------------
+    def _insert(self, node: _Node | None, ts: int, value: float) -> tuple[
+        _Node, bool
+    ]:
+        if node is None:
+            return _Node(ts, value), True
+        if ts == node.ts:
+            node.value = self._combine(node.value, value)
+            node.count += 1
+            self._pull(node)
+            return node, False
+        if ts < node.ts:
+            node.left, fresh = self._insert(node.left, ts, value)
+            if node.left.prio > node.prio:
+                node = self._rotate_right(node)
+            else:
+                self._pull(node)
+            return node, fresh
+        node.right, fresh = self._insert(node.right, ts, value)
+        if node.right.prio > node.prio:
+            node = self._rotate_left(node)
+        else:
+            self._pull(node)
+        return node, fresh
+
+    def _rotate_right(self, node: _Node) -> _Node:
+        pivot = node.left
+        assert pivot is not None
+        node.left = pivot.right
+        pivot.right = node
+        self._pull(node)
+        self._pull(pivot)
+        return pivot
+
+    def _rotate_left(self, node: _Node) -> _Node:
+        pivot = node.right
+        assert pivot is not None
+        node.right = pivot.left
+        pivot.left = node
+        self._pull(node)
+        self._pull(pivot)
+        return pivot
+
+    def insert(self, timestamp: int, value: float) -> bool:
+        """Add one record; returns True if its bin is new.
+
+        A False return means the record combined into an existing bin —
+        the ledger counts it as a merged duplicate timestamp.
+        """
+        self._root, fresh = self._insert(self._root, int(timestamp), value)
+        return fresh
+
+    def bulk_insert(
+        self, timestamps: np.ndarray, values: np.ndarray
+    ) -> int:
+        """Merge a straggler batch; returns records merged into old bins.
+
+        The batch is sorted and pre-combined per bin, built into a treap
+        bottom-up, then unioned with the buffer — O(k + k log(n/k))
+        rather than k root-to-leaf descents.
+        """
+        ts, vals = validate_records(timestamps, values, where="bulk_insert")
+        if ts.size == 0:
+            return 0
+        order = np.argsort(ts, kind="stable")
+        ts, vals = ts[order], vals[order]
+        batch: list[_Node] = []
+        for t, v in zip(ts.tolist(), vals.tolist()):
+            if batch and batch[-1].ts == t:
+                batch[-1].value = self._combine(batch[-1].value, v)
+                batch[-1].count += 1
+            else:
+                batch.append(_Node(t, v))
+        built = self._build_sorted(batch, 0, len(batch))
+        before = self.n_bins + len(batch)
+        self._root = self._union(self._root, built)
+        return int(ts.size) - (len(batch) - (before - self.n_bins))
+
+    def _build_sorted(
+        self, nodes: list[_Node], lo: int, hi: int
+    ) -> _Node | None:
+        """Treap of a sorted, distinct-key node list (max-prio at root)."""
+        if lo >= hi:
+            return None
+        top = lo
+        for i in range(lo + 1, hi):
+            if nodes[i].prio > nodes[top].prio:
+                top = i
+        node = nodes[top]
+        node.left = self._build_sorted(nodes, lo, top)
+        node.right = self._build_sorted(nodes, top + 1, hi)
+        self._pull(node)
+        return node
+
+    def _union(self, a: _Node | None, b: _Node | None) -> _Node | None:
+        """Union two treaps, combining bins that share a timestamp."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a.prio < b.prio:
+            a, b = b, a
+        low, high = self._split(b, a.ts)
+        same, high = self._split(high, a.ts + 1)
+        if same is not None:
+            a.value = self._combine(a.value, same.value)
+            a.count += same.count
+        a.left = self._union(a.left, low)
+        a.right = self._union(a.right, high)
+        self._pull(a)
+        return a
+
+    def evict_below(self, watermark: int) -> list[BinAggregate]:
+        """Remove and return, in time order, every bin below ``watermark``."""
+        low, self._root = self._split(self._root, int(watermark))
+        sealed: list[BinAggregate] = []
+        stack: list[tuple[_Node, bool]] = [(low, False)] if low else []
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                sealed.append(
+                    BinAggregate(node.ts, node.value, node.count)
+                )
+                continue
+            if node.right is not None:
+                stack.append((node.right, False))
+            stack.append((node, True))
+            if node.left is not None:
+                stack.append((node.left, False))
+        return sealed
+
+    # -- queries -------------------------------------------------------
+    @property
+    def n_bins(self) -> int:
+        """Distinct unsealed timestamps currently buffered."""
+        return self._root.sub_bins if self._root else 0
+
+    @property
+    def n_records(self) -> int:
+        """Records absorbed and not yet sealed (duplicates included)."""
+        return self._root.sub_records if self._root else 0
+
+    @property
+    def total(self) -> float:
+        """Aggregate over every buffered bin."""
+        if self._root is None:
+            return self._aggregate.identity
+        return self._root.sub_value
+
+    @property
+    def min_timestamp(self) -> int | None:
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return node.ts
+
+    @property
+    def max_timestamp(self) -> int | None:
+        node = self._root
+        if node is None:
+            return None
+        while node.right is not None:
+            node = node.right
+        return node.ts
+
+    def range_value(self, lo: int, hi: int) -> float:
+        """Aggregate over bins with ``lo <= timestamp < hi``."""
+        if hi <= lo:
+            return self._aggregate.identity
+        low, rest = self._split(self._root, int(lo))
+        mid, high = self._split(rest, int(hi))
+        value = mid.sub_value if mid else self._aggregate.identity
+        self._root = self._merge(self._merge(low, mid), high)
+        return value
+
+    def bins(self) -> list[BinAggregate]:
+        """In-order snapshot of every buffered bin (non-destructive)."""
+        out: list[BinAggregate] = []
+
+        def walk(node: _Node | None) -> None:
+            if node is None:
+                return
+            walk(node.left)
+            out.append(BinAggregate(node.ts, node.value, node.count))
+            walk(node.right)
+
+        walk(self._root)
+        return out
+
+    # -- brute-force verification --------------------------------------
+    def check_invariants(self) -> None:
+        """Verify BST order, heap order, and every partial aggregate.
+
+        Recomputes each subtree's value/record/bin partials from scratch
+        and compares exactly — the brute-force check the property suite
+        leans on.  Raises AssertionError on any violation.
+        """
+
+        def check(node: _Node | None) -> tuple[float, int, int, int, int]:
+            if node is None:
+                ident = self._aggregate.identity
+                return ident, 0, 0, 1 << 62, -1
+            lv, lr, lb, lmin, lmax = check(node.left)
+            rv, rr, rb, rmin, rmax = check(node.right)
+            assert lmax < node.ts < rmin, "BST order violated"
+            for child in (node.left, node.right):
+                assert child is None or child.prio <= node.prio, (
+                    "heap order violated"
+                )
+            assert node.prio == _priority(node.ts), "priority not canonical"
+            assert node.count >= 1, "empty bin retained"
+            value = self._combine(self._combine(lv, node.value), rv)
+            records = lr + node.count + rr
+            bins = lb + 1 + rb
+            assert node.sub_value == value, "sub_value stale"
+            assert node.sub_records == records, "sub_records stale"
+            assert node.sub_bins == bins, "sub_bins stale"
+            return (
+                value,
+                records,
+                bins,
+                min(lmin, node.ts),
+                max(rmax, node.ts),
+            )
+
+        check(self._root)

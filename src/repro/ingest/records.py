@@ -1,0 +1,131 @@
+"""Timestamped records: the unit of out-of-order ingestion.
+
+The detectors consume a *dense* time-indexed series ``x[0], x[1], ...``;
+real feeds deliver ``(timestamp, value)`` records that arrive late,
+duplicated, and out of order.  A :class:`TimestampedRecord` carries a
+non-negative integer timestamp — the bin index on the detector's time
+axis (callers bin wall-clock event times upstream) — and a finite
+non-negative value.  All records landing on the same bin combine under
+the stream's aggregate (``sum`` adds, ``max`` keeps the largest), and a
+bin no record mentions is the aggregate's identity, so the sealed series
+is a pure function of the record *multiset* — the foundation of the
+arrival-order-invariance guarantee tested by the testkit's
+``ooo_shuffle`` relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.aggregates import AggregateFunction
+
+__all__ = [
+    "TimestampedRecord",
+    "records_to_arrays",
+    "series_from_records",
+    "validate_records",
+]
+
+
+@dataclass(frozen=True, order=True)
+class TimestampedRecord:
+    """One ingestion record: ``value`` observed at time bin ``timestamp``.
+
+    Ordering is by ``(timestamp, value)`` so sorting a batch yields the
+    in-order arrival the watermark semantics seal against.
+    """
+
+    timestamp: int
+    value: float
+
+
+def validate_records(
+    timestamps: np.ndarray, values: np.ndarray, where: str = "records"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and normalize parallel timestamp/value arrays.
+
+    Returns ``(int64 timestamps, float64 values)``.  Rejects — with the
+    offending position, so feeds can be debugged record-by-record —
+    anything the detection layer's invariants cannot absorb: NaN/inf or
+    negative timestamps and values, and non-integral timestamps (the
+    time axis is discrete; bin upstream).
+    """
+    ts = np.asarray(timestamps, dtype=np.float64)
+    vals = np.asarray(values, dtype=np.float64)
+    if ts.ndim != 1 or vals.ndim != 1:
+        raise ValueError(f"{where}: expected 1-D timestamp/value arrays")
+    if ts.size != vals.size:
+        raise ValueError(
+            f"{where}: {ts.size} timestamps vs {vals.size} values"
+        )
+    for label, arr in (("timestamp", ts), ("value", vals)):
+        finite = np.isfinite(arr)
+        if not finite.all():
+            i = int(np.flatnonzero(~finite)[0])
+            raise ValueError(
+                f"{where}[{i}]: {label} is not finite: {arr[i]!r}"
+            )
+        if arr.size and arr.min() < 0:
+            i = int(np.flatnonzero(arr < 0)[0])
+            raise ValueError(
+                f"{where}[{i}]: negative {label}: {arr[i]!r}"
+            )
+    integral = ts == np.floor(ts)
+    if not integral.all():
+        i = int(np.flatnonzero(~integral)[0])
+        raise ValueError(
+            f"{where}[{i}]: non-integral timestamp {ts[i]!r} "
+            "(bin event times to integer indices upstream)"
+        )
+    return ts.astype(np.int64), vals
+
+
+def records_to_arrays(
+    records: Iterable[TimestampedRecord] | Sequence[tuple[int, float]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split records (or bare pairs) into validated parallel arrays."""
+    pairs = [
+        (r.timestamp, r.value)
+        if isinstance(r, TimestampedRecord)
+        else (r[0], r[1])
+        for r in records
+    ]
+    if not pairs:
+        empty_ts = np.empty(0, dtype=np.int64)
+        empty_vals = np.empty(0, dtype=np.float64)
+        return empty_ts, empty_vals
+    ts, vals = zip(*pairs)
+    return validate_records(
+        np.asarray(ts, dtype=np.float64), np.asarray(vals, dtype=np.float64)
+    )
+
+
+def series_from_records(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    aggregate: AggregateFunction,
+    length: int | None = None,
+) -> np.ndarray:
+    """The dense series a record multiset denotes — the sealing oracle.
+
+    Bin ``t`` holds the aggregate of every record with timestamp ``t``
+    (the identity where no record landed).  ``length`` extends or limits
+    the series; default is ``max timestamp + 1``.  This is the literal
+    re-aggregation the ingestion pipeline is differentially tested
+    against: whatever order records arrive in, the sealed series must
+    equal this.
+    """
+    ts, vals = validate_records(timestamps, values)
+    if length is None:
+        length = int(ts.max()) + 1 if ts.size else 0
+    series = np.full(length, aggregate.identity, dtype=np.float64)
+    if aggregate.name == "sum":
+        np.add.at(series, ts[ts < length], vals[ts < length])
+    elif aggregate.name == "max":
+        np.maximum.at(series, ts[ts < length], vals[ts < length])
+    else:  # pragma: no cover - registry guards the aggregate set
+        raise ValueError(f"no binning rule for aggregate {aggregate.name!r}")
+    return series

@@ -45,9 +45,12 @@ LAYER_SPEC: dict[str, frozenset[str]] = {
     "streams": frozenset({"core"}),
     "spatial": frozenset({"core"}),
     "io": frozenset({"core"}),
+    "ingest": frozenset({"core"}),
     "mining": frozenset({"core"}),
     "runtime": frozenset({"core", "core.kernel"}),
-    "testkit": frozenset({"core", "core.kernel", "io", "runtime", "spatial", "streams"}),
+    "testkit": frozenset(
+        {"core", "core.kernel", "ingest", "io", "runtime", "spatial", "streams"}
+    ),
     "experiments": frozenset({"core", "io", "mining", "spatial", "streams"}),
     "lint": frozenset(),
 }

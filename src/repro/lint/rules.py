@@ -455,9 +455,9 @@ class NoWallClockInCore(Rule):
     code = "RL005"
     name = "no-wall-clock-in-core"
     invariant = (
-        "repro.core / repro.runtime / repro.io / repro.testkit never "
-        "read wall-clock time; timing lives in benchmarks/ and "
-        "experiment helpers"
+        "repro.core / repro.runtime / repro.io / repro.ingest / "
+        "repro.testkit never read wall-clock time; timing lives in "
+        "benchmarks/ and experiment helpers"
     )
 
     _CLOCK_ATTRS = {
@@ -471,6 +471,9 @@ class NoWallClockInCore(Rule):
             module.in_dir("repro", "core")
             or module.in_dir("repro", "runtime")
             or module.in_dir("repro", "io")
+            # Watermarks are event time, never wall time: a clock read
+            # in ingestion would break arrival-order invariance.
+            or module.in_dir("repro", "ingest")
             # The fuzz harness must be replayable from a seed alone; a
             # clock read anywhere in it would break corpus determinism.
             or module.in_dir("repro", "testkit")
@@ -847,6 +850,10 @@ class DroppedCounterDataflow(Rule):
             module.in_dir("repro", "core")
             or module.in_dir("repro", "runtime")
             or module.in_dir("repro", "spatial")
+            # The ingestion layer forwards detector counters alongside
+            # its amendment ledger; dropped accounting would silently
+            # break the op-count half of arrival-order invariance.
+            or module.in_dir("repro", "ingest")
         )
 
     def check(self, module: LintModule) -> Iterator[Finding]:

@@ -574,6 +574,24 @@ class ParallelMultiStreamDetector:
             return self._serial.total_operations()
         return self.merged_counters().total_operations
 
+    def amend(self, name: str, index: int, value: float) -> None:
+        """Rewrite one consumed value of stream ``name`` (serial only).
+
+        Straggler plumbing for the out-of-order ingestion layer
+        (:mod:`repro.ingest`): only a serial fleet holds its engines in
+        this process, so in-place amendment is available exactly when
+        ``workers="serial"`` was requested (or the run has degraded to
+        serial).  On a live worker pool the engines are process-remote —
+        raise loudly rather than silently diverging from the sealed
+        series; late-policy ``"amend"`` deployments must run serial.
+        """
+        if self._serial is None:
+            raise RuntimeError(
+                "amend() requires a serial fleet (workers='serial'); "
+                "worker processes own their engine state"
+            )
+        self._serial.amend(name, index, value)
+
     def _gather_counters(self) -> dict[str, OpCounters]:
         if self._counters is not None:
             return self._counters

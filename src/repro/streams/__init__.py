@@ -20,7 +20,14 @@ from .generators import (
 )
 from .sdss import SDSSTrafficSimulator
 from .sliding_stats import ExponentialHistogram
-from .source import ArraySource, CSVSource, FunctionSource, StreamSource, detect_source
+from .source import (
+    ArraySource,
+    CSVSource,
+    FunctionSource,
+    StreamSource,
+    TimestampedCSVSource,
+    detect_source,
+)
 from .stats import StreamStats, describe, histogram
 from .taq import TAQVolumeSimulator
 
@@ -44,5 +51,6 @@ __all__ = [
     "ArraySource",
     "FunctionSource",
     "CSVSource",
+    "TimestampedCSVSource",
     "detect_source",
 ]

@@ -21,6 +21,7 @@ __all__ = [
     "ArraySource",
     "FunctionSource",
     "CSVSource",
+    "TimestampedCSVSource",
     "detect_source",
 ]
 
@@ -90,6 +91,14 @@ class CSVSource(StreamSource):
     ``skip_bad_records=True`` bad records are dropped instead and
     counted in :attr:`skipped`, for logs known to carry occasional
     sentinel garbage.
+
+    .. note:: **Rows are assumed to be in time order.**  This source has
+       no timestamp column: line ``n`` *is* time bin ``n - 1``, so a file
+       whose rows were written out of order silently produces a permuted
+       stream — and permuted detection results — with no error.  Feeds
+       that cannot guarantee order must use
+       :class:`TimestampedCSVSource` and the :mod:`repro.ingest`
+       watermark pipeline instead.
     """
 
     def __init__(
@@ -132,6 +141,104 @@ class CSVSource(StreamSource):
                     buffer = []
         if buffer:
             yield np.asarray(buffer, dtype=np.float64)
+
+
+class TimestampedCSVSource:
+    """Timestamped records stored as ``timestamp,value`` lines.
+
+    The out-of-order companion to :class:`CSVSource`: each line carries
+    an explicit integer time bin, so rows may arrive late, duplicated,
+    or shuffled — the :mod:`repro.ingest` watermark pipeline restores
+    order downstream.  Lines are validated with the same severity as
+    :class:`CSVSource`, and for the same reason: a NaN timestamp would
+    silently misfile a record, which is worse than a crash.  Rejected
+    outright (``file:line`` in the error): missing/extra columns,
+    unparsable fields, NaN/±inf in either field, negative timestamps or
+    values, and non-integral timestamps.  ``skip_bad_records=True``
+    drops and counts bad lines instead, exactly like :class:`CSVSource`.
+
+    Blank lines and ``#`` comment lines are skipped.
+    """
+
+    def __init__(
+        self, path: str | Path, skip_bad_records: bool = False
+    ) -> None:
+        self.path = Path(path)
+        self.skip_bad_records = skip_bad_records
+        #: Bad records dropped so far (only grows when skipping is on).
+        self.skipped = 0
+
+    def _bad(self, lineno: int, why: str, text: str) -> None:
+        if self.skip_bad_records:
+            self.skipped += 1
+            return
+        raise ValueError(f"{self.path}:{lineno}: {why}: {text!r}")
+
+    def _parse(self, lineno: int, text: str) -> tuple[int, float] | None:
+        parts = text.split(",")
+        if len(parts) != 2:
+            self._bad(lineno, "expected 'timestamp,value'", text)
+            return None
+        try:
+            ts = float(parts[0])
+            value = float(parts[1])
+        except ValueError:
+            self._bad(lineno, "not a number", text)
+            return None
+        if not np.isfinite(ts):
+            self._bad(lineno, "timestamp not finite", text)
+            return None
+        if ts < 0:
+            self._bad(lineno, "negative timestamp", text)
+            return None
+        if ts != int(ts):
+            self._bad(lineno, "non-integral timestamp", text)
+            return None
+        if not np.isfinite(value):
+            self._bad(lineno, "value not finite", text)
+            return None
+        if value < 0:
+            self._bad(lineno, "negative value", text)
+            return None
+        return int(ts), value
+
+    def records(self) -> Iterator[tuple[int, float]]:
+        """Yield ``(timestamp, value)`` pairs in file (= arrival) order."""
+        with self.path.open() as fh:
+            for lineno, line in enumerate(fh, start=1):
+                text = line.strip()
+                if not text or text.startswith("#"):
+                    continue
+                parsed = self._parse(lineno, text)
+                if parsed is not None:
+                    yield parsed
+
+    def batches(
+        self, batch_size: int
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(timestamps, values)`` array pairs of ``batch_size``.
+
+        Arrival order is preserved across batches; a batch is exactly
+        the next ``batch_size`` valid records (the last may be short).
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        ts_buf: list[int] = []
+        val_buf: list[float] = []
+        for ts, value in self.records():
+            ts_buf.append(ts)
+            val_buf.append(value)
+            if len(ts_buf) == batch_size:
+                yield (
+                    np.asarray(ts_buf, dtype=np.int64),
+                    np.asarray(val_buf, dtype=np.float64),
+                )
+                ts_buf, val_buf = [], []
+        if ts_buf:
+            yield (
+                np.asarray(ts_buf, dtype=np.int64),
+                np.asarray(val_buf, dtype=np.float64),
+            )
 
 
 def detect_source(

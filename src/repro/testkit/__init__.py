@@ -18,7 +18,11 @@ verifies that claim mechanically across every backend in the repository
   chunking, scaling, threshold monotonicity, concatenation);
 * :mod:`~repro.testkit.shrink` / :mod:`~repro.testkit.corpus` —
   reproducer minimization and the JSON regression corpus replayed by
-  tier-1 tests.
+  tier-1 tests;
+* :mod:`~repro.testkit.ooo` — arrival-order invariance: streams
+  re-delivered through the watermark ingestion layer under seeded
+  watermark-consistent permutations (``--ooo-every``), plus the
+  out-of-order reproducer corpus format with pinned ledgers.
 
 Run it from the command line::
 
@@ -42,6 +46,14 @@ from .corpus import (
     save_spatial_reproducer,
 )
 from .fuzzer import FailureRecord, FuzzConfig, FuzzReport, fuzz_once, run_fuzz
+from .ooo import (
+    OOO_FORMAT,
+    ooo_payload,
+    ooo_shuffle,
+    replay_ooo_payload,
+    save_ooo_reproducer,
+    watermark_consistent_arrival,
+)
 from .generators import (
     QUANTUM,
     STREAM_FAMILIES,
@@ -116,6 +128,13 @@ __all__ = [
     "replay_path",
     "save_reproducer",
     "save_spatial_reproducer",
+    # out-of-order ingestion leg
+    "OOO_FORMAT",
+    "ooo_payload",
+    "ooo_shuffle",
+    "replay_ooo_payload",
+    "save_ooo_reproducer",
+    "watermark_consistent_arrival",
     # fuzzer
     "FailureRecord",
     "FuzzConfig",

@@ -80,6 +80,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="make every Nth case a 2-D spatial differential (0=off)",
     )
     fuzz.add_argument(
+        "--ooo-every",
+        type=int,
+        default=10,
+        help=(
+            "arrival-order invariance every Nth case: re-deliver the "
+            "stream through the ingestion layer under seeded "
+            "watermark-consistent permutations (0=off)"
+        ),
+    )
+    fuzz.add_argument(
         "--stop-after",
         type=int,
         default=None,
@@ -130,6 +140,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             parallel_every=args.parallel_every,
             faults_every=args.faults_every,
             spatial_every=args.spatial_every,
+            ooo_every=args.ooo_every,
             stop_after=args.stop_after,
             shrink=not args.no_shrink,
             numba_backend=numba_backend,

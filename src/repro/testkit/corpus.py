@@ -29,6 +29,7 @@ from .relations import run_relations
 
 __all__ = [
     "CASE_FORMAT",
+    "OOO_FORMAT",
     "SPATIAL_FORMAT",
     "case_from_dict",
     "case_to_dict",
@@ -42,6 +43,9 @@ __all__ = [
 
 CASE_FORMAT = "repro.testkit.case.v1"
 SPATIAL_FORMAT = "repro.testkit.case2d.v1"
+# Out-of-order ingestion reproducers; defined in .ooo, re-exported here
+# so corpus consumers have one module to import formats from.
+from .ooo import OOO_FORMAT  # noqa: E402  (constant re-export)
 
 
 def case_to_dict(
@@ -167,6 +171,10 @@ def replay_path(path: str | Path) -> list[Mismatch]:
             {int(w): float(f) for w, f in payload["thresholds"].items()}
         )
         return spatial_differential_check(grid, thresholds)
+    if fmt == OOO_FORMAT:
+        from .ooo import replay_ooo_payload
+
+        return replay_ooo_payload(payload)
     raise ValueError(f"unknown corpus format {fmt!r} in {path}")
 
 
@@ -189,4 +197,10 @@ def replay_case(case: FuzzCase) -> list[Mismatch]:
     # importable, so corpus replay regression-checks the native path too.
     failures = differential_check(case, default_backends())
     failures.extend(run_relations(case, rng))
+    # Arrival-order invariance rides along: corpus cases are shrunk and
+    # small, so a few extra full runs per case are cheap, and shrinking
+    # of ooo_shuffle findings works through the same predicate.
+    from .ooo import ooo_shuffle
+
+    failures.extend(ooo_shuffle(case, rng))
     return failures

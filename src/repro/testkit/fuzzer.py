@@ -33,6 +33,7 @@ from .oracles import (
     spatial_differential_check,
     worker_sweep_check,
 )
+from .ooo import ooo_shuffle
 from .relations import run_relations
 from .shrink import shrink_case
 
@@ -60,6 +61,11 @@ class FuzzConfig:
     faults_every: int = 0
     #: Every Nth case is a 2-D grid against the spatial oracle.
     spatial_every: int = 20
+    #: Arrival-order invariance every Nth case (0 disables): the stream
+    #: is re-delivered through the ingestion layer under seeded
+    #: watermark-consistent permutations, and bursts, counters, and the
+    #: amendment ledger must be byte-identical to the in-order run.
+    ooo_every: int = 10
     #: Include the compiled ``chunked-numba`` backend in the cheap
     #: battery: ``True`` forces it (fails fast when numba is missing),
     #: ``False`` excludes it, ``None`` includes it iff numba is
@@ -143,6 +149,8 @@ def _check_battery(
         failures.extend(worker_sweep_check(case))
     if config.faults_every and (index + 1) % config.faults_every == 0:
         failures.extend(fault_plan_check(case, rng=rng))
+    if config.ooo_every and (index + 1) % config.ooo_every == 0:
+        failures.extend(ooo_shuffle(case, rng))
     return failures
 
 

@@ -1,0 +1,20 @@
+"""RL005 fixture: wall-clock reads in the ingestion layer.
+
+Watermarks are event time.  Deriving one from the machine clock makes
+sealing (and therefore bursts) depend on when the process ran — the
+exact failure arrival-order invariance exists to rule out.
+"""
+
+import time
+from datetime import datetime
+
+
+def watermark_from_clock(max_lateness):
+    # BAD: processing-time watermark -> RL005 here.
+    return int(time.time()) - max_lateness
+
+
+def stamp_ledger(ledger):
+    # BAD: wall-clock annotation on deterministic accounting -> RL005 here.
+    ledger.closed_at = datetime.now()
+    return ledger

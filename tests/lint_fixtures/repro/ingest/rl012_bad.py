@@ -1,0 +1,17 @@
+"""RL012 fixture: OpCounters dropped on the ingestion path.
+
+The ingestor forwards detector counters next to its amendment ledger;
+a locally built OpCounters that never flows out loses the op-count
+half of the arrival-order-invariance comparison.
+"""
+
+from repro.core.opcount import OpCounters
+
+
+def seal_and_account(chunks, sink):
+    # BAD: per-seal accounting charged and dropped -> RL012 here.
+    counters = OpCounters(3)
+    for chunk in chunks:
+        sink.process(chunk)
+        counters.updates[0] += chunk.size
+    return sink

@@ -1,0 +1,189 @@
+"""Property suite for the out-of-order buffer vs a literal oracle.
+
+The oracle is a plain ``dict`` re-aggregated from scratch: timestamps to
+``(value, count)``, combined with the aggregate function, sorted on
+demand.  The treap must agree with it exactly after every operation —
+values are dyadic (multiples of 1/1024 in a small range), so float
+aggregation is exact and comparisons need no tolerance.  Every step also
+runs ``check_invariants``, which brute-force recomputes the partial
+aggregates the watermark machinery relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import MAX, SUM
+from repro.ingest import BinAggregate, OutOfOrderBuffer
+
+# Small domains on purpose: collisions (duplicate timestamps) and
+# adjacent ties must be common, not lucky.
+timestamps = st.integers(0, 63)
+values = st.integers(0, 8 * 1024).map(lambda q: q / 1024.0)
+
+
+@st.composite
+def op_sequences(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 40))):
+        kind = draw(
+            st.sampled_from(["insert", "insert", "bulk", "evict", "range"])
+        )
+        if kind == "insert":
+            ops.append(("insert", draw(timestamps), draw(values)))
+        elif kind == "bulk":
+            k = draw(st.integers(0, 12))
+            ops.append(
+                (
+                    "bulk",
+                    [
+                        (draw(timestamps), draw(values))
+                        for _ in range(k)
+                    ],
+                )
+            )
+        elif kind == "evict":
+            ops.append(("evict", draw(st.integers(0, 80))))
+        else:
+            lo = draw(st.integers(0, 70))
+            ops.append(("range", lo, lo + draw(st.integers(0, 70))))
+    return ops
+
+
+class DictOracle:
+    """Literal re-aggregation: the spec the treap must match."""
+
+    def __init__(self, aggregate):
+        self.aggregate = aggregate
+        self.bins: dict[int, tuple[float, int]] = {}
+
+    def insert(self, t: int, v: float) -> bool:
+        if t in self.bins:
+            old_v, old_c = self.bins[t]
+            self.bins[t] = (self.aggregate.combine(old_v, v), old_c + 1)
+            return False
+        self.bins[t] = (v, 1)
+        return True
+
+    def evict_below(self, watermark: int) -> list[BinAggregate]:
+        sealed = sorted(t for t in self.bins if t < watermark)
+        return [
+            BinAggregate(t, *self.bins.pop(t)) for t in sealed
+        ]
+
+    def range_value(self, lo: int, hi: int) -> float:
+        inside = [v for t, (v, _) in self.bins.items() if lo <= t < hi]
+        return (
+            self.aggregate.reduce(np.array(inside, dtype=np.float64))
+            if inside
+            else self.aggregate.identity
+        )
+
+    def snapshot(self) -> list[BinAggregate]:
+        return [
+            BinAggregate(t, *self.bins[t]) for t in sorted(self.bins)
+        ]
+
+    @property
+    def n_records(self) -> int:
+        return sum(c for _, c in self.bins.values())
+
+
+def _assert_matches(buf: OutOfOrderBuffer, oracle: DictOracle) -> None:
+    buf.check_invariants()
+    assert buf.bins() == oracle.snapshot()
+    assert buf.n_bins == len(oracle.bins)
+    assert buf.n_records == oracle.n_records
+    ts = sorted(oracle.bins)
+    assert buf.min_timestamp == (ts[0] if ts else None)
+    assert buf.max_timestamp == (ts[-1] if ts else None)
+    assert buf.total == oracle.range_value(0, 10**9)
+
+
+@pytest.mark.parametrize("aggregate", [SUM, MAX], ids=["sum", "max"])
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=op_sequences())
+def test_buffer_matches_literal_oracle(aggregate, ops):
+    buf = OutOfOrderBuffer(aggregate)
+    oracle = DictOracle(aggregate)
+    for op in ops:
+        if op[0] == "insert":
+            _, t, v = op
+            assert buf.insert(t, v) == oracle.insert(t, v)
+        elif op[0] == "bulk":
+            batch = op[1]
+            ts = np.array([t for t, _ in batch], dtype=np.int64)
+            vals = np.array([v for _, v in batch], dtype=np.float64)
+            merged = sum(
+                0 if oracle.insert(t, v) else 1 for t, v in batch
+            )
+            assert buf.bulk_insert(ts, vals) == merged
+        elif op[0] == "evict":
+            _, w = op
+            assert buf.evict_below(w) == oracle.evict_below(w)
+        else:
+            _, lo, hi = op
+            assert buf.range_value(lo, hi) == oracle.range_value(lo, hi)
+        _assert_matches(buf, oracle)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    batch=st.lists(st.tuples(timestamps, values), max_size=30),
+    pre=st.lists(st.tuples(timestamps, values), max_size=10),
+)
+def test_bulk_insert_equals_loop_of_inserts(batch, pre):
+    """One straggler batch == the same records inserted one by one."""
+    looped = OutOfOrderBuffer(SUM)
+    bulked = OutOfOrderBuffer(SUM)
+    for t, v in pre:
+        looped.insert(t, v)
+        bulked.insert(t, v)
+    merged = 0
+    for t, v in batch:
+        merged += 0 if looped.insert(t, v) else 1
+    ts = np.array([t for t, _ in batch], dtype=np.int64)
+    vals = np.array([v for _, v in batch], dtype=np.float64)
+    assert bulked.bulk_insert(ts, vals) == merged
+    bulked.check_invariants()
+    assert bulked.bins() == looped.bins()
+
+
+def test_exact_dyadic_ties():
+    """Dyadic values aggregate exactly: 1/4 + 1/4 + 1/2 == 1.0, not ~1.0."""
+    buf = OutOfOrderBuffer(SUM)
+    buf.insert(5, 0.25)
+    buf.insert(5, 0.25)
+    buf.insert(5, 0.5)
+    [sealed_bin] = buf.evict_below(6)
+    assert sealed_bin == BinAggregate(5, 1.0, 3)
+
+
+def test_eviction_order_and_partial_survival():
+    buf = OutOfOrderBuffer(SUM)
+    for t in (9, 2, 7, 4, 11):
+        buf.insert(t, float(t))
+    sealed = buf.evict_below(8)
+    assert [b.timestamp for b in sealed] == [2, 4, 7]
+    assert [b.timestamp for b in buf.bins()] == [9, 11]
+    assert buf.evict_below(8) == []  # idempotent below the old watermark
+    buf.check_invariants()
+
+
+def test_empty_buffer_properties():
+    buf = OutOfOrderBuffer(SUM)
+    assert buf.n_bins == 0
+    assert buf.n_records == 0
+    assert buf.min_timestamp is None
+    assert buf.max_timestamp is None
+    assert buf.total == SUM.identity
+    assert buf.evict_below(100) == []
+    assert buf.bins() == []
+    buf.check_invariants()

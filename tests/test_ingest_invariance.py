@@ -1,0 +1,86 @@
+"""Arrival-order invariance over the committed corpus (tier-1).
+
+For every stream case in ``tests/corpus/`` the full ingestion +
+detection pipeline runs under at least eight seeded watermark-consistent
+arrival permutations, and each run must be byte-identical to the
+in-order oracle: final bursts (ends, sizes, *and* values), per-level
+operation-count routing, and the amendment ledger.  The in-order
+ingestion run itself must match the plain chunked backend — the
+ingestion layer has to be invisible when nothing is late.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.testkit import (
+    load_case,
+    ooo_shuffle,
+    watermark_consistent_arrival,
+)
+from repro.testkit.corpus import CASE_FORMAT
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+STREAM_CASES = sorted(
+    p
+    for p in CORPUS_DIR.glob("*.json")
+    if json.loads(p.read_text()).get("format") == CASE_FORMAT
+)
+PERMUTATIONS = 8
+
+
+def _rng_for(path: Path) -> np.random.Generator:
+    seed = int.from_bytes(
+        hashlib.sha1(path.name.encode()).digest()[:8], "big"
+    )
+    return np.random.default_rng(seed)
+
+
+def test_stream_corpus_is_present():
+    assert len(STREAM_CASES) >= 8
+
+
+@pytest.mark.parametrize(
+    "path", STREAM_CASES, ids=[p.stem for p in STREAM_CASES]
+)
+def test_arrival_order_invariance(path: Path):
+    case = load_case(path)
+    mismatches = ooo_shuffle(
+        case, _rng_for(path), permutations=PERMUTATIONS
+    )
+    detail = "\n".join(m.format() for m in mismatches)
+    assert mismatches == [], f"{path.name} order-dependent:\n{detail}"
+
+
+# -- the permutation generator itself ----------------------------------
+
+
+@pytest.mark.parametrize("max_lateness", [0, 1, 3, 10, 100])
+def test_permutations_are_watermark_consistent(max_lateness):
+    rng = np.random.default_rng(max_lateness)
+    for _ in range(20):
+        arrival = watermark_consistent_arrival(rng, 50, max_lateness)
+        assert sorted(arrival.tolist()) == list(range(50))
+        high = -1
+        for t in arrival.tolist():
+            # Never late: at release time the frontier is
+            # high - max_lateness, and t must sit at or above it.
+            assert t >= high - max_lateness
+            high = max(high, t)
+
+
+def test_zero_lateness_forces_in_order():
+    rng = np.random.default_rng(0)
+    arrival = watermark_consistent_arrival(rng, 30, 0)
+    assert arrival.tolist() == list(range(30))
+
+
+def test_large_lateness_actually_shuffles():
+    rng = np.random.default_rng(0)
+    arrival = watermark_consistent_arrival(rng, 30, 1000)
+    assert arrival.tolist() != list(range(30))

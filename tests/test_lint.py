@@ -56,11 +56,13 @@ def expected_lines(path: Path, code: str) -> list[int]:
         ("core/rl004_bad.py", "RL004"),
         ("core/rl005_bad.py", "RL005"),
         ("testkit/rl005_bad.py", "RL005"),
+        ("ingest/rl005_bad.py", "RL005"),
         ("core/rl006_bad.py", "RL006"),
         ("runtime/rl007_bad.py", "RL007"),
         ("runtime/rl008_bad.py", "RL008"),
         ("core/kernel/rl009_bad.py", "RL009"),
         ("core/rl012_bad.py", "RL012"),
+        ("ingest/rl012_bad.py", "RL012"),
     ],
 )
 def test_bad_fixture_trips_rule_at_marked_lines(fixture, code):
@@ -128,6 +130,20 @@ def test_rules_scope_to_their_packages():
     out_of_scope = lint_source(source, "x/repro/core/mod.py", ALL_RULES)
     assert any(f.rule == "RL002" for f in in_scope)
     assert not any(f.rule == "RL002" for f in out_of_scope)
+
+
+@pytest.mark.parametrize(
+    "fixture, code",
+    [("ingest/rl005_bad.py", "RL005"), ("ingest/rl012_bad.py", "RL012")],
+)
+def test_rl005_rl012_scope_includes_ingest(fixture, code):
+    # The determinism rules extend to repro.ingest; the same code under
+    # a package outside every scope (mining) stays silent.
+    source = (FIXTURES / "repro" / fixture).read_text()
+    in_scope = lint_source(source, "x/repro/ingest/mod.py", ALL_RULES)
+    out_of_scope = lint_source(source, "x/repro/mining/mod.py", ALL_RULES)
+    assert any(f.rule == code for f in in_scope)
+    assert not any(f.rule == code for f in out_of_scope)
 
 
 def test_rl009_scopes_to_kernel_package():
