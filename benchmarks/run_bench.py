@@ -22,6 +22,16 @@ the overload layer promises to keep small (<= 3%).  Runs alternate
 between the two parallel scenarios and the medians are compared, so
 slow-machine drift hits both sides equally.
 
+A fourth section benchmarks the durability layer (PR 10): the same
+timestamped stream is fed in batches through the plain watermark
+ingestor (WAL off) and through ``DurableStreamIngestor`` (WAL on —
+journal every batch, checksum, seal segments with fsync, snapshot on
+cadence), runs interleaved; the *durable overhead* is the relative
+wall-clock cost of journaling on the batched ingest path, budgeted at
+<= 25%.  Recovery time is measured on a run abandoned mid-stream:
+``recover()`` loads the newest snapshot and replays the WAL tail, and
+the report records seconds per replayed entry/record.
+
 Wall-clock timing lives here, outside ``src/repro`` — the library
 itself stays clock-free (lint rule RL005).
 
@@ -34,7 +44,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import statistics
+import tempfile
 import time
 from pathlib import Path
 
@@ -50,6 +62,9 @@ from repro.core.thresholds import (
     NormalThresholds,
     all_sizes,
 )
+from repro.durable import DurableStreamIngestor
+from repro.ingest import StreamIngestor
+from repro.io.spec import DetectorSpec
 from repro.runtime import OverloadConfig, ParallelMultiStreamDetector
 
 
@@ -222,9 +237,122 @@ def kernel_trajectory(args):
     }
 
 
+# ---------------------------------------------------------------------------
+# Durable trajectory: WAL-on vs WAL-off ingestion, recovery time
+# ---------------------------------------------------------------------------
+
+def durable_trajectory(args):
+    """Journaling overhead and recovery time of the durability layer.
+
+    WAL-off is the plain watermark ingestor over the chunked detector;
+    WAL-on is ``DurableStreamIngestor`` with the same spec — every
+    batch is CRC-framed into the write-ahead log before it is applied,
+    segments seal with fsync + atomic rename, and a full snapshot is
+    published every ``--snapshot-every`` logged operations.  Runs
+    interleave so machine drift hits both sides equally, and the
+    minimum over repeats is compared (scheduling noise only adds
+    time).  The promise under test: journaling costs <= 25% wall
+    clock on the batched ingest path.
+
+    Recovery is timed against a run abandoned mid-stream (no
+    ``finish()``, so the final snapshot was never taken): ``recover``
+    must load the newest snapshot and replay the WAL tail above it.
+    """
+    rng = np.random.default_rng(args.seed + 2)
+    train = rng.poisson(7.0, 20_000).astype(float)
+    thresholds = NormalThresholds.from_data(
+        train, 1e-5, all_sizes(args.max_window)
+    )
+    structure = shifted_binary_tree(args.max_window)
+    spec = DetectorSpec(structure, thresholds)
+    n = args.durable_points
+    values = rng.poisson(7.0, n).astype(float)
+    timestamps = np.arange(n, dtype=np.int64)
+    batch = args.durable_batch
+
+    def feed(ing):
+        for lo in range(0, n, batch):
+            ing.push_batch(
+                timestamps[lo : lo + batch], values[lo : lo + batch]
+            )
+
+    def run_plain():
+        det = ChunkedDetector(structure, thresholds)
+        ing = StreamIngestor(det, thresholds, SUM)
+        t0 = time.perf_counter()
+        feed(ing)
+        ing.finish()
+        return time.perf_counter() - t0
+
+    def run_durable(finish=True):
+        d = Path(tempfile.mkdtemp(prefix="bench-durable-"))
+        dur = DurableStreamIngestor(
+            spec, d, snapshot_every=args.snapshot_every
+        )
+        t0 = time.perf_counter()
+        feed(dur)
+        if finish:
+            dur.finish()
+        return time.perf_counter() - t0, d, dur
+
+    plain_s, wal_s = [], []
+    for _ in range(args.durable_repeats):
+        plain_s.append(run_plain())
+        elapsed, d, _ = run_durable()
+        wal_s.append(elapsed)
+        shutil.rmtree(d)
+
+    # Abandon a run mid-stream and time the recovery path itself.
+    _, d, dur = run_durable(finish=False)
+    dur._wal.close()  # noqa: SLF001 - simulate the process dying here
+    t0 = time.perf_counter()
+    _, report = DurableStreamIngestor.recover(d, recovery="strict")
+    recover_s = time.perf_counter() - t0
+    shutil.rmtree(d)
+
+    wal_min, plain_min = min(wal_s), min(plain_s)
+    overhead = (wal_min - plain_min) / plain_min
+    entries = (n + batch - 1) // batch + 1  # batches + finish
+    return {
+        "points": n,
+        "batch": batch,
+        "snapshot_every": args.snapshot_every,
+        "repeats": args.durable_repeats,
+        "wal_off": {
+            "seconds_min": plain_min,
+            "seconds_median": statistics.median(plain_s),
+            "points_per_s": n / plain_min,
+        },
+        "wal_on": {
+            "seconds_min": wal_min,
+            "seconds_median": statistics.median(wal_s),
+            "points_per_s": n / wal_min,
+            "wal_entries": entries,
+        },
+        "overhead": {
+            "relative": overhead,
+            "absolute_s": wal_min - plain_min,
+            "budget": 0.25,
+            "within_budget": overhead <= 0.25,
+        },
+        "recovery": {
+            "seconds": recover_s,
+            "snapshot_lsn": report.snapshot_lsn,
+            "replayed_entries": report.replayed_entries,
+            "replayed_records": report.replayed_records,
+            "seconds_per_replayed_record": (
+                recover_s / report.replayed_records
+                if report.replayed_records
+                else None
+            ),
+            "finished": report.finished,
+        },
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--pr", type=int, default=7)
+    parser.add_argument("--pr", type=int, default=10)
     parser.add_argument("--streams", type=int, default=8)
     parser.add_argument("--points", type=int, default=60_000)
     parser.add_argument("--chunk", type=int, default=4_096)
@@ -243,6 +371,30 @@ def main(argv=None):
         type=int,
         default=3,
         help="timed repeats per kernel trajectory cell (min is kept)",
+    )
+    parser.add_argument(
+        "--durable-points",
+        type=int,
+        default=200_000,
+        help="stream length of the durable (WAL) trajectory",
+    )
+    parser.add_argument(
+        "--durable-batch",
+        type=int,
+        default=2_048,
+        help="push_batch size of the durable trajectory",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        help="snapshot cadence (logged operations) of the durable run",
+    )
+    parser.add_argument(
+        "--durable-repeats",
+        type=int,
+        default=5,
+        help="timed repeats per durable scenario (min is kept)",
     )
     parser.add_argument(
         "-o",
@@ -303,6 +455,7 @@ def main(argv=None):
         },
         "scenarios": scenarios,
         "kernel_trajectory": kernel_trajectory(args),
+        "durable_trajectory": durable_trajectory(args),
         "overload_idle_overhead": {
             "relative": overhead,
             "absolute_s": idle_s - base_s,

@@ -19,6 +19,15 @@ Usage::
     python -m repro detect spec.json feed.csv --timestamped \
         --max-lateness 8 --late-policy drop
 
+    # Durable ingestion: write-ahead-log every record and snapshot
+    # periodically, so a crash mid-run can be resumed exactly.
+    python -m repro detect spec.json feed.csv --timestamped \
+        --durable-dir run/ --snapshot-every 100
+
+    # Resume a crashed durable run: replay the WAL tail onto the newest
+    # snapshot, then re-feed the not-yet-durable records and finish.
+    python -m repro recover run/ --recovery trim --stream feed.csv
+
     # Show what a spec contains.
     python -m repro inspect spec.json
 """
@@ -120,6 +129,22 @@ def _add_ingestion(parser: argparse.ArgumentParser) -> None:
         "default), drop (discard, counted in the ledger), or amend "
         "(revise sealed history, re-check affected windows and emit "
         "amendment events; requires --workers serial)",
+    )
+
+
+def _add_durable(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--durable-dir", default=None, metavar="DIR",
+        help="with --timestamped: write-ahead-log every record to DIR "
+        "and snapshot the full resumable state periodically, so a "
+        "crashed run can be resumed exactly with `recover` (the "
+        "directory must not already hold a run)",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=256, metavar="N",
+        help="with --durable-dir: publish a snapshot every N logged "
+        "operations (default 256); recovery replays at most N WAL "
+        "entries on top of the newest snapshot",
     )
 
 
@@ -231,9 +256,115 @@ def _make_ingestor(args: argparse.Namespace, fleet, spec):
     )
 
 
+def _finish_durable(dur, output) -> int:
+    """Write a durable run's final bursts and ledger/WAL accounting."""
+    bursts = sorted(dur.final_bursts())
+    text = _burst_csv(bursts)
+    if output:
+        Path(output).write_text(text)
+        print(f"{len(bursts)} bursts -> {output}")
+    else:
+        sys.stdout.write(text)
+    ledger = dur.ledger
+    counters = dur.counters
+    print(
+        f"# {ledger.records} records, {counters.total_operations} "
+        f"operations ({counters.total_operations / max(1, ledger.records):.1f}"
+        f"/record)",
+        file=sys.stderr,
+    )
+    print(f"# ingest: {ledger.summary()}", file=sys.stderr)
+    print(
+        f"# durable: {dur.next_lsn} WAL entries in {dur.durable_dir}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_detect_durable(args: argparse.Namespace, spec, name) -> int:
+    """Single-stream detection over a write-ahead-logged ingestion run."""
+    from .durable import DurableStreamIngestor
+    from .ingest import LateRecordError
+
+    try:
+        dur = DurableStreamIngestor(
+            spec,
+            args.durable_dir,
+            max_lateness=args.max_lateness,
+            late_policy=args.late_policy,
+            snapshot_every=args.snapshot_every,
+            backend=args.backend,
+        )
+    except (FileExistsError, ValueError, RuntimeError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    source = TimestampedCSVSource(
+        args.stream, skip_bad_records=args.skip_bad_records
+    )
+    try:
+        for ts, vals in source.batches(DEFAULT_CHUNK):
+            dur.push_batch(ts, vals)
+    except LateRecordError as exc:
+        raise SystemExit(f"error: {args.stream}: {exc}") from None
+    dur.finish()
+    _report_skipped(args.stream, source)
+    return _finish_durable(dur, args.output)
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Resume a durable run; optionally re-feed the lost tail and finish."""
+    from .durable import CorruptWalError, DurableStreamIngestor
+    from .ingest import LateRecordError
+
+    try:
+        dur, report = DurableStreamIngestor.recover(
+            args.durable_dir,
+            recovery=args.recovery,
+            backend=args.backend,
+        )
+    except FileNotFoundError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except CorruptWalError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(f"# {report.summary()}", file=sys.stderr)
+    if args.stream and not report.finished:
+        # At-least-once resume: skip the records the report says were
+        # durably applied, re-push the rest (including any trimmed off
+        # the torn tail), then finish.
+        source = TimestampedCSVSource(
+            args.stream, skip_bad_records=args.skip_bad_records
+        )
+        skip = report.records_applied
+        seen = 0
+        try:
+            for ts, vals in source.batches(DEFAULT_CHUNK):
+                n = int(ts.size)
+                if seen + n > skip:
+                    off = max(0, skip - seen)
+                    dur.push_batch(ts[off:], vals[off:])
+                seen += n
+        except LateRecordError as exc:
+            raise SystemExit(f"error: {args.stream}: {exc}") from None
+        _report_skipped(args.stream, source)
+        dur.finish()
+    if not dur.finished:
+        print(
+            "# run is not finished; pass --stream FEED.csv to re-feed "
+            "the remaining records and finish it",
+            file=sys.stderr,
+        )
+        print(
+            f"# durable: {dur.next_lsn} WAL entries in {dur.durable_dir}",
+            file=sys.stderr,
+        )
+        return 0
+    return _finish_durable(dur, args.output)
+
+
 def _cmd_detect_timestamped(args: argparse.Namespace, spec, name) -> int:
     from .ingest import LateRecordError
 
+    if args.durable_dir is not None:
+        return _cmd_detect_durable(args, spec, name)
     fleet = _make_fleet(args, [name], spec)
     ingest = _make_ingestor(args, fleet, spec)
     source = TimestampedCSVSource(
@@ -272,6 +403,11 @@ def _cmd_detect_timestamped(args: argparse.Namespace, spec, name) -> int:
 def _cmd_detect(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec)
     name = Path(args.stream).stem
+    if args.durable_dir is not None and not args.timestamped:
+        raise SystemExit(
+            "error: --durable-dir wraps the watermark ingestion layer; "
+            "add --timestamped (rows as 'timestamp,value')"
+        )
     if args.timestamped:
         return _cmd_detect_timestamped(args, spec, name)
     fleet = _make_fleet(args, [name], spec)
@@ -515,10 +651,37 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_skip_bad_records(p_detect)
     _add_ingestion(p_detect)
+    _add_durable(p_detect)
     _add_backend(p_detect)
     _add_faults(p_detect)
     _add_overload(p_detect)
     p_detect.set_defaults(func=_cmd_detect)
+
+    p_recover = sub.add_parser(
+        "recover",
+        help="resume a crashed --durable-dir run (snapshot + WAL replay)",
+    )
+    p_recover.add_argument(
+        "durable_dir",
+        help="directory a previous `detect --durable-dir` run wrote",
+    )
+    p_recover.add_argument(
+        "--recovery", choices=("strict", "trim"), default="strict",
+        help="torn-WAL-tail policy: strict (refuse and report, default) "
+        "or trim (quarantine the damaged tail, recover the valid "
+        "prefix, and report exactly what was lost)",
+    )
+    p_recover.add_argument(
+        "--stream", default=None, metavar="FEED.csv",
+        help="the original 'timestamp,value' feed; records past the "
+        "reported resume offset are re-pushed and the run is finished",
+    )
+    p_recover.add_argument(
+        "-o", "--output", default=None, help="bursts CSV (default: stdout)"
+    )
+    _add_skip_bad_records(p_recover)
+    _add_backend(p_recover)
+    p_recover.set_defaults(func=_cmd_recover)
 
     p_many = sub.add_parser(
         "detect-many",

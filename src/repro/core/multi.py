@@ -16,7 +16,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from .aggregates import SUM, AggregateFunction
-from .chunked import DEFAULT_CHUNK, ChunkedDetector
+from .chunked import DEFAULT_CHUNK, ChunkedDetector, DetectorCarry
 from .events import Burst, BurstSet
 from .opcount import OpCounters
 from .search import SearchParams, train_structure
@@ -128,6 +128,49 @@ class MultiStreamDetector:
         """
         return OpCounters.merged(
             d.counters for d in self._detectors.values()
+        )
+
+    def stream_counters(self) -> dict[str, OpCounters]:
+        """Per-stream operation counters (live references, not copies)."""
+        return {
+            name: det.counters
+            for name, det in sorted(self._detectors.items())
+        }
+
+    def checkpoints(self) -> dict[str, "DetectorCarry"]:
+        """Resumable carry per stream — the durable layer's snapshot hook.
+
+        Serial detectors are always at a consistent boundary between
+        calls; the parallel runtime exposes the same method with the
+        round/swap-alignment caveats documented there.
+        """
+        return {
+            name: det.carry()
+            for name, det in sorted(self._detectors.items())
+        }
+
+    @classmethod
+    def from_carries(
+        cls,
+        structure: SATStructure,
+        thresholds: ThresholdModel,
+        carries: Mapping[str, "DetectorCarry"],
+        *,
+        refine_filter: bool = True,
+        backend: str = "auto",
+    ) -> "MultiStreamDetector":
+        """Resume a shared-structure fleet from per-stream carries."""
+        return cls(
+            {
+                name: ChunkedDetector.from_carry(
+                    structure,
+                    thresholds,
+                    carry,
+                    refine_filter,
+                    backend,
+                )
+                for name, carry in carries.items()
+            }
         )
 
     # -- feeding ------------------------------------------------------------

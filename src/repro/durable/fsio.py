@@ -1,0 +1,195 @@
+"""Durable-write discipline — and the crash hook that proves it.
+
+Every byte the durability layer persists goes through this module, and
+only this module (lint rule RL013 enforces the boundary).  The rules:
+
+* **Append-only data files** are opened unbuffered, so each traced
+  write reaches the OS in one piece — an interrupted process can tear
+  at most the entry being written, never an earlier one.
+* **Visibility is by atomic rename only.**  New files are written to a
+  ``*.tmp`` sibling, fsynced, then :func:`atomic_replace`\\ d into
+  place; readers can never observe a half-written file under its
+  final name.
+* **fsync-on-seal.**  Sealing (a WAL segment roll, a snapshot publish)
+  fsyncs the file and then the directory, so the rename itself is
+  durable.
+
+Crash testing hinges on the same choke point: each traced operation
+consults an injectable hook before executing.  The hook may raise
+:class:`SimulatedCrash` to kill the pipeline *at* an operation
+boundary, or — for writes — return a byte offset to tear the write
+mid-entry and then die.  The testkit's kill-at-every-offset sweep is
+just this hook driven over every traced operation of a recorded run.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import BinaryIO, Callable, Iterator
+
+__all__ = [
+    "CrashHook",
+    "KillAtHook",
+    "OpCountingHook",
+    "SimulatedCrash",
+    "append_bytes",
+    "atomic_replace",
+    "atomic_write_bytes",
+    "crash_hook",
+    "fsync_dir",
+    "fsync_file",
+    "install_crash_hook",
+    "open_append",
+    "remove",
+]
+
+
+class SimulatedCrash(BaseException):
+    """Injected process death at a durable-IO operation.
+
+    A ``BaseException`` on purpose: no ``except Exception`` anywhere in
+    the pipeline may swallow a crash — it must unwind to the harness,
+    exactly as a real ``SIGKILL`` would leave no frame standing.
+    """
+
+    def __init__(self, op: str, path: Path, op_index: int) -> None:
+        super().__init__(f"simulated crash at op {op_index}: {op} {path}")
+        self.op = op
+        self.path = path
+        self.op_index = op_index
+
+
+#: ``hook(op, path, nbytes) -> tear offset or None``.  ``op`` is one of
+#: ``"write" | "fsync" | "rename"``; raising :class:`SimulatedCrash`
+#: dies at the operation boundary; returning an int (writes only, in
+#: ``[0, nbytes)``) writes that prefix and then dies.
+CrashHook = Callable[[str, Path, int], "int | None"]
+
+_hook: CrashHook | None = None
+
+
+def install_crash_hook(hook: CrashHook | None) -> None:
+    """Install (or with ``None`` clear) the global crash hook."""
+    global _hook
+    _hook = hook
+
+
+@contextmanager
+def crash_hook(hook: CrashHook) -> Iterator[None]:
+    """Scoped :func:`install_crash_hook`; always restores the old hook."""
+    global _hook
+    previous = _hook
+    _hook = hook
+    try:
+        yield
+    finally:
+        _hook = previous
+
+
+def _consult(op: str, path: Path, nbytes: int = 0) -> int | None:
+    if _hook is None:
+        return None
+    return _hook(op, path, nbytes)
+
+
+class OpCountingHook:
+    """Counts traced operations without crashing — the recording pass."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def __call__(self, op: str, path: Path, nbytes: int) -> None:
+        self.count += 1
+        return None
+
+
+class KillAtHook:
+    """Dies at the ``index``-th traced operation of the run.
+
+    ``tear`` (writes only) picks the surviving byte prefix: ``None``
+    dies at the op boundary (nothing of the op happens), a float in
+    ``[0, 1)`` tears the write at that fraction of its length.  A tear
+    requested on a non-write op degrades to a boundary kill.
+    """
+
+    def __init__(self, index: int, tear: float | None = None) -> None:
+        self.index = index
+        self.tear = tear
+        self.seen = 0
+
+    def __call__(self, op: str, path: Path, nbytes: int) -> int | None:
+        at = self.seen
+        self.seen += 1
+        if at != self.index:
+            return None
+        if self.tear is not None and op == "write" and nbytes > 0:
+            return min(int(nbytes * self.tear), nbytes - 1)
+        raise SimulatedCrash(op, path, at)
+
+
+# ---------------------------------------------------------------------------
+# Traced primitives
+# ---------------------------------------------------------------------------
+
+def open_append(path: Path) -> BinaryIO:
+    """Open an append-only data file, unbuffered (see module docstring)."""
+    return open(path, "ab", buffering=0)
+
+
+def append_bytes(f: BinaryIO, data: bytes) -> None:
+    """Append one entry; the traced (and tearable) write."""
+    path = Path(getattr(f, "name", "<anon>"))
+    tear = _consult("write", path, len(data))
+    if tear is None:
+        f.write(data)
+        return
+    f.write(data[:tear])
+    raise SimulatedCrash("write", path, -1)
+
+
+def fsync_file(f: BinaryIO) -> None:
+    """Force file contents to stable storage (traced)."""
+    _consult("fsync", Path(getattr(f, "name", "<anon>")))
+    f.flush()
+    os.fsync(f.fileno())
+
+
+def fsync_dir(directory: Path) -> None:
+    """Make a rename in ``directory`` durable (traced)."""
+    _consult("fsync", directory)
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_replace(src: Path, dst: Path) -> None:
+    """Atomically publish ``src`` as ``dst``, then fsync the directory."""
+    _consult("rename", dst)
+    os.replace(src, dst)
+    fsync_dir(dst.parent)
+
+
+def remove(path: Path) -> None:
+    """Unlink a file that a rename has superseded (traced as a rename)."""
+    _consult("rename", path)
+    os.unlink(path)
+    fsync_dir(path.parent)
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write a whole file with full discipline: tmp, fsync, rename, fsync.
+
+    A crash at any traced point leaves either the old file (or no
+    file) under ``path``, never a prefix — at worst an orphaned
+    ``*.tmp`` sibling, which readers ignore and the next write of the
+    same name overwrites.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb", buffering=0) as f:
+        append_bytes(f, data)
+        fsync_file(f)
+    atomic_replace(tmp, path)

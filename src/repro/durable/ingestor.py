@@ -1,0 +1,716 @@
+"""Log-before-apply ingestion wrappers and crash recovery.
+
+:class:`DurableStreamIngestor` (one stream) and
+:class:`DurableMultiStreamIngestor` (a named fleet) wrap the
+:mod:`repro.ingest` pipeline with the durability contract:
+
+1. **Log before apply.**  Every mutating call — ``push``,
+   ``push_batch``, ``punctuate``, ``correct``, ``finish`` — is
+   appended to the write-ahead log first, then applied.  The applied
+   state is therefore always a deterministic replay of a WAL prefix.
+2. **Snapshot on cadence.**  Every ``snapshot_every`` WAL entries the
+   full resumable state (detector carry, buffered bins, watermark,
+   ledger, burst beliefs) is published atomically, keyed by LSN.
+3. **Recover = snapshot + tail replay.**  :meth:`~DurableStreamIngestor.recover`
+   loads the newest loadable snapshot at or below the surviving WAL
+   prefix, replays the remaining entries through the exact same code
+   path, and resumes logging — bursts, per-level operation counts and
+   the amendment ledger come out byte-identical to a run that never
+   crashed (the testkit's ``crash_recover`` relation sweeps every
+   injected kill point to prove it).
+
+Delivery across the crash is at-least-once with a resume offset: the
+:class:`RecoveryReport` says exactly how many entries were durably
+applied (``ops_applied``) and how many stream records that covers
+(``records_applied``), so a feed that retains its outbox re-sends from
+there.  Records torn off the WAL tail under ``recovery="trim"`` are
+part of that re-send and are accounted exactly
+(``trimmed_entries``/``trimmed_records``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..core.chunked import ChunkedDetector
+from ..core.multi import MultiStreamDetector
+from ..core.events import Burst, BurstSet
+from ..ingest import (
+    AmendmentLedger,
+    LateRecordError,
+    MultiStreamIngestor,
+    StreamIngestor,
+)
+from ..io.spec import DetectorSpec
+from . import fsio
+from .snapshot import (
+    carry_from_dict,
+    carry_to_dict,
+    counters_from_dict,
+    counters_to_dict,
+    load_latest_snapshot,
+    write_snapshot,
+)
+from .wal import CorruptWalError, WriteAheadLog, entry_records, scan_wal
+
+__all__ = [
+    "DurableMultiStreamIngestor",
+    "DurableStreamIngestor",
+    "RecoveryReport",
+]
+
+META_FORMAT = "repro.durable.meta.v1"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Exact accounting of one recovery.
+
+    ``ops_applied`` is the resume offset: WAL entries durably applied
+    (and therefore reflected in the recovered state); the feed must
+    re-send everything it produced from that offset on.
+    ``records_applied`` counts the stream records those entries carry.
+    """
+
+    snapshot_lsn: int
+    replayed_entries: int
+    replayed_records: int
+    trimmed_entries: int
+    trimmed_records: int
+    ops_applied: int
+    records_applied: int
+    finished: bool
+
+    def summary(self) -> str:
+        return (
+            f"recovered from snapshot lsn={self.snapshot_lsn} "
+            f"+ {self.replayed_entries} replayed entr"
+            f"{'y' if self.replayed_entries == 1 else 'ies'} "
+            f"({self.replayed_records} records); "
+            f"trimmed {self.trimmed_entries} entr"
+            f"{'y' if self.trimmed_entries == 1 else 'ies'} "
+            f"({self.trimmed_records} records); "
+            f"resume at op {self.ops_applied} "
+            f"(record {self.records_applied})"
+            + ("; stream already finished" if self.finished else "")
+        )
+
+
+def _write_meta(directory: Path, meta: dict[str, Any]) -> None:
+    fsio.atomic_write_bytes(
+        directory / "meta.json",
+        (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode(),
+    )
+
+
+def _read_meta(directory: Path, expect_kind: str) -> dict[str, Any]:
+    path = directory / "meta.json"
+    if not path.exists():
+        raise FileNotFoundError(
+            f"{directory} holds no durable run (missing meta.json)"
+        )
+    meta = json.loads(path.read_text())
+    if meta.get("format") != META_FORMAT:
+        raise CorruptWalError(
+            f"unrecognized meta format {meta.get('format')!r} in {path}"
+        )
+    if meta.get("kind") != expect_kind:
+        raise CorruptWalError(
+            f"durable run in {directory} is kind={meta.get('kind')!r}, "
+            f"expected {expect_kind!r}"
+        )
+    return meta
+
+
+class DurableStreamIngestor:
+    """One stream's ingestion pipeline with a write-ahead log underneath.
+
+    Mirrors the :class:`~repro.ingest.ingestor.StreamIngestor` feeding
+    surface; construction starts a *new* durable run in ``durable_dir``
+    (which must not already hold one — resume an existing run with
+    :meth:`recover`).
+    """
+
+    def __init__(
+        self,
+        spec: DetectorSpec,
+        durable_dir: str | Path,
+        *,
+        max_lateness: int = 0,
+        late_policy: str = "raise",
+        snapshot_every: int = 256,
+        segment_entries: int = 256,
+        refine_filter: bool = True,
+        backend: str = "auto",
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        directory = Path(durable_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        if (directory / "meta.json").exists():
+            raise FileExistsError(
+                f"{directory} already holds a durable run; use "
+                "DurableStreamIngestor.recover() to resume it"
+            )
+        meta = {
+            "format": META_FORMAT,
+            "kind": "stream",
+            "spec": spec.to_dict(),
+            "max_lateness": int(max_lateness),
+            "late_policy": late_policy,
+            "snapshot_every": int(snapshot_every),
+            "segment_entries": int(segment_entries),
+            "refine_filter": bool(refine_filter),
+        }
+        self._init_parts(
+            spec,
+            directory,
+            meta,
+            WriteAheadLog(directory, segment_entries=segment_entries),
+            backend,
+        )
+        _write_meta(directory, meta)
+
+    def _init_parts(
+        self,
+        spec: DetectorSpec,
+        directory: Path,
+        meta: dict[str, Any],
+        wal: WriteAheadLog,
+        backend: str,
+    ) -> None:
+        self.spec = spec
+        self.durable_dir = directory
+        self._meta = meta
+        self._wal = wal
+        self.snapshot_every = int(meta["snapshot_every"])
+        self._last_snapshot_lsn = 0
+        self._detector = ChunkedDetector(
+            spec.structure,
+            spec.thresholds,
+            spec.aggregate,
+            refine_filter=bool(meta["refine_filter"]),
+            backend=backend,
+        )
+        self._ingestor = StreamIngestor(
+            self._detector,
+            spec.thresholds,
+            spec.aggregate,
+            max_lateness=int(meta["max_lateness"]),
+            late_policy=str(meta["late_policy"]),
+        )
+
+    # -- the mirrored feeding surface ----------------------------------
+    def push(self, timestamp: int, value: float) -> list[Burst]:
+        self._wal.append("push", {"t": int(timestamp), "v": float(value)})
+        try:
+            return self._ingestor.push(int(timestamp), float(value))
+        finally:
+            self._maybe_snapshot()
+
+    def push_batch(
+        self, timestamps: np.ndarray, values: np.ndarray
+    ) -> list[Burst]:
+        ts = np.asarray(timestamps).tolist()
+        vals = np.asarray(values, dtype=np.float64).tolist()
+        self._wal.append("batch", {"t": ts, "v": vals})
+        try:
+            return self._ingestor.push_batch(timestamps, values)
+        finally:
+            self._maybe_snapshot()
+
+    def punctuate(self, watermark: int) -> list[Burst]:
+        self._wal.append("punctuate", {"w": int(watermark)})
+        try:
+            return self._ingestor.punctuate(int(watermark))
+        finally:
+            self._maybe_snapshot()
+
+    def correct(self, timestamp: int, value: float) -> None:
+        self._wal.append(
+            "correct", {"t": int(timestamp), "v": float(value)}
+        )
+        try:
+            self._ingestor.correct(int(timestamp), float(value))
+        finally:
+            self._maybe_snapshot()
+
+    def finish(self) -> list[Burst]:
+        """Log, flush the pipeline, snapshot the final state, seal."""
+        self._wal.append("finish", {})
+        bursts = self._ingestor.finish()
+        self.snapshot_now()
+        self._wal.close()
+        return bursts
+
+    # -- state access --------------------------------------------------
+    @property
+    def watermark(self) -> int:
+        return self._ingestor.watermark
+
+    @property
+    def ledger(self) -> AmendmentLedger:
+        return self._ingestor.ledger
+
+    @property
+    def finished(self) -> bool:
+        return self._ingestor._finished  # noqa: SLF001 - same package family
+
+    @property
+    def counters(self):
+        """The detector's per-level operation counters."""
+        return self._detector.counters
+
+    @property
+    def detector(self) -> ChunkedDetector:
+        return self._detector
+
+    @property
+    def next_lsn(self) -> int:
+        return self._wal.next_lsn
+
+    def final_bursts(self) -> BurstSet:
+        return self._ingestor.final_bursts()
+
+    def sealed_series(self) -> np.ndarray:
+        return self._ingestor.sealed_series()
+
+    # -- snapshots -----------------------------------------------------
+    def _maybe_snapshot(self) -> None:
+        if (
+            self._wal.next_lsn - self._last_snapshot_lsn
+            >= self.snapshot_every
+        ):
+            self.snapshot_now()
+
+    def snapshot_now(self) -> Path:
+        """Publish the current state, keyed by the current LSN."""
+        finished = self._ingestor._finished  # noqa: SLF001
+        state = {
+            "ingestor": self._ingestor.state_dict(),
+            "carry": None if finished else carry_to_dict(
+                self._detector.carry()
+            ),
+            "counters": counters_to_dict(self._detector.counters),
+        }
+        lsn = self._wal.next_lsn
+        path = write_snapshot(self.durable_dir, lsn, state)
+        self._last_snapshot_lsn = lsn
+        return path
+
+    # -- replay / recovery ---------------------------------------------
+    def _restore_snapshot(self, state: Mapping[str, Any]) -> None:
+        carry = state["carry"]
+        if carry is not None:
+            restored = ChunkedDetector.from_carry(
+                self.spec.structure,
+                self.spec.thresholds,
+                carry_from_dict(carry),
+                bool(self._meta["refine_filter"]),
+                self._detector.backend,
+            )
+        else:
+            # Finished before the snapshot: the engine is closed and
+            # only the final counters matter (correct() never touches
+            # the sink after finish).
+            restored = self._detector
+            restored.counters = counters_from_dict(state["counters"])
+        self._detector = restored
+        self._ingestor = StreamIngestor(
+            self._detector,
+            self.spec.thresholds,
+            self.spec.aggregate,
+            max_lateness=int(self._meta["max_lateness"]),
+            late_policy=str(self._meta["late_policy"]),
+        )
+        self._ingestor.restore_state(state["ingestor"])
+
+    def _apply(self, entry: Mapping[str, Any]) -> None:
+        op = entry["op"]
+        try:
+            if op == "push":
+                self._ingestor.push(int(entry["t"]), float(entry["v"]))
+            elif op == "batch":
+                self._ingestor.push_batch(
+                    np.asarray(entry["t"], dtype=np.int64),
+                    np.asarray(entry["v"], dtype=np.float64),
+                )
+            elif op == "punctuate":
+                self._ingestor.punctuate(int(entry["w"]))
+            elif op == "correct":
+                self._ingestor.correct(int(entry["t"]), float(entry["v"]))
+            elif op == "finish":
+                self._ingestor.finish()
+            else:
+                raise CorruptWalError(f"unknown WAL op {op!r}")
+        except LateRecordError:
+            # The live run logged the op, applied its (deterministic)
+            # pre-raise mutations, and raised to the caller.  Replay
+            # reproduces the mutations and moves on.
+            pass
+
+    @classmethod
+    def recover(
+        cls,
+        durable_dir: str | Path,
+        *,
+        recovery: str = "strict",
+        backend: str = "auto",
+    ) -> tuple["DurableStreamIngestor", RecoveryReport]:
+        """Resume the durable run in ``durable_dir``.
+
+        Raises :class:`~repro.durable.wal.CorruptWalError` for damage
+        the ``recovery`` policy refuses to repair.
+        """
+        directory = Path(durable_dir)
+        meta = _read_meta(directory, "stream")
+        spec = DetectorSpec.from_dict(meta["spec"])
+        scan = scan_wal(directory, recovery)
+        self = cls.__new__(cls)
+        self._init_parts(
+            spec,
+            directory,
+            meta,
+            WriteAheadLog(
+                directory,
+                segment_entries=int(meta["segment_entries"]),
+                start_lsn=scan.next_lsn,
+                start_segment=scan.next_segment,
+            ),
+            backend,
+        )
+        snap = load_latest_snapshot(directory, max_lsn=scan.next_lsn)
+        snapshot_lsn = 0
+        if snap is not None:
+            snapshot_lsn, state = snap
+            self._restore_snapshot(state)
+        replayed = scan.entries[snapshot_lsn:]
+        for entry in replayed:
+            self._apply(entry)
+        self._last_snapshot_lsn = snapshot_lsn
+        self._maybe_snapshot()
+        report = RecoveryReport(
+            snapshot_lsn=snapshot_lsn,
+            replayed_entries=len(replayed),
+            replayed_records=sum(entry_records(e) for e in replayed),
+            trimmed_entries=scan.trimmed_entries,
+            trimmed_records=scan.trimmed_records,
+            ops_applied=scan.next_lsn,
+            records_applied=sum(entry_records(e) for e in scan.entries),
+            finished=self.finished,
+        )
+        return self, report
+
+
+class DurableMultiStreamIngestor:
+    """A named fleet of streams over one shared write-ahead log.
+
+    ``fleet`` is any multi-stream sink the plain
+    :class:`~repro.ingest.ingestor.MultiStreamIngestor` accepts that
+    additionally exposes ``checkpoints()`` (the serial
+    :class:`~repro.core.multi.MultiStreamDetector` and the parallel
+    runtime both do).  Snapshots are taken between operations — for
+    the parallel runtime that is a round boundary, where worker
+    carries are current and consistent with any pending coarsen swap.
+    """
+
+    def __init__(
+        self,
+        fleet: Any,
+        spec: DetectorSpec,
+        durable_dir: str | Path,
+        *,
+        max_lateness: int = 0,
+        late_policy: str = "raise",
+        snapshot_every: int = 256,
+        segment_entries: int = 256,
+        refine_filter: bool = True,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        directory = Path(durable_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        if (directory / "meta.json").exists():
+            raise FileExistsError(
+                f"{directory} already holds a durable run; use "
+                "DurableMultiStreamIngestor.recover() to resume it"
+            )
+        meta = {
+            "format": META_FORMAT,
+            "kind": "multi",
+            "spec": spec.to_dict(),
+            "names": sorted(fleet.names),
+            "max_lateness": int(max_lateness),
+            "late_policy": late_policy,
+            "snapshot_every": int(snapshot_every),
+            "segment_entries": int(segment_entries),
+            # Recorded so recovery rebuilds an equivalent fleet; must
+            # match the fleet actually passed in.
+            "refine_filter": bool(refine_filter),
+        }
+        self._init_parts(
+            fleet,
+            spec,
+            directory,
+            meta,
+            WriteAheadLog(directory, segment_entries=segment_entries),
+        )
+        _write_meta(directory, meta)
+
+    def _init_parts(
+        self,
+        fleet: Any,
+        spec: DetectorSpec,
+        directory: Path,
+        meta: dict[str, Any],
+        wal: WriteAheadLog,
+    ) -> None:
+        self.spec = spec
+        self.durable_dir = directory
+        self._meta = meta
+        self._wal = wal
+        self.snapshot_every = int(meta["snapshot_every"])
+        self._last_snapshot_lsn = 0
+        self._fleet = fleet
+        self._multi = MultiStreamIngestor(
+            fleet,
+            spec.thresholds,
+            spec.aggregate,
+            max_lateness=int(meta["max_lateness"]),
+            late_policy=str(meta["late_policy"]),
+        )
+
+    # -- the mirrored feeding surface ----------------------------------
+    def push(
+        self, name: str, timestamp: int, value: float
+    ) -> list[Burst]:
+        self._wal.append(
+            "push", {"s": name, "t": int(timestamp), "v": float(value)}
+        )
+        try:
+            return self._multi.push(name, int(timestamp), float(value))
+        finally:
+            self._maybe_snapshot()
+
+    def push_batch(
+        self, name: str, timestamps: np.ndarray, values: np.ndarray
+    ) -> list[Burst]:
+        self._wal.append(
+            "batch",
+            {
+                "s": name,
+                "t": np.asarray(timestamps).tolist(),
+                "v": np.asarray(values, dtype=np.float64).tolist(),
+            },
+        )
+        try:
+            return self._multi.push_batch(name, timestamps, values)
+        finally:
+            self._maybe_snapshot()
+
+    def punctuate(self, watermark: int) -> dict[str, list[Burst]]:
+        self._wal.append("punctuate", {"w": int(watermark)})
+        try:
+            return self._multi.punctuate(int(watermark))
+        finally:
+            self._maybe_snapshot()
+
+    def correct(self, name: str, timestamp: int, value: float) -> None:
+        self._wal.append(
+            "correct", {"s": name, "t": int(timestamp), "v": float(value)}
+        )
+        try:
+            self._multi.correct(name, int(timestamp), float(value))
+        finally:
+            self._maybe_snapshot()
+
+    def finish(self) -> dict[str, list[Burst]]:
+        self._wal.append("finish", {})
+        out = self._multi.finish()
+        self.snapshot_now()
+        self._wal.close()
+        return out
+
+    # -- state access --------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._multi.names
+
+    @property
+    def finished(self) -> bool:
+        return self._multi._finished  # noqa: SLF001 - same package family
+
+    @property
+    def next_lsn(self) -> int:
+        return self._wal.next_lsn
+
+    def ingestor(self, name: str) -> StreamIngestor:
+        return self._multi.ingestor(name)
+
+    def final_bursts(self) -> dict[str, BurstSet]:
+        return self._multi.final_bursts()
+
+    def ledger(self) -> AmendmentLedger:
+        return self._multi.ledger()
+
+    # -- snapshots -----------------------------------------------------
+    def _maybe_snapshot(self) -> None:
+        if (
+            self._wal.next_lsn - self._last_snapshot_lsn
+            >= self.snapshot_every
+        ):
+            self.snapshot_now()
+
+    def snapshot_now(self) -> Path:
+        """Publish fleet state at the current LSN (a round boundary)."""
+        finished = self._multi._finished  # noqa: SLF001
+        if finished:
+            carries: dict[str, Any] = {name: None for name in self.names}
+        else:
+            carries = {
+                name: carry_to_dict(carry)
+                for name, carry in self._fleet.checkpoints().items()
+            }
+        state = {
+            "multi": self._multi.state_dict(),
+            "carries": carries,
+            "counters": {
+                name: counters_to_dict(counters)
+                for name, counters in self._fleet.stream_counters().items()
+            },
+        }
+        lsn = self._wal.next_lsn
+        path = write_snapshot(self.durable_dir, lsn, state)
+        self._last_snapshot_lsn = lsn
+        return path
+
+    # -- replay / recovery ---------------------------------------------
+    def _apply(self, entry: Mapping[str, Any]) -> None:
+        op = entry["op"]
+        try:
+            if op == "push":
+                self._multi.push(
+                    str(entry["s"]), int(entry["t"]), float(entry["v"])
+                )
+            elif op == "batch":
+                self._multi.push_batch(
+                    str(entry["s"]),
+                    np.asarray(entry["t"], dtype=np.int64),
+                    np.asarray(entry["v"], dtype=np.float64),
+                )
+            elif op == "punctuate":
+                self._multi.punctuate(int(entry["w"]))
+            elif op == "correct":
+                self._multi.correct(
+                    str(entry["s"]), int(entry["t"]), float(entry["v"])
+                )
+            elif op == "finish":
+                self._multi.finish()
+            else:
+                raise CorruptWalError(f"unknown WAL op {op!r}")
+        except LateRecordError:
+            pass
+
+    @classmethod
+    def recover(
+        cls,
+        durable_dir: str | Path,
+        *,
+        recovery: str = "strict",
+        backend: str = "auto",
+        fleet_factory: Callable[[Mapping[str, Any]], Any] | None = None,
+    ) -> tuple["DurableMultiStreamIngestor", RecoveryReport]:
+        """Resume a fleet run.
+
+        ``fleet_factory`` maps ``{name: DetectorCarry}`` to a rebuilt
+        sink (the CLI passes one that recreates the parallel runtime);
+        the default resumes a serial shared-structure fleet.
+        """
+        directory = Path(durable_dir)
+        meta = _read_meta(directory, "multi")
+        spec = DetectorSpec.from_dict(meta["spec"])
+        scan = scan_wal(directory, recovery)
+        snap = load_latest_snapshot(directory, max_lsn=scan.next_lsn)
+
+        names = [str(n) for n in meta["names"]]
+        snapshot_lsn = 0
+        carries: dict[str, Any] = {}
+        state: Mapping[str, Any] | None = None
+        if snap is not None:
+            snapshot_lsn, state = snap
+            carries = {
+                name: None if payload is None else carry_from_dict(payload)
+                for name, payload in state["carries"].items()
+            }
+        live_carries = {
+            name: carry
+            for name, carry in carries.items()
+            if carry is not None
+        }
+        if live_carries and len(live_carries) != len(names):
+            raise CorruptWalError(
+                "snapshot carries cover only part of the fleet"
+            )
+        refine = bool(meta.get("refine_filter", True))
+        if fleet_factory is not None:
+            fleet = fleet_factory(live_carries if live_carries else {})
+        elif live_carries:
+            fleet = MultiStreamDetector.from_carries(
+                spec.structure,
+                spec.thresholds,
+                live_carries,
+                refine_filter=refine,
+                backend=backend,
+            )
+        else:
+            fleet = MultiStreamDetector.shared(
+                names,
+                spec.structure,
+                spec.thresholds,
+                aggregate=spec.aggregate,
+                refine_filter=refine,
+                backend=backend,
+            )
+            if state is not None and isinstance(fleet, MultiStreamDetector):
+                # Finished-run snapshot: the engines are closed, but the
+                # final per-stream counters must survive recovery.
+                for name, payload in state["counters"].items():
+                    fleet.detector(name).counters = counters_from_dict(
+                        payload
+                    )
+        self = cls.__new__(cls)
+        self._init_parts(
+            fleet,
+            spec,
+            directory,
+            meta,
+            WriteAheadLog(
+                directory,
+                segment_entries=int(meta["segment_entries"]),
+                start_lsn=scan.next_lsn,
+                start_segment=scan.next_segment,
+            ),
+        )
+        if state is not None:
+            self._multi.restore_state(state["multi"])
+        replayed = scan.entries[snapshot_lsn:]
+        for entry in replayed:
+            self._apply(entry)
+        self._last_snapshot_lsn = snapshot_lsn
+        self._maybe_snapshot()
+        report = RecoveryReport(
+            snapshot_lsn=snapshot_lsn,
+            replayed_entries=len(replayed),
+            replayed_records=sum(entry_records(e) for e in replayed),
+            trimmed_entries=scan.trimmed_entries,
+            trimmed_records=scan.trimmed_records,
+            ops_applied=scan.next_lsn,
+            records_applied=sum(entry_records(e) for e in scan.entries),
+            finished=self.finished,
+        )
+        return self, report

@@ -1,0 +1,167 @@
+"""Atomic snapshots of the full resumable ingestion state.
+
+A snapshot is one JSON document, written with the full
+:mod:`~repro.durable.fsio` discipline (tmp → fsync → rename → fsync
+dir), named by the LSN it corresponds to: ``snap-<lsn>.json`` captures
+the state after exactly ``lsn`` WAL entries were applied.  Recovery
+loads the newest loadable snapshot and replays the WAL from its LSN —
+a snapshot is pure acceleration, never authority: deleting every
+snapshot only makes recovery replay more, not diverge.
+
+Because publication is atomic, a half-written snapshot can only ever
+exist under a ``*.tmp`` name that readers ignore.  An unreadable or
+checksum-failing file under the final name therefore means external
+damage; :func:`load_latest_snapshot` skips it and falls back to the
+next-newest (ultimately to LSN 0), which the WAL makes equivalent.
+
+The serialized state pairs the two halves of the pipeline at the same
+seal boundary: the ingestor's own state
+(:meth:`~repro.ingest.ingestor.StreamIngestor.state_dict` — frontier,
+sealed series, buffered bins, burst beliefs, ledger) and the
+detector's :class:`~repro.core.chunked.DetectorCarry` (engine tail
+plus per-level operation counters), both JSON-ready via the helpers
+here.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.chunked import DetectorCarry
+from ..core.opcount import OpCounters
+from . import fsio
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "carry_from_dict",
+    "carry_to_dict",
+    "counters_from_dict",
+    "counters_to_dict",
+    "load_latest_snapshot",
+    "snapshot_paths",
+    "write_snapshot",
+]
+
+SNAPSHOT_FORMAT = "repro.durable.snapshot.v1"
+
+
+def counters_to_dict(counters: OpCounters) -> dict[str, Any]:
+    """Serialize per-level op counters losslessly (not just totals)."""
+    return {
+        "updates": counters.updates.tolist(),
+        "filter_comparisons": counters.filter_comparisons.tolist(),
+        "alarms": counters.alarms.tolist(),
+        "search_cells": counters.search_cells.tolist(),
+        "bursts": int(counters.bursts),
+    }
+
+
+def counters_from_dict(payload: dict[str, Any]) -> OpCounters:
+    counters = OpCounters(len(payload["updates"]) - 1)
+    counters.updates[:] = np.asarray(payload["updates"], dtype=np.int64)
+    counters.filter_comparisons[:] = np.asarray(
+        payload["filter_comparisons"], dtype=np.int64
+    )
+    counters.alarms[:] = np.asarray(payload["alarms"], dtype=np.int64)
+    counters.search_cells[:] = np.asarray(
+        payload["search_cells"], dtype=np.int64
+    )
+    counters.bursts = int(payload["bursts"])
+    return counters
+
+
+def carry_to_dict(carry: DetectorCarry) -> dict[str, Any]:
+    """JSON-ready form of a detector checkpoint (float64-exact)."""
+    return {
+        "length": int(carry.length),
+        "aggregate": carry.aggregate,
+        "offset": int(carry.offset),
+        # float() round-trips float64 exactly through JSON (repr grisu).
+        "tail": [float(x) for x in carry.tail],
+        "counters": counters_to_dict(carry.counters),
+    }
+
+
+def carry_from_dict(payload: dict[str, Any]) -> DetectorCarry:
+    return DetectorCarry(
+        length=int(payload["length"]),
+        aggregate=str(payload["aggregate"]),
+        offset=int(payload["offset"]),
+        tail=np.asarray(payload["tail"], dtype=np.float64),
+        counters=counters_from_dict(payload["counters"]),
+    )
+
+
+def _snapshot_path(directory: Path, lsn: int) -> Path:
+    return directory / f"snap-{lsn:012d}.json"
+
+
+def snapshot_paths(directory: str | Path) -> list[Path]:
+    """All published snapshots, oldest first."""
+    return sorted(Path(directory).glob("snap-*.json"))
+
+
+def write_snapshot(
+    directory: str | Path, lsn: int, state: dict[str, Any]
+) -> Path:
+    """Publish the state after ``lsn`` applied entries; returns the path."""
+    directory = Path(directory)
+    body = json.dumps(
+        {"lsn": int(lsn), "state": state},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    payload = {
+        "format": SNAPSHOT_FORMAT,
+        "crc": zlib.crc32(body.encode()) & 0xFFFFFFFF,
+        "lsn": int(lsn),
+        "state": state,
+    }
+    path = _snapshot_path(directory, lsn)
+    fsio.atomic_write_bytes(
+        path, (json.dumps(payload, sort_keys=True) + "\n").encode()
+    )
+    return path
+
+
+def _load_one(path: Path) -> tuple[int, dict[str, Any]] | None:
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("format") != SNAPSHOT_FORMAT:
+            return None
+        body = json.dumps(
+            {"lsn": payload["lsn"], "state": payload["state"]},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        if payload["crc"] != (zlib.crc32(body.encode()) & 0xFFFFFFFF):
+            return None
+        return int(payload["lsn"]), payload["state"]
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def load_latest_snapshot(
+    directory: str | Path, max_lsn: int | None = None
+) -> tuple[int, dict[str, Any]] | None:
+    """Newest loadable snapshot, optionally capped at ``max_lsn``.
+
+    The cap keeps recovery honest after a trim: a snapshot taken past
+    the surviving WAL prefix would smuggle back state whose log
+    entries were lost, leaving the LSN sequence inconsistent for
+    subsequent appends — so such snapshots are ignored and the state
+    is re-derived from the log alone.
+    """
+    for path in reversed(snapshot_paths(directory)):
+        loaded = _load_one(path)
+        if loaded is None:
+            continue
+        if max_lsn is not None and loaded[0] > max_lsn:
+            continue
+        return loaded
+    return None

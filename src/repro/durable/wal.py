@@ -1,0 +1,330 @@
+"""Segmented, checksummed write-ahead log of ingestion operations.
+
+Layout (one directory, shared with the snapshots):
+
+* ``wal-00000000.log`` … — sealed segments: fsynced, then atomically
+  renamed from their ``.open`` name.  Sealed bytes are durable; any
+  damage inside one is real data loss and always raises
+  :class:`CorruptWalError`.
+* ``wal-0000000N.open`` — the single active segment.  Appends reach
+  the OS unbuffered but are only fsynced at seal, so a crash can tear
+  at most its tail — the one region the recovery policies govern:
+
+  ``"strict"``
+      A torn or checksum-failing tail raises :class:`CorruptWalError`.
+      Nothing is modified; the operator decides.
+  ``"trim"``
+      The damaged suffix is quarantined (the whole damaged segment is
+      kept as ``wal-N.corrupt``), the valid prefix is re-published
+      atomically as a sealed segment, and the scan reports exactly how
+      many entries and stream records were trimmed — the
+      at-least-once resume contract: a feed that kept records from
+      ``ops_applied`` onward can re-push what the tail lost.
+
+Entry framing is one line per operation::
+
+    <crc32 of json, 8 hex> <record count, 6 digits> <canonical json>\\n
+
+with ``{"lsn": N, "op": ..., ...payload}`` inside.  The record count
+duplicates :func:`entry_records` of the payload in the fixed-width
+header, so even a line torn mid-json still accounts its lost stream
+records exactly (only a tear inside the 16-byte header itself degrades
+to a best-effort count of one).  LSNs are assigned densely from 0 and
+the scan verifies continuity across segments — a gap means a missing
+sealed segment, which no policy can repair.
+
+:func:`scan_wal` canonicalizes as it reads: a valid (or, under
+``trim``, repaired) active segment is sealed on the spot, so recovery
+always resumes into a fresh segment and never appends behind an
+un-fsynced tail.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, BinaryIO
+
+from . import fsio
+
+__all__ = [
+    "CorruptWalError",
+    "RECOVERY_POLICIES",
+    "WalScan",
+    "WriteAheadLog",
+    "entry_records",
+    "scan_wal",
+]
+
+#: Accepted tail-damage policies, strictest first.
+RECOVERY_POLICIES = ("strict", "trim")
+
+#: ``<crc32:8 hex> <records:6 digits> <json>`` — json starts here.
+_HEADER_LEN = 16
+
+
+class CorruptWalError(RuntimeError):
+    """The log is damaged beyond what the active policy may repair."""
+
+
+def entry_records(entry: dict[str, Any]) -> int:
+    """Stream records carried by one entry (the trim accounting unit)."""
+    op = entry.get("op")
+    if op == "push":
+        return 1
+    if op == "batch":
+        return len(entry.get("t", ()))
+    return 0
+
+
+def _encode(entry: dict[str, Any]) -> bytes:
+    body = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode()) & 0xFFFFFFFF
+    return f"{crc:08x} {entry_records(entry):06d} {body}\n".encode()
+
+
+def _decode(line: bytes) -> dict[str, Any] | None:
+    """Parse one framed line; ``None`` means torn or corrupt."""
+    if not line.endswith(b"\n") or len(line) <= _HEADER_LEN:
+        return None
+    try:
+        text = line[:-1].decode()
+        crc_hex, n_rec, body = text.split(" ", 2)
+        if len(crc_hex) != 8 or len(n_rec) != 6:
+            return None
+        if int(crc_hex, 16) != (zlib.crc32(body.encode()) & 0xFFFFFFFF):
+            return None
+        entry = json.loads(body)
+        if not isinstance(entry, dict) or int(n_rec) != entry_records(entry):
+            return None
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return entry
+
+
+def _declared_records(line: bytes) -> int:
+    """Lost records of a damaged line, from its fixed-width header.
+
+    Exact whenever the tear falls past the header; a tear inside the
+    header means not even the operation's identity was durable, and
+    the count degrades to one (the smallest op that can lose data).
+    """
+    if (
+        len(line) >= _HEADER_LEN
+        and line[8:9] == b" "
+        and line[15:16] == b" "
+        and line[9:15].isdigit()
+    ):
+        return int(line[9:15])
+    return 1
+
+
+def _segment_index(path: Path) -> int:
+    return int(path.stem.split("-")[1])
+
+
+class WriteAheadLog:
+    """Appendable log half; reading and repair live in :func:`scan_wal`."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        segment_entries: int = 256,
+        start_lsn: int = 0,
+        start_segment: int = 0,
+    ) -> None:
+        if segment_entries < 1:
+            raise ValueError("segment_entries must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_entries = int(segment_entries)
+        self._next_lsn = int(start_lsn)
+        self._segment = int(start_segment)
+        self._in_segment = 0
+        self._file: BinaryIO | None = None
+        self._closed = False
+
+    @property
+    def next_lsn(self) -> int:
+        """LSN the next append will receive (== entries logged so far)."""
+        return self._next_lsn
+
+    def _open_path(self) -> Path:
+        return self.directory / f"wal-{self._segment:08d}.open"
+
+    def _log_path(self) -> Path:
+        return self.directory / f"wal-{self._segment:08d}.log"
+
+    def append(self, op: str, payload: dict[str, Any]) -> int:
+        """Log one operation; returns its LSN.  Rolls segments as needed."""
+        if self._closed:
+            raise RuntimeError("write-ahead log is closed")
+        entry = {"lsn": self._next_lsn, "op": op, **payload}
+        if self._file is None:
+            self._file = fsio.open_append(self._open_path())
+        fsio.append_bytes(self._file, _encode(entry))
+        self._next_lsn += 1
+        self._in_segment += 1
+        if self._in_segment >= self.segment_entries:
+            self._seal_active()
+        return int(entry["lsn"])
+
+    def _seal_active(self) -> None:
+        assert self._file is not None
+        fsio.fsync_file(self._file)
+        self._file.close()
+        fsio.atomic_replace(self._open_path(), self._log_path())
+        self._file = None
+        self._segment += 1
+        self._in_segment = 0
+
+    def close(self) -> None:
+        """Seal the active segment (even a partial one) and stop."""
+        if self._closed:
+            return
+        if self._file is not None:
+            self._seal_active()
+        self._closed = True
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """What a recovery scan found (and, under ``trim``, repaired)."""
+
+    entries: tuple[dict[str, Any], ...]
+    segments: int
+    trimmed_entries: int
+    trimmed_records: int
+    next_segment: int
+
+    @property
+    def next_lsn(self) -> int:
+        return len(self.entries)
+
+
+def _parse_segment(raw: bytes) -> tuple[list[dict[str, Any]], int]:
+    """Split a segment into (valid prefix entries, valid prefix bytes)."""
+    entries: list[dict[str, Any]] = []
+    offset = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        line = raw[offset:] if newline < 0 else raw[offset : newline + 1]
+        entry = _decode(line)
+        if entry is None:
+            return entries, offset
+        entries.append(entry)
+        offset += len(line)
+    return entries, offset
+
+
+def _damage_accounting(bad: bytes) -> tuple[int, int]:
+    """(entries, stream records) lost in a damaged suffix."""
+    lines = bad.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    if not lines:
+        return 1, 1
+    return len(lines), sum(_declared_records(line) for line in lines)
+
+
+def _seal_segment(path: Path) -> None:
+    """fsync an ``.open`` segment and publish it as ``.log``."""
+    f = fsio.open_append(path)
+    try:
+        fsio.fsync_file(f)
+    finally:
+        f.close()
+    fsio.atomic_replace(path, path.with_suffix(".log"))
+
+
+def scan_wal(directory: str | Path, recovery: str = "strict") -> WalScan:
+    """Read the log back; detect and (policy permitting) repair the tail.
+
+    Not read-only: a valid active segment is sealed (fsync + rename)
+    and, under ``trim``, a damaged one is quarantined and its valid
+    prefix republished — after a successful scan the directory holds
+    only sealed segments and recovery resumes into a fresh one.
+    """
+    if recovery not in RECOVERY_POLICIES:
+        raise ValueError(
+            f"recovery must be one of {RECOVERY_POLICIES}, got {recovery!r}"
+        )
+    directory = Path(directory)
+    sealed = sorted(directory.glob("wal-*.log"), key=_segment_index)
+    open_segs = sorted(directory.glob("wal-*.open"), key=_segment_index)
+    if len(open_segs) > 1:
+        raise CorruptWalError(
+            f"multiple active segments in {directory}: "
+            f"{[p.name for p in open_segs]}"
+        )
+    for i, path in enumerate(sealed):
+        if _segment_index(path) != i:
+            raise CorruptWalError(
+                f"missing sealed segment {i} in {directory}"
+            )
+    if open_segs and _segment_index(open_segs[0]) < len(sealed):
+        # Leftover from an interrupted trim: the republished sealed
+        # twin supersedes the damaged active segment.
+        twin = open_segs[0].with_suffix(".log")
+        if not twin.exists():
+            raise CorruptWalError(
+                f"active segment {open_segs[0].name} shadows sealed "
+                "history but has no sealed twin"
+            )
+        fsio.remove(open_segs[0])
+        open_segs = []
+    if open_segs and _segment_index(open_segs[0]) != len(sealed):
+        raise CorruptWalError(
+            f"active segment {open_segs[0].name} does not follow the "
+            f"{len(sealed)} sealed segment(s)"
+        )
+    segments = sealed + open_segs
+    entries: list[dict[str, Any]] = []
+    trimmed_entries = 0
+    trimmed_records = 0
+    for path in segments:
+        raw = path.read_bytes()
+        parsed, valid_bytes = _parse_segment(raw)
+        damaged = valid_bytes < len(raw)
+        is_tail = path is segments[-1] and path.suffix == ".open"
+        if damaged and not is_tail:
+            raise CorruptWalError(
+                f"sealed segment {path.name} is corrupt at byte "
+                f"{valid_bytes} — damage before the tail is not trimmable"
+            )
+        if damaged:
+            bad_entries, bad_records = _damage_accounting(raw[valid_bytes:])
+            if recovery == "strict":
+                raise CorruptWalError(
+                    f"torn tail in {path.name} at byte {valid_bytes} "
+                    f"({bad_entries} "
+                    f"entr{'y' if bad_entries == 1 else 'ies'}, "
+                    f"{bad_records} record(s) lost); rerun with "
+                    "recovery='trim' to quarantine the damage"
+                )
+            fsio.atomic_write_bytes(path.with_suffix(".corrupt"), raw)
+            fsio.atomic_write_bytes(
+                path.with_suffix(".log"), raw[:valid_bytes]
+            )
+            fsio.remove(path)
+            trimmed_entries += bad_entries
+            trimmed_records += bad_records
+        elif is_tail:
+            _seal_segment(path)
+        for entry in parsed:
+            if entry.get("lsn") != len(entries):
+                raise CorruptWalError(
+                    f"LSN discontinuity in {path.name}: expected "
+                    f"{len(entries)}, found {entry.get('lsn')!r}"
+                )
+            entries.append(entry)
+    return WalScan(
+        entries=tuple(entries),
+        segments=len(segments),
+        trimmed_entries=trimmed_entries,
+        trimmed_records=trimmed_records,
+        next_segment=len(segments),
+    )

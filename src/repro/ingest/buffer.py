@@ -249,6 +249,32 @@ class OutOfOrderBuffer:
         self._pull(a)
         return a
 
+    def restore(self, bins: list[BinAggregate]) -> None:
+        """Rebuild an empty buffer from a :meth:`bins` snapshot.
+
+        The durable layer's recovery path: bins arrive time-ordered with
+        their combined values *and record counts*, and the rebuilt treap
+        is structurally identical to the one snapshotted — priorities
+        are a pure function of the timestamp set, so shape carries over
+        for free and ``restore(b.bins())`` round-trips exactly.
+        """
+        if self._root is not None:
+            raise RuntimeError("restore() requires an empty buffer")
+        nodes: list[_Node] = []
+        last = None
+        for b in bins:
+            if last is not None and b.timestamp <= last:
+                raise ValueError(
+                    "restore() bins must be strictly time-ordered"
+                )
+            if b.count < 1:
+                raise ValueError("restore() bin with empty record count")
+            last = b.timestamp
+            node = _Node(int(b.timestamp), float(b.value))
+            node.count = int(b.count)
+            nodes.append(node)
+        self._root = self._build_sorted(nodes, 0, len(nodes))
+
     def evict_below(self, watermark: int) -> list[BinAggregate]:
         """Remove and return, in time order, every bin below ``watermark``."""
         low, self._root = self._split(self._root, int(watermark))

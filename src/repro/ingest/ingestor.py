@@ -47,7 +47,7 @@ import numpy as np
 from ..core.aggregates import SUM, AggregateFunction
 from ..core.events import Burst, BurstSet
 from ..core.thresholds import ThresholdModel
-from .buffer import OutOfOrderBuffer
+from .buffer import BinAggregate, OutOfOrderBuffer
 from .ledger import AmendmentLedger, BurstAmended, BurstRetracted
 from .records import validate_records
 
@@ -154,6 +154,67 @@ class StreamIngestor:
             Burst(end, size, value)
             for (end, size), value in self._bursts.items()
         )
+
+    # -- durability ----------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """JSON-ready snapshot of the ingestor's own resumable state.
+
+        Captures the sealed frontier, the sealed dense series, the
+        current burst beliefs, the buffered (unsealed) bins with their
+        record counts, the ledger, and the finished flag.  The *sink's*
+        state is deliberately not included — the durable layer pairs
+        this with the detector's :meth:`~repro.core.chunked.ChunkedDetector.carry`
+        so the two halves checkpoint at the same seal boundary.
+        """
+        return {
+            "frontier": int(self._frontier),
+            "sealed": self._sealed[: self._frontier].tolist(),
+            "bursts": [
+                [int(end), int(size), float(value)]
+                for (end, size), value in sorted(self._bursts.items())
+            ],
+            "buffer": [
+                [int(b.timestamp), float(b.value), int(b.count)]
+                for b in self._buffer.bins()
+            ],
+            "ledger": self.ledger.to_dict(),
+            "finished": bool(self._finished),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Resume from :meth:`state_dict` output (post-JSON safe).
+
+        Only legal on a fresh ingestor whose sink has already been
+        restored to the matching carry — the pair then continues
+        byte-identically to a run that never stopped.
+        """
+        if self._frontier or self._buffer.n_bins or self.ledger.records:
+            raise RuntimeError(
+                "restore_state() requires a fresh ingestor"
+            )
+        frontier = int(state["frontier"])  # type: ignore[arg-type]
+        sealed = np.asarray(state["sealed"], dtype=np.float64)
+        if sealed.size != frontier:
+            raise ValueError(
+                f"sealed series length {sealed.size} != frontier {frontier}"
+            )
+        self._frontier = frontier
+        self._sealed = np.zeros(
+            max(1024, 2 * frontier or 1024), dtype=np.float64
+        )
+        self._sealed[:frontier] = sealed
+        self._bursts = {
+            (int(end), int(size)): float(value)
+            for end, size, value in state["bursts"]  # type: ignore[union-attr]
+        }
+        self._buffer.restore(
+            [
+                BinAggregate(int(t), float(v), int(c))
+                for t, v, c in state["buffer"]  # type: ignore[union-attr]
+            ]
+        )
+        self.ledger = AmendmentLedger.from_dict(state["ledger"])  # type: ignore[arg-type]
+        self._finished = bool(state["finished"])
 
     # -- feeding -------------------------------------------------------
     def push(self, timestamp: int, value: float) -> list[Burst]:
@@ -471,6 +532,29 @@ class MultiStreamIngestor:
             name: ing.final_bursts()
             for name, ing in sorted(self._ingestors.items())
         }
+
+    # -- durability ----------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """Per-stream :meth:`StreamIngestor.state_dict`, fleet flag on top."""
+        return {
+            "streams": {
+                name: ing.state_dict()
+                for name, ing in sorted(self._ingestors.items())
+            },
+            "finished": bool(self._finished),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Resume every stream from :meth:`state_dict` output."""
+        streams = state["streams"]  # type: ignore[index]
+        if sorted(streams) != sorted(self._ingestors):  # type: ignore[arg-type]
+            raise ValueError(
+                "snapshot streams do not match this fleet: "
+                f"{sorted(streams)} vs {sorted(self._ingestors)}"  # type: ignore[arg-type]
+            )
+        for name, ing in self._ingestors.items():
+            ing.restore_state(streams[name])  # type: ignore[index]
+        self._finished = bool(state["finished"])
 
     def ledger(self) -> AmendmentLedger:
         """Fleet-wide ledger: per-stream ledgers merged."""

@@ -130,6 +130,46 @@ class AmendmentLedger:
         self.amendments.extend(other.amendments)
         self.retractions.extend(other.retractions)
 
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize for persistence (snapshots); see :meth:`from_dict`.
+
+        Identical to :meth:`as_dict` — the sorted event order *is* the
+        canonical order, so serialize → JSON → deserialize → serialize
+        is a fixed point and ledger comparisons across a crash/recover
+        boundary stay byte-for-byte.  ``old_value`` may be ``None`` (a
+        burst discovered late); JSON carries it as ``null`` and the
+        None-aware sort key keeps such events ordered deterministically.
+        """
+        return self.as_dict()
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "AmendmentLedger":
+        """Rebuild a ledger from :meth:`to_dict` output (post-JSON safe)."""
+        ledger = cls(
+            records=int(payload["records"]),
+            records_sealed=int(payload["records_sealed"]),
+            bins_sealed=int(payload["bins_sealed"]),
+            duplicates_merged=int(payload["duplicates_merged"]),
+            late_dropped=int(payload["late_dropped"]),
+            late_amended=int(payload["late_amended"]),
+            corrections=int(payload["corrections"]),
+            windows_reevaluated=int(payload["windows_reevaluated"]),
+        )
+        for end, size, old, new in payload["amendments"]:
+            ledger.amendments.append(
+                BurstAmended(
+                    int(end),
+                    int(size),
+                    None if old is None else float(old),
+                    float(new),
+                )
+            )
+        for end, size, old, new in payload["retractions"]:
+            ledger.retractions.append(
+                BurstRetracted(int(end), int(size), float(old), float(new))
+            )
+        return ledger
+
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready form; event lists sorted so comparison is stable."""
         # None old_value (burst discovered late) sorts before any float;

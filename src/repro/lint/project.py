@@ -46,10 +46,23 @@ LAYER_SPEC: dict[str, frozenset[str]] = {
     "spatial": frozenset({"core"}),
     "io": frozenset({"core"}),
     "ingest": frozenset({"core"}),
+    # Durability wraps ingestion: it persists ingest-layer state keyed by
+    # io-layer specs, and never reaches into runtime (the parallel fleet
+    # is handed in as an opaque sink).
+    "durable": frozenset({"core", "ingest", "io"}),
     "mining": frozenset({"core"}),
     "runtime": frozenset({"core", "core.kernel"}),
     "testkit": frozenset(
-        {"core", "core.kernel", "ingest", "io", "runtime", "spatial", "streams"}
+        {
+            "core",
+            "core.kernel",
+            "durable",
+            "ingest",
+            "io",
+            "runtime",
+            "spatial",
+            "streams",
+        }
     ),
     "experiments": frozenset({"core", "io", "mining", "spatial", "streams"}),
     "lint": frozenset(),

@@ -32,6 +32,7 @@ __all__ = [
     "ImportLayering",
     "IpcProtocolConformance",
     "DroppedCounterDataflow",
+    "DurableWriteDiscipline",
 ]
 
 
@@ -456,8 +457,8 @@ class NoWallClockInCore(Rule):
     name = "no-wall-clock-in-core"
     invariant = (
         "repro.core / repro.runtime / repro.io / repro.ingest / "
-        "repro.testkit never read wall-clock time; timing lives in "
-        "benchmarks/ and experiment helpers"
+        "repro.durable / repro.testkit never read wall-clock time; "
+        "timing lives in benchmarks/ and experiment helpers"
     )
 
     _CLOCK_ATTRS = {
@@ -477,6 +478,10 @@ class NoWallClockInCore(Rule):
             # The fuzz harness must be replayable from a seed alone; a
             # clock read anywhere in it would break corpus determinism.
             or module.in_dir("repro", "testkit")
+            # WAL replay must reproduce the original run exactly; a
+            # clock read in the durable layer would leak wall time into
+            # recovered state.
+            or module.in_dir("repro", "durable")
         )
 
     def check(self, module: LintModule) -> Iterator[Finding]:
@@ -939,6 +944,114 @@ class DroppedCounterDataflow(Rule):
         return False
 
 
+class DurableWriteDiscipline(Rule):
+    """RL013 — durable bytes go through ``repro.durable.fsio`` only.
+
+    The durability contract (crash-anywhere equivalence) holds because
+    every write, fsync, and rename in the durable layer passes one
+    traced choke point: the crash-injection sweep can only prove
+    recovery correct for IO it can see, and the fsync + atomic-rename
+    discipline only protects files written under it.  A bare
+    ``open(..., "w")`` or ``os.replace`` elsewhere in ``repro.durable``
+    is a write the sweep never kills and the discipline never syncs —
+    it works until the first real power cut.  Reads are free;
+    ``mkdir`` is free (idempotent, carries no data).
+    """
+
+    code = "RL013"
+    name = "durable-write-discipline"
+    invariant = (
+        "repro.durable writes to disk only through repro.durable.fsio "
+        "(traced, fsynced, atomic-renamed); no writable open(), "
+        "Path.write_*, shutil, or os rename/fsync/unlink outside fsio.py"
+    )
+
+    _OS_CALLS = {
+        "rename",
+        "replace",
+        "fsync",
+        "fdatasync",
+        "unlink",
+        "remove",
+        "link",
+        "symlink",
+        "truncate",
+        "ftruncate",
+    }
+    _PATH_WRITERS = {
+        "write_text",
+        "write_bytes",
+        "touch",
+        "unlink",
+        "rename",
+        "replace",
+        "rmdir",
+    }
+    _WRITE_MODE = re.compile(r"[wax+]")
+
+    def applies_to(self, module: LintModule) -> bool:
+        return (
+            module.in_dir("repro", "durable")
+            and module.basename != "fsio.py"
+        )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = self._open_mode(node)
+                if mode is None or self._WRITE_MODE.search(mode):
+                    yield module.finding(
+                        node,
+                        self,
+                        "writable (or unverifiable-mode) open() outside "
+                        "fsio; use fsio.open_append/atomic_write_bytes so "
+                        "the crash sweep and fsync discipline cover it",
+                    )
+            elif isinstance(func, ast.Attribute):
+                base = _dotted(func.value).rsplit(".", 1)[-1]
+                if base == "os" and func.attr in self._OS_CALLS:
+                    yield module.finding(
+                        node,
+                        self,
+                        f"os.{func.attr} outside fsio; use the traced "
+                        "fsio primitives (atomic_replace, fsync_file, "
+                        "remove) instead",
+                    )
+                elif base == "shutil":
+                    yield module.finding(
+                        node,
+                        self,
+                        f"shutil.{func.attr} outside fsio; shutil is "
+                        "neither traced nor fsync-disciplined",
+                    )
+                elif func.attr in self._PATH_WRITERS:
+                    yield module.finding(
+                        node,
+                        self,
+                        f".{func.attr}() outside fsio; route the write "
+                        "through fsio.atomic_write_bytes (or fsio.remove)",
+                    )
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> str | None:
+        """The literal mode of an ``open()`` call; ``None`` if dynamic."""
+        mode: ast.AST | None = None
+        if len(node.args) > 1:
+            mode = node.args[1]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "mode":
+                    mode = kw.value
+        if mode is None:
+            return "r"  # open()'s default: read-only, always fine
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+
 ALL_RULES: tuple[Rule, ...] = (
     SharedMemoryLifecycle(),
     BoundedSendLoops(),
@@ -952,6 +1065,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ImportLayering(),
     IpcProtocolConformance(),
     DroppedCounterDataflow(),
+    DurableWriteDiscipline(),
 )
 
 

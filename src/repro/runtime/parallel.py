@@ -331,6 +331,106 @@ class ParallelMultiStreamDetector:
         return det
 
     @classmethod
+    def from_carries(
+        cls,
+        structure: SATStructure,
+        thresholds: ThresholdModel,
+        carries: Mapping[str, DetectorCarry],
+        *,
+        workers: int | str = "auto",
+        refine_filter: bool = True,
+        backend: str = "auto",
+        faults: str = "raise",
+        supervision: SupervisorPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        recv_timeout: float | None = None,
+        shedding: str = "none",
+        overload: OverloadConfig | None = None,
+    ) -> "ParallelMultiStreamDetector":
+        """Resume a shared-structure fleet from per-stream carries.
+
+        The durable layer's recovery path: each worker rebuilds its
+        shard through the ``restore`` command instead of ``build``, so
+        a recovered pool continues mid-stream with the exact engine
+        tails and op counters the checkpoints hold.  The aggregate is
+        taken from each carry (it was recorded at checkpoint time);
+        stream positions and supervision checkpoints start from the
+        carries, not zero, so swap alignment and a first-round worker
+        loss both see the resumed offsets.
+        """
+        carries = dict(carries)
+        names = cls._check_names(carries)
+        checksum = cls._check_faults(faults, fault_plan)
+        resolve_backend(backend)
+        n_workers = resolve_workers(workers, len(names))
+        if n_workers == 0:
+            serial = MultiStreamDetector.from_carries(
+                structure,
+                thresholds,
+                carries,
+                refine_filter=refine_filter,
+                backend=backend,
+            )
+            det = cls(names, None, None, {}, serial)
+            det._faults = faults
+            det._configure_overload(shedding, overload)
+            return det
+        pool = WorkerPool(n_workers, recv_timeout=recv_timeout)
+        try:
+            owners = {
+                name: i % n_workers for i, name in enumerate(names)
+            }
+            inflight = {w: 0 for w in range(n_workers)}
+            for name in names:
+                w = owners[name]
+                if inflight[w] >= pool.max_inflight:
+                    pool.recv(w)
+                    inflight[w] -= 1
+                pool.send(
+                    w,
+                    (
+                        "restore",
+                        name,
+                        structure,
+                        thresholds,
+                        carries[name].aggregate,
+                        refine_filter,
+                        backend,
+                        carries[name],
+                    ),
+                )
+                inflight[w] += 1
+            for w, pending in inflight.items():
+                for _ in range(pending):
+                    pool.recv(w)
+        except Exception:
+            pool.close()
+            raise
+        det = cls(names, pool, SharedChunkRing(checksum), owners, None)
+        det._configure_faults(
+            faults,
+            supervision,
+            fault_plan,
+            {
+                name: _StreamConfig(
+                    structure,
+                    thresholds,
+                    carries[name].aggregate,
+                    refine_filter,
+                    backend,
+                )
+                for name in names
+            },
+        )
+        det._configure_overload(shedding, overload)
+        det._stream_positions = {
+            name: int(carries[name].length) for name in names
+        }
+        if det._supervisor is not None:
+            det._checkpoints = dict(carries)
+        return det
+
+    @classmethod
     def per_stream(
         cls,
         training: Mapping[str, np.ndarray],
@@ -557,6 +657,63 @@ class ParallelMultiStreamDetector:
         if name not in self._owners:
             raise KeyError(name)
         return self._gather_counters()[name]
+
+    def stream_counters(self) -> dict[str, OpCounters]:
+        """Per-stream operation counters over the whole fleet, sorted.
+
+        The durable layer snapshots these next to each checkpoint carry
+        so a recovered run reports identical per-level op counts.
+        """
+        if self._serial is not None:
+            return self._serial.stream_counters()
+        gathered = self._gather_counters()
+        return {name: gathered[name] for name in sorted(gathered)}
+
+    def checkpoints(self) -> dict[str, DetectorCarry]:
+        """Resumable carry per stream, gathered across the pool.
+
+        The durable layer's snapshot hook.  Only meaningful at a round
+        boundary — between :meth:`process` calls — where no chunk is in
+        flight and each pending coarsen swap either already landed (the
+        worker's detector and the parent's config record moved together,
+        see :meth:`_absorb_round_reply`) or has not started; the carry
+        itself is structure-agnostic either way.  On a supervised pool a
+        worker lost during the exchange is restored from its last
+        acknowledged checkpoint first, so the gathered carries still
+        describe one consistent boundary.
+        """
+        if self._serial is not None:
+            return self._serial.checkpoints()
+        carries: dict[str, DetectorCarry] = {}
+        if self._supervisor is not None:
+            builders = {w: _carry_command for w in self._worker_ids()}
+            try:
+                replies = self._supervisor.exchange(builders)
+            except WorkerUnrecoverable:
+                if self._faults != "degrade":
+                    self.close()
+                    raise
+                # _reprime already rebuilt what it could from the last
+                # acknowledged checkpoints; the serial fold-back holds
+                # exactly that state, so its carries are the boundary.
+                self._degrade_to_serial()
+                assert self._serial is not None
+                return self._serial.checkpoints()
+            except Exception:
+                self.close()
+                raise
+            for w in sorted(replies):
+                carries.update(replies[w][1])
+        else:
+            try:
+                for w in self._worker_ids():
+                    self._pool.send(w, ("carry",))
+                for w in self._worker_ids():
+                    carries.update(self._pool.recv(w)[1])
+            except Exception:
+                self.close()
+                raise
+        return {name: carries[name] for name in sorted(carries)}
 
     def merged_counters(self) -> OpCounters:
         """Per-level counters merged over all streams and workers.
@@ -1241,3 +1398,7 @@ def _reshape_command(
 
 def _counters_command() -> tuple[Any, ...]:
     return ("counters",)
+
+
+def _carry_command() -> tuple[Any, ...]:
+    return ("carry",)

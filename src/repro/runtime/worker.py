@@ -46,6 +46,11 @@ Protocol (request -> reply):
   command so a supervised exchange covers the whole shard atomically.
 * ``("finish",)`` -> ``("finished", [(name, bursts)], {name: counters})``
 * ``("counters",)`` -> ``("counters", {name: counters})``
+* ``("carry",)`` -> ``("carry", {name: DetectorCarry})`` — a checkpoint
+  of every stream this worker owns, taken between rounds.  The durable
+  layer's snapshot hook: meaningful only at a round boundary, where no
+  chunk is in flight and every pending structure swap either landed (and
+  the parent's config record moved with it) or is still wholly pending.
 * ``("stop",)`` -> worker exits (no reply)
 
 Any other exception inside a command is answered with ``("error", repr,
@@ -289,4 +294,6 @@ def _dispatch(
         return ("finished", tails, counters)
     if cmd == "counters":
         return ("counters", {n: d.counters for n, d in detectors.items()})
+    if cmd == "carry":
+        return ("carry", {n: d.carry() for n, d in detectors.items()})
     raise ValueError(f"unknown worker command {cmd!r}")

@@ -22,7 +22,12 @@ verifies that claim mechanically across every backend in the repository
 * :mod:`~repro.testkit.ooo` — arrival-order invariance: streams
   re-delivered through the watermark ingestion layer under seeded
   watermark-consistent permutations (``--ooo-every``), plus the
-  out-of-order reproducer corpus format with pinned ledgers.
+  out-of-order reproducer corpus format with pinned ledgers;
+* :mod:`~repro.testkit.crash` — crash-anywhere recovery equivalence:
+  the durable pipeline killed at seeded traced-IO offsets (boundary
+  kills and mid-write tears) and recovered under both policies
+  (``--crash-every``), plus the crash reproducer corpus format with
+  pinned fingerprints and outcomes.
 
 Run it from the command line::
 
@@ -44,6 +49,13 @@ from .corpus import (
     replay_path,
     save_reproducer,
     save_spatial_reproducer,
+)
+from .crash import (
+    CRASH_FORMAT,
+    crash_payload,
+    crash_recover,
+    replay_crash_payload,
+    save_crash_reproducer,
 )
 from .fuzzer import FailureRecord, FuzzConfig, FuzzReport, fuzz_once, run_fuzz
 from .ooo import (
@@ -128,6 +140,12 @@ __all__ = [
     "replay_path",
     "save_reproducer",
     "save_spatial_reproducer",
+    # crash-recovery leg
+    "CRASH_FORMAT",
+    "crash_payload",
+    "crash_recover",
+    "replay_crash_payload",
+    "save_crash_reproducer",
     # out-of-order ingestion leg
     "OOO_FORMAT",
     "ooo_payload",

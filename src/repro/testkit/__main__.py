@@ -90,6 +90,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     fuzz.add_argument(
+        "--crash-every",
+        type=int,
+        default=20,
+        help=(
+            "crash-recovery equivalence every Nth case: kill the "
+            "durable pipeline at seeded traced-IO offsets and require "
+            "recovery to be byte-identical (real disk IO; 0=off)"
+        ),
+    )
+    fuzz.add_argument(
         "--stop-after",
         type=int,
         default=None,
@@ -141,6 +151,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             faults_every=args.faults_every,
             spatial_every=args.spatial_every,
             ooo_every=args.ooo_every,
+            crash_every=args.crash_every,
             stop_after=args.stop_after,
             shrink=not args.no_shrink,
             numba_backend=numba_backend,

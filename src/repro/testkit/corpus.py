@@ -29,6 +29,7 @@ from .relations import run_relations
 
 __all__ = [
     "CASE_FORMAT",
+    "CRASH_FORMAT",
     "OOO_FORMAT",
     "SPATIAL_FORMAT",
     "case_from_dict",
@@ -43,8 +44,10 @@ __all__ = [
 
 CASE_FORMAT = "repro.testkit.case.v1"
 SPATIAL_FORMAT = "repro.testkit.case2d.v1"
-# Out-of-order ingestion reproducers; defined in .ooo, re-exported here
-# so corpus consumers have one module to import formats from.
+# Out-of-order and crash-recovery reproducers; defined in .ooo / .crash,
+# re-exported here so corpus consumers have one module to import formats
+# from.
+from .crash import CRASH_FORMAT  # noqa: E402  (constant re-export)
 from .ooo import OOO_FORMAT  # noqa: E402  (constant re-export)
 
 
@@ -175,6 +178,10 @@ def replay_path(path: str | Path) -> list[Mismatch]:
         from .ooo import replay_ooo_payload
 
         return replay_ooo_payload(payload)
+    if fmt == CRASH_FORMAT:
+        from .crash import replay_crash_payload
+
+        return replay_crash_payload(payload)
     raise ValueError(f"unknown corpus format {fmt!r} in {path}")
 
 
@@ -197,10 +204,13 @@ def replay_case(case: FuzzCase) -> list[Mismatch]:
     # importable, so corpus replay regression-checks the native path too.
     failures = differential_check(case, default_backends())
     failures.extend(run_relations(case, rng))
-    # Arrival-order invariance rides along: corpus cases are shrunk and
-    # small, so a few extra full runs per case are cheap, and shrinking
-    # of ooo_shuffle findings works through the same predicate.
+    # Arrival-order invariance and crash-recovery equivalence ride
+    # along: corpus cases are shrunk and small, so a few extra full runs
+    # per case are cheap, and shrinking of ooo_shuffle / crash_recover
+    # findings works through the same predicate.
+    from .crash import crash_recover
     from .ooo import ooo_shuffle
 
     failures.extend(ooo_shuffle(case, rng))
+    failures.extend(crash_recover(case, rng, kill_points=2))
     return failures

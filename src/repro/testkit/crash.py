@@ -1,0 +1,562 @@
+"""Crash-anywhere recovery equivalence: the durability leg of the testkit.
+
+The durable layer's contract (DESIGN.md §16) is that killing the
+process at *any* traced IO operation — WAL append, fsync, segment-seal
+rename, snapshot publish — and recovering must continue detection
+byte-identically to a run that never crashed: same final bursts with
+values, same per-level operation counts, same amendment ledger.  This
+module tests that contract two ways:
+
+* :func:`crash_recover` — a metamorphic relation in the style of
+  :mod:`repro.testkit.relations`: a fuzz case's stream is fed through
+  :class:`~repro.durable.DurableStreamIngestor` once uninterrupted
+  (counting traced IO ops), then re-run with seeded
+  :class:`~repro.durable.fsio.KillAtHook` kills — at op boundaries and
+  as mid-write tears — recovered under both policies, re-fed from the
+  reported resume offset, and compared byte for byte.  ``"trim"`` must
+  *always* recover identically; ``"strict"`` must either recover
+  identically or raise :class:`~repro.durable.CorruptWalError`, and
+  whenever it raises, the trim recovery of the same crash must have
+  quarantined a non-empty torn tail (a strict refusal with nothing to
+  trim is a bug).  A crash before ``meta.json`` became durable leaves
+  nothing to recover (``FileNotFoundError``); the harness restarts the
+  run from scratch, which must also match.
+
+* the ``repro.testkit.crash.v1`` corpus format — reproducer files that
+  pin one exact crash point (op index, optional tear fraction) and one
+  recovery policy, with the uninterrupted run's fingerprint and the
+  observed recovery outcome stored in the file.  Replay re-runs the
+  crash and holds recovery to that behaviour forever.
+
+Wired into the fuzz loop via ``FuzzConfig.crash_every`` /
+``--crash-every`` (several full durable runs plus real disk IO per
+case, so it runs sparser than the pure in-memory relations).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..durable import (
+    CorruptWalError,
+    DurableStreamIngestor,
+    SimulatedCrash,
+    crash_hook,
+)
+from ..durable.fsio import KillAtHook, OpCountingHook
+from ..io.spec import DetectorSpec
+from .generators import FuzzCase
+from .ooo import _counter_fingerprint, watermark_consistent_arrival
+from .oracles import Mismatch
+
+__all__ = [
+    "CRASH_FORMAT",
+    "crash_payload",
+    "crash_recover",
+    "replay_crash_payload",
+    "save_crash_reproducer",
+]
+
+CRASH_FORMAT = "repro.testkit.crash.v1"
+
+
+def _durable_run(
+    spec: DetectorSpec,
+    refine_filter: bool,
+    records: list[tuple[int, float]],
+    max_lateness: int,
+    snapshot_every: int,
+    segment_entries: int,
+    directory: Path,
+) -> DurableStreamIngestor:
+    """Feed every record through a fresh durable run and finish it."""
+    dur = DurableStreamIngestor(
+        spec,
+        directory,
+        max_lateness=max_lateness,
+        late_policy="raise",
+        snapshot_every=snapshot_every,
+        segment_entries=segment_entries,
+        refine_filter=refine_filter,
+    )
+    for t, v in records:
+        dur.push(t, v)
+    dur.finish()
+    return dur
+
+
+def _fingerprint(dur: DurableStreamIngestor) -> dict[str, Any]:
+    """Everything recovery must reproduce byte-for-byte."""
+    return {
+        "bursts": sorted(
+            [int(b.end), int(b.size), float(b.value)]
+            for b in dur.final_bursts()
+        ),
+        "counters": _counter_fingerprint(dur.counters),
+        "ledger": dur.ledger.as_dict(),
+    }
+
+
+def _diff_fingerprints(
+    ref: dict[str, Any], got: dict[str, Any]
+) -> str:
+    parts = []
+    for key in ref:
+        if got.get(key) != ref[key]:
+            parts.append(f"{key}: expected {ref[key]!r}, got {got[key]!r}")
+    return "; ".join(parts) or "fingerprints differ"
+
+
+def _crashing_run(
+    spec: DetectorSpec,
+    refine_filter: bool,
+    records: list[tuple[int, float]],
+    max_lateness: int,
+    snapshot_every: int,
+    segment_entries: int,
+    directory: Path,
+    kill_index: int,
+    tear: float | None,
+) -> bool:
+    """Run until the injected kill; returns whether it actually crashed.
+
+    ``kill_index`` past the run's op count means the run completes —
+    recovering a *finished* durable run is a valid scenario too.
+    """
+    try:
+        with crash_hook(KillAtHook(kill_index, tear)):
+            _durable_run(
+                spec,
+                refine_filter,
+                records,
+                max_lateness,
+                snapshot_every,
+                segment_entries,
+                directory,
+            )
+    except SimulatedCrash:
+        return True
+    return False
+
+
+def _recover_and_finish(
+    directory: Path,
+    records: list[tuple[int, float]],
+    recovery: str,
+) -> tuple[dict[str, Any], Any]:
+    """Recover, re-send from the resume offset, finish; fingerprint it.
+
+    Raises :class:`CorruptWalError` (strict refusal) and
+    :class:`FileNotFoundError` (crash before the run became durable)
+    through to the caller — both are policy outcomes, not failures.
+    """
+    dur, report = DurableStreamIngestor.recover(
+        directory, recovery=recovery
+    )
+    if not report.finished:
+        for i, (t, v) in enumerate(records):
+            if i >= report.ops_applied:
+                dur.push(t, v)
+        dur.finish()
+    return _fingerprint(dur), report
+
+
+def crash_recover(
+    case: FuzzCase,
+    rng: np.random.Generator,
+    kill_points: int = 3,
+) -> list[Mismatch]:
+    """Crash-anywhere equivalence of the durable ingestion pipeline."""
+    n = int(case.stream.size)
+    if n == 0:
+        return []
+    max_lateness = int(rng.integers(0, min(n, 16) + 1))
+    arrival = watermark_consistent_arrival(rng, n, max_lateness)
+    records = [
+        (int(t), float(case.stream[t])) for t in arrival.tolist()
+    ]
+    snapshot_every = int(rng.integers(1, 65))
+    segment_entries = int(rng.integers(1, 49))
+    out: list[Mismatch] = []
+    with tempfile.TemporaryDirectory(prefix="repro-crash-") as td:
+        base = Path(td)
+        counting = OpCountingHook()
+        try:
+            with crash_hook(counting):
+                ref = _durable_run(
+                    case.spec,
+                    case.refine_filter,
+                    records,
+                    max_lateness,
+                    snapshot_every,
+                    segment_entries,
+                    base / "ref",
+                )
+        except Exception as exc:  # noqa: BLE001 - crashes are findings
+            return [
+                Mismatch(
+                    "crash-recover",
+                    "durable",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            ]
+        ref_fp = _fingerprint(ref)
+        total_ops = counting.count
+        if total_ops == 0:
+            return []
+        picks = sorted(
+            {int(rng.integers(0, total_ops)) for _ in range(kill_points)}
+        )
+        for idx in picks:
+            tear = (
+                float(rng.uniform(0.05, 0.95))
+                if int(rng.integers(0, 2))
+                else None
+            )
+            suffix = f"+tear{tear:.2f}" if tear is not None else ""
+            strict_raised = False
+            trim_report = None
+            for policy in ("trim", "strict"):
+                label = f"kill@{idx}{suffix}/{policy}"
+                rundir = base / f"k{idx}-{policy}"
+                _crashing_run(
+                    case.spec,
+                    case.refine_filter,
+                    records,
+                    max_lateness,
+                    snapshot_every,
+                    segment_entries,
+                    rundir,
+                    idx,
+                    tear,
+                )
+                try:
+                    fp, report = _recover_and_finish(
+                        rundir, records, policy
+                    )
+                except FileNotFoundError:
+                    # Crashed before meta.json was durable: nothing to
+                    # recover, so the harness restarts from scratch.
+                    try:
+                        fresh = _durable_run(
+                            case.spec,
+                            case.refine_filter,
+                            records,
+                            max_lateness,
+                            snapshot_every,
+                            segment_entries,
+                            rundir / "fresh",
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        out.append(
+                            Mismatch(
+                                "crash-recover",
+                                label,
+                                f"restart-from-scratch failed: "
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                        continue
+                    fp, report = _fingerprint(fresh), None
+                except CorruptWalError as exc:
+                    if policy == "strict":
+                        strict_raised = True
+                        continue
+                    out.append(
+                        Mismatch(
+                            "crash-recover",
+                            label,
+                            f"trim refused to repair: {exc}",
+                        )
+                    )
+                    continue
+                except Exception as exc:  # noqa: BLE001
+                    out.append(
+                        Mismatch(
+                            "crash-recover",
+                            label,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    continue
+                if policy == "trim":
+                    trim_report = report
+                if fp != ref_fp:
+                    out.append(
+                        Mismatch(
+                            "crash-recover",
+                            label,
+                            "recovered run diverges from the "
+                            "uninterrupted run: "
+                            + _diff_fingerprints(ref_fp, fp),
+                        )
+                    )
+            if (
+                strict_raised
+                and trim_report is not None
+                and trim_report.trimmed_entries == 0
+            ):
+                out.append(
+                    Mismatch(
+                        "crash-recover",
+                        f"kill@{idx}{suffix}/strict",
+                        "strict raised CorruptWalError but the trim "
+                        "recovery of the same crash found nothing to "
+                        "trim",
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Crash reproducer corpus
+# ---------------------------------------------------------------------------
+
+def crash_payload(
+    spec: DetectorSpec,
+    records: list[tuple[int, float]],
+    *,
+    kill_index: int,
+    tear: float | None,
+    recovery: str,
+    max_lateness: int,
+    snapshot_every: int,
+    segment_entries: int,
+    refine_filter: bool = True,
+    label: str = "crash",
+    origin: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build a self-verifying crash corpus payload.
+
+    Runs the scenario once and pins the uninterrupted run's
+    fingerprint plus the observed recovery outcome for ``recovery``:
+    ``"ok"`` (recovered and matched), ``"error:CorruptWalError"``
+    (strict refusal — replay additionally requires the trim recovery
+    of the same crash to succeed with a non-empty trim), or
+    ``"restart"`` (crash before the run was durable).  Replay then
+    holds the pipeline to that behaviour forever.
+    """
+    payload: dict[str, Any] = {
+        "format": CRASH_FORMAT,
+        "label": label,
+        "spec": spec.to_dict(),
+        "refine_filter": bool(refine_filter),
+        "records": [[int(t), float(v)] for t, v in records],
+        "max_lateness": int(max_lateness),
+        "snapshot_every": int(snapshot_every),
+        "segment_entries": int(segment_entries),
+        "kill_index": int(kill_index),
+        "tear": None if tear is None else float(tear),
+        "recovery": str(recovery),
+    }
+    outcome, fingerprint = _observe_crash(payload)
+    payload["expect"] = {"outcome": outcome, "fingerprint": fingerprint}
+    if origin:
+        payload["origin"] = origin
+    return payload
+
+
+def _observe_crash(
+    payload: dict[str, Any]
+) -> tuple[str, dict[str, Any]]:
+    """Run one pinned crash scenario; (outcome, uninterrupted fp)."""
+    spec = DetectorSpec.from_dict(payload["spec"])
+    refine = bool(payload.get("refine_filter", True))
+    records = [(int(t), float(v)) for t, v in payload["records"]]
+    lateness = int(payload["max_lateness"])
+    snap_every = int(payload["snapshot_every"])
+    seg_entries = int(payload["segment_entries"])
+    tear = payload["tear"]
+    with tempfile.TemporaryDirectory(prefix="repro-crash-") as td:
+        base = Path(td)
+        ref_fp = _fingerprint(
+            _durable_run(
+                spec, refine, records, lateness, snap_every,
+                seg_entries, base / "ref",
+            )
+        )
+        rundir = base / "run"
+        _crashing_run(
+            spec, refine, records, lateness, snap_every, seg_entries,
+            rundir, int(payload["kill_index"]),
+            None if tear is None else float(tear),
+        )
+        try:
+            fp, _report = _recover_and_finish(
+                rundir, records, str(payload["recovery"])
+            )
+        except FileNotFoundError:
+            return "restart", ref_fp
+        except CorruptWalError:
+            return "error:CorruptWalError", ref_fp
+        if fp != ref_fp:
+            raise AssertionError(
+                "crash_payload: recovery diverged while pinning — "
+                + _diff_fingerprints(ref_fp, fp)
+            )
+        return "ok", ref_fp
+
+
+def replay_crash_payload(payload: dict[str, Any]) -> list[Mismatch]:
+    """Re-run one crash corpus case; empty list = passes."""
+    if payload.get("format") != CRASH_FORMAT:
+        raise ValueError(
+            f"not a crash case (format={payload.get('format')!r})"
+        )
+    spec = DetectorSpec.from_dict(payload["spec"])
+    refine = bool(payload.get("refine_filter", True))
+    records = [(int(t), float(v)) for t, v in payload["records"]]
+    lateness = int(payload["max_lateness"])
+    snap_every = int(payload["snapshot_every"])
+    seg_entries = int(payload["segment_entries"])
+    tear = payload["tear"]
+    expect = payload["expect"]
+    out: list[Mismatch] = []
+    with tempfile.TemporaryDirectory(prefix="repro-crash-") as td:
+        base = Path(td)
+        try:
+            ref_fp = _fingerprint(
+                _durable_run(
+                    spec, refine, records, lateness, snap_every,
+                    seg_entries, base / "ref",
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - crashes are findings
+            return [
+                Mismatch(
+                    "crash-replay",
+                    "durable",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            ]
+        if ref_fp != expect["fingerprint"]:
+            out.append(
+                Mismatch(
+                    "crash-replay",
+                    "durable",
+                    "uninterrupted run drifted from the pinned "
+                    "fingerprint: "
+                    + _diff_fingerprints(expect["fingerprint"], ref_fp),
+                )
+            )
+        rundir = base / "run"
+        _crashing_run(
+            spec, refine, records, lateness, snap_every, seg_entries,
+            rundir, int(payload["kill_index"]),
+            None if tear is None else float(tear),
+        )
+        policy = str(payload["recovery"])
+        label = f"kill@{payload['kill_index']}/{policy}"
+        want = expect["outcome"]
+        try:
+            fp, _report = _recover_and_finish(rundir, records, policy)
+        except FileNotFoundError:
+            if want != "restart":
+                out.append(
+                    Mismatch(
+                        "crash-replay",
+                        label,
+                        f"expected outcome {want!r}, got a "
+                        "pre-durability FileNotFoundError",
+                    )
+                )
+            return out
+        except CorruptWalError as exc:
+            if want != "error:CorruptWalError":
+                out.append(
+                    Mismatch(
+                        "crash-replay",
+                        label,
+                        f"expected outcome {want!r}, got "
+                        f"CorruptWalError: {exc}",
+                    )
+                )
+                return out
+            # A strict refusal must be trim-repairable with a real tear.
+            try:
+                trim_fp, trim_report = _recover_and_finish(
+                    rundir, records, "trim"
+                )
+            except Exception as trim_exc:  # noqa: BLE001
+                out.append(
+                    Mismatch(
+                        "crash-replay",
+                        label,
+                        "trim recovery after the pinned strict refusal "
+                        f"failed: {type(trim_exc).__name__}: {trim_exc}",
+                    )
+                )
+                return out
+            if trim_fp != ref_fp:
+                out.append(
+                    Mismatch(
+                        "crash-replay",
+                        label,
+                        "trim recovery after the strict refusal "
+                        "diverged: "
+                        + _diff_fingerprints(ref_fp, trim_fp),
+                    )
+                )
+            if trim_report.trimmed_entries == 0:
+                out.append(
+                    Mismatch(
+                        "crash-replay",
+                        label,
+                        "strict raised CorruptWalError but trim found "
+                        "nothing to quarantine",
+                    )
+                )
+            return out
+        if want != "ok":
+            out.append(
+                Mismatch(
+                    "crash-replay",
+                    label,
+                    f"expected outcome {want!r}, but recovery "
+                    "completed normally",
+                )
+            )
+            return out
+        if fp != ref_fp:
+            out.append(
+                Mismatch(
+                    "crash-replay",
+                    label,
+                    "recovered run diverges from the uninterrupted "
+                    "run: " + _diff_fingerprints(ref_fp, fp),
+                )
+            )
+    return out
+
+
+def save_crash_reproducer(
+    payload: dict[str, Any], directory: str | Path
+) -> Path:
+    """Write a crash payload to the corpus, content-addressed."""
+    from .corpus import _content_name
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = _content_name(
+        {
+            k: payload[k]
+            for k in (
+                "spec",
+                "records",
+                "max_lateness",
+                "snapshot_every",
+                "segment_entries",
+                "kill_index",
+                "tear",
+                "recovery",
+            )
+        }
+    )
+    path = directory / f"crash-{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

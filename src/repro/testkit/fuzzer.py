@@ -33,6 +33,7 @@ from .oracles import (
     spatial_differential_check,
     worker_sweep_check,
 )
+from .crash import crash_recover
 from .ooo import ooo_shuffle
 from .relations import run_relations
 from .shrink import shrink_case
@@ -66,6 +67,14 @@ class FuzzConfig:
     #: watermark-consistent permutations, and bursts, counters, and the
     #: amendment ledger must be byte-identical to the in-order run.
     ooo_every: int = 10
+    #: Crash-recovery equivalence every Nth case (0 disables): the
+    #: stream is fed through the durable ingestion layer, killed at
+    #: seeded traced-IO offsets (boundary kills and mid-write tears),
+    #: recovered under both policies, and the recovered run must be
+    #: byte-identical to an uninterrupted one.  Several full durable
+    #: runs plus real disk IO per case, so it runs sparser than the
+    #: in-memory relations.
+    crash_every: int = 20
     #: Include the compiled ``chunked-numba`` backend in the cheap
     #: battery: ``True`` forces it (fails fast when numba is missing),
     #: ``False`` excludes it, ``None`` includes it iff numba is
@@ -151,6 +160,8 @@ def _check_battery(
         failures.extend(fault_plan_check(case, rng=rng))
     if config.ooo_every and (index + 1) % config.ooo_every == 0:
         failures.extend(ooo_shuffle(case, rng))
+    if config.crash_every and (index + 1) % config.crash_every == 0:
+        failures.extend(crash_recover(case, rng))
     return failures
 
 

@@ -1,0 +1,47 @@
+"""RL013 fixture: direct filesystem writes bypassing the fsio choke point.
+
+Every statement below persists (or destroys) bytes without going
+through ``repro.durable.fsio`` — the crash-injection sweep cannot kill
+these operations and the fsync + atomic-rename discipline never covers
+them, so recovery guarantees silently stop holding.
+"""
+
+import os
+import shutil
+from pathlib import Path
+
+
+def seal_segment(path: Path) -> None:
+    # BAD: untraced append handle -> RL013 here.
+    f = open(path, "ab")
+    f.close()
+    # BAD: rename without directory fsync -> RL013 here.
+    os.rename(path, str(path) + ".log")
+    # BAD: bare fsync outside the choke point -> RL013 here.
+    os.fsync(3)
+
+
+def publish_snapshot(path: Path, data: bytes) -> None:
+    # BAD: non-atomic whole-file write -> RL013 here.
+    path.write_bytes(data)
+    # BAD: same through a text sibling -> RL013 here.
+    path.with_suffix(".tmp").write_text("{}")
+    # BAD: shutil is neither traced nor fsynced -> RL013 here.
+    shutil.move(str(path), str(path) + ".bak")
+
+
+def quarantine(path: Path, mode: str) -> None:
+    # BAD: untraced unlink -> RL013 here.
+    os.unlink(path)
+    # BAD: writable keyword mode -> RL013 here.
+    open(path, mode="w").close()
+    # BAD: dynamic mode is unverifiable -> RL013 here.
+    open(path, mode).close()
+
+
+def read_back(path: Path) -> bytes:
+    # OK: reads are free — no marker, must not fire.
+    with open(path) as f:
+        f.read()
+    with open(path, "rb") as f:
+        return f.read()

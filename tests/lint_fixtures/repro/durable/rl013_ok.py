@@ -1,0 +1,28 @@
+"""RL013 clean mirror: reads are free; writes route through fsio."""
+
+from pathlib import Path
+
+from repro.durable import fsio
+
+
+def load_meta(path: Path) -> bytes:
+    # OK: read-only open and Path reads carry no durability obligation.
+    with open(path) as f:
+        f.read()
+    path.read_text()
+    return path.read_bytes()
+
+
+def publish(path: Path, data: bytes) -> None:
+    # OK: directory creation is idempotent and carries no data.
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fsio.atomic_write_bytes(path, data)
+
+
+def append_and_seal(path: Path, data: bytes) -> None:
+    f = fsio.open_append(path)
+    fsio.append_bytes(f, data)
+    fsio.fsync_file(f)
+    f.close()
+    fsio.atomic_replace(path, path.with_suffix(".log"))
+    fsio.remove(path.with_suffix(".stale"))

@@ -134,15 +134,16 @@ def test_buffer_matches_literal_oracle(aggregate, ops):
         _assert_matches(buf, oracle)
 
 
+@pytest.mark.parametrize("aggregate", [SUM, MAX], ids=["sum", "max"])
 @settings(max_examples=40, deadline=None)
 @given(
     batch=st.lists(st.tuples(timestamps, values), max_size=30),
     pre=st.lists(st.tuples(timestamps, values), max_size=10),
 )
-def test_bulk_insert_equals_loop_of_inserts(batch, pre):
+def test_bulk_insert_equals_loop_of_inserts(aggregate, batch, pre):
     """One straggler batch == the same records inserted one by one."""
-    looped = OutOfOrderBuffer(SUM)
-    bulked = OutOfOrderBuffer(SUM)
+    looped = OutOfOrderBuffer(aggregate)
+    bulked = OutOfOrderBuffer(aggregate)
     for t, v in pre:
         looped.insert(t, v)
         bulked.insert(t, v)
@@ -153,7 +154,13 @@ def test_bulk_insert_equals_loop_of_inserts(batch, pre):
     vals = np.array([v for _, v in batch], dtype=np.float64)
     assert bulked.bulk_insert(ts, vals) == merged
     bulked.check_invariants()
+    looped.check_invariants()
     assert bulked.bins() == looped.bins()
+    assert bulked.n_bins == looped.n_bins
+    assert bulked.n_records == looped.n_records
+    assert bulked.total == looped.total
+    assert bulked.min_timestamp == looped.min_timestamp
+    assert bulked.max_timestamp == looped.max_timestamp
 
 
 def test_exact_dyadic_ties():

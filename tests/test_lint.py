@@ -63,6 +63,7 @@ def expected_lines(path: Path, code: str) -> list[int]:
         ("core/kernel/rl009_bad.py", "RL009"),
         ("core/rl012_bad.py", "RL012"),
         ("ingest/rl012_bad.py", "RL012"),
+        ("durable/rl013_bad.py", "RL013"),
     ],
 )
 def test_bad_fixture_trips_rule_at_marked_lines(fixture, code):
@@ -91,6 +92,7 @@ def test_rl001_distinguishes_ownership_gaps():
         "runtime/rl008_ok.py",
         "core/kernel/rl009_ok.py",
         "core/rl012_ok.py",
+        "durable/rl013_ok.py",
         "experiments/scope_ok.py",
     ],
 )
@@ -144,6 +146,30 @@ def test_rl005_rl012_scope_includes_ingest(fixture, code):
     out_of_scope = lint_source(source, "x/repro/mining/mod.py", ALL_RULES)
     assert any(f.rule == code for f in in_scope)
     assert not any(f.rule == code for f in out_of_scope)
+
+
+def test_rl013_exempts_fsio_and_scopes_to_durable():
+    # The choke point itself is the one legal writer; identical code in
+    # fsio.py (or outside repro/durable entirely) never trips RL013.
+    source = (FIXTURES / "repro/durable/rl013_bad.py").read_text()
+    in_scope = lint_source(source, "x/repro/durable/wal.py", ALL_RULES)
+    in_fsio = lint_source(source, "x/repro/durable/fsio.py", ALL_RULES)
+    outside = lint_source(source, "x/repro/ingest/mod.py", ALL_RULES)
+    assert any(f.rule == "RL013" for f in in_scope)
+    assert not any(f.rule == "RL013" for f in in_fsio)
+    assert not any(f.rule == "RL013" for f in outside)
+
+
+def test_rl013_message_names_the_fsio_alternative():
+    messages = [
+        f.message
+        for f in lint_fixture("durable/rl013_bad.py")
+        if f.rule == "RL013"
+    ]
+    assert any("atomic_write_bytes" in m for m in messages)
+    assert any("os.rename" in m for m in messages)
+    assert any("shutil.move" in m for m in messages)
+    assert any("unverifiable" in m for m in messages)
 
 
 def test_rl009_scopes_to_kernel_package():
